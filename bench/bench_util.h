@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Shared formatting helpers for the table/figure reproduction benches.
+ * Every bench prints the paper's rows side by side with this repo's
+ * measured/modelled values; rows that come from published papers are
+ * tagged `reported`.
+ */
+
+#ifndef TRINITY_BENCH_BENCH_UTIL_H
+#define TRINITY_BENCH_BENCH_UTIL_H
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+namespace trinity {
+namespace bench {
+
+inline void
+header(const std::string &title)
+{
+    std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void
+row(const std::string &scheme, const std::string &metric, double value,
+    const std::string &unit, const std::string &source)
+{
+    std::printf("%-26s %-22s %14.4g %-6s [%s]\n", scheme.c_str(),
+                metric.c_str(), value, unit.c_str(), source.c_str());
+}
+
+inline void
+note(const std::string &text)
+{
+    std::printf("  # %s\n", text.c_str());
+}
+
+/** Wall-clock timer for the live CPU baseline measurements. */
+class Timer
+{
+  public:
+    Timer() : start_(std::chrono::steady_clock::now()) {}
+
+    double
+    elapsedMs() const
+    {
+        auto d = std::chrono::steady_clock::now() - start_;
+        return std::chrono::duration<double, std::milli>(d).count();
+    }
+
+  private:
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace bench
+} // namespace trinity
+
+#endif // TRINITY_BENCH_BENCH_UTIL_H

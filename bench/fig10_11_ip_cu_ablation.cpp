@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Fig. 10 + Fig. 11: the Inner-Product-on-CU ablation.
+ *  - Fig. 10: utilization of {NTTU, EWE} in Trinity-CKKS_IP-use-EWE
+ *    vs {NTTU, EWE, CU} in Trinity, per CKKS workload.
+ *  - Fig. 11: normalized latency of both variants (to IP-use-EWE).
+ */
+
+#include <cstdio>
+
+#include "accel/configs.h"
+#include "bench/bench_util.h"
+#include "workload/apps.h"
+
+using namespace trinity;
+using namespace trinity::bench;
+using namespace trinity::workload;
+
+namespace {
+
+double
+groupUtil(const AppResult &r, std::initializer_list<const char *> pools)
+{
+    double sum = 0;
+    int cnt = 0;
+    for (const char *p : pools) {
+        sum += r.utilization(p);
+        ++cnt;
+    }
+    return sum / cnt;
+}
+
+} // namespace
+
+int
+main()
+{
+    header("Fig. 10: compute-engine utilization (%)");
+    auto trin = accel::trinityCkks(4);
+    auto ewe = accel::trinityCkksIpUseEwe(4);
+    std::printf("%-12s %26s %26s\n", "Workload", "NTTU+EWE (IP-use-EWE)",
+                "NTTU+EWE+CU (Trinity)");
+    double gain = 0;
+    int cnt = 0;
+    for (const auto &app : {packedBootstrap(), helr(), resnet20()}) {
+        auto re = runCkksApp(ewe, app);
+        auto rt = runCkksApp(trin, app);
+        double ue = groupUtil(re, {"NTTU", "EWE"});
+        double ut = groupUtil(rt, {"NTTU", "EWE", "CU"});
+        std::printf("%-12s %25.1f%% %25.1f%%\n", app.name.c_str(),
+                    100 * ue, 100 * ut);
+        gain += ut / ue;
+        ++cnt;
+    }
+    note("average utilization gain: " + std::to_string(gain / cnt) +
+         "x (paper: 1.08x)");
+
+    header("Fig. 11: normalized CKKS latency (to IP-use-EWE)");
+    std::printf("%-12s %16s %16s\n", "Workload", "IP-use-EWE",
+                "Trinity");
+    for (const auto &app : {packedBootstrap(), helr(), resnet20()}) {
+        double le = ckksAppMs(ewe, app);
+        double lt = ckksAppMs(trin, app);
+        std::printf("%-12s %16.3f %16.3f\n", app.name.c_str(), 1.0,
+                    lt / le);
+    }
+    note("paper: Trinity outperforms IP-use-EWE by 1.12x average, up "
+         "to 1.13x on ResNet-20");
+    return 0;
+}

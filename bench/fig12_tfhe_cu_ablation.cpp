@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Fig. 12: utilization of Trinity-TFHE w/o CU (NTTU + fixed systolic
+ * array) vs w/ CU (NTTU + CU) when executing PBS.
+ */
+
+#include <cstdio>
+
+#include "accel/configs.h"
+#include "bench/bench_util.h"
+#include "workload/tfhe_ops.h"
+
+using namespace trinity;
+using namespace trinity::bench;
+using namespace trinity::workload;
+
+int
+main()
+{
+    header("Fig. 12: TFHE engine utilization w/o CU vs w/ CU (%)");
+    auto wo = accel::trinityTfheWithoutCu();
+    auto w = accel::trinityTfheWithCu();
+    std::printf("%-10s %22s %22s\n", "Set", "w/o CU (NTTU+SA)",
+                "w/ CU (NTTU+CU)");
+    double gain_sum = 0;
+    int cnt = 0;
+    for (const auto &p : {TfheParams::setI(), TfheParams::setII(),
+                          TfheParams::setIII()}) {
+        // Steady-state (batched) utilization: busy cycles relative to
+        // the bottleneck pool — the Table VII execution mode.
+        auto g = pbsGraph(p);
+        auto util_of = [&](const sim::Machine &m, const char *pool) {
+            auto busy = sim::poolBusy(g, m);
+            double bottleneck = sim::bottleneckCycles(g, m);
+            auto it = busy.find(pool);
+            return it == busy.end() ? 0.0 : it->second / bottleneck;
+        };
+        double uwo = (util_of(wo, "NTT") + util_of(wo, "MAC")) / 2.0;
+        double uw = (util_of(w, "NTT") + util_of(w, "MAC")) / 2.0;
+        std::printf("%-10s %21.1f%% %21.1f%%\n", p.name.c_str(),
+                    100 * uwo, 100 * uw);
+        gain_sum += uw / uwo;
+        ++cnt;
+    }
+    note("average utilization gain: " +
+         std::to_string(gain_sum / cnt) + "x (paper: 1.45x)");
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Fig. 13 + Fig. 14: per-component utilization within CKKS workloads
+ * and TFHE PBS. Pool utilizations map back onto physical components
+ * by their capacity share of the pool (members of a shared pool run
+ * at the pool's utilization).
+ */
+
+#include <cstdio>
+
+#include "accel/configs.h"
+#include "bench/bench_util.h"
+#include "workload/apps.h"
+#include "workload/tfhe_ops.h"
+
+using namespace trinity;
+using namespace trinity::bench;
+using namespace trinity::workload;
+
+int
+main()
+{
+    header("Fig. 13: component utilization within CKKS workloads (%)");
+    auto trin = accel::trinityCkks(4);
+    std::printf("%-12s %7s %7s %7s %7s %7s %7s %7s %7s %7s\n",
+                "Workload", "NTTU", "EWE", "AutoU", "CU-1", "CU-21",
+                "CU-22", "CU-23", "CU-24", "CU-3");
+    double total = 0;
+    int cnt = 0;
+    for (const auto &app : {packedBootstrap(), helr(), resnet20()}) {
+        auto r = runCkksApp(trin, app);
+        double cu = 100 * r.utilization("CU");
+        std::printf("%-12s %6.1f%% %6.1f%% %6.1f%% %6.1f%% %6.1f%% "
+                    "%6.1f%% %6.1f%% %6.1f%% %6.1f%%\n",
+                    app.name.c_str(), 100 * r.utilization("NTTU"),
+                    100 * r.utilization("EWE"),
+                    100 * r.utilization("AUTOU"), cu, cu, cu, cu, cu,
+                    cu);
+        total += (100 * r.utilization("NTTU") +
+                  100 * r.utilization("EWE") +
+                  100 * r.utilization("AUTOU") + 6 * cu) /
+                 9.0;
+        ++cnt;
+    }
+    note("average CKKS utilization: " + std::to_string(total / cnt) +
+         "% (paper: exceeds 48%)");
+
+    header("Fig. 14: component utilization within TFHE PBS (%)");
+    auto tfhe = accel::trinityTfhe(4);
+    std::printf("%-10s %7s %7s %7s %7s %7s\n", "Set", "BFU(NTT)",
+                "CU(MAC)", "EWE", "Rotator", "VPU");
+    double t2 = 0;
+    int c2 = 0;
+    for (const auto &p : {TfheParams::setI(), TfheParams::setII(),
+                          TfheParams::setIII()}) {
+        auto g = pbsGraph(p);
+        // Batched steady state: utilization relative to the
+        // bottleneck pool's busy time.
+        auto busy = sim::poolBusy(g, tfhe);
+        double makespan = sim::bottleneckCycles(g, tfhe);
+        auto util = [&](const char *pool) {
+            auto it = busy.find(pool);
+            return it == busy.end() ? 0.0
+                                    : 100.0 * it->second / makespan;
+        };
+        std::printf("%-10s %6.1f%% %6.1f%% %6.1f%% %6.1f%% %6.1f%%\n",
+                    p.name.c_str(), util("NTT"), util("MAC"),
+                    util("EWE"), util("ROTATOR"), util("VPU"));
+        t2 += (util("NTT") + util("MAC") + util("EWE") +
+               util("ROTATOR") + util("VPU")) /
+              5.0;
+        ++c2;
+    }
+    note("average TFHE utilization: " + std::to_string(t2 / c2) +
+         "% (paper: above 64%)");
+    return 0;
+}

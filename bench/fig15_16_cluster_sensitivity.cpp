@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Fig. 15 + Fig. 16: sensitivity to the number of clusters —
+ * normalized latency for CKKS / TFHE / hybrid applications, and
+ * normalized area and power, at 2 / 4 / 8 clusters.
+ */
+
+#include <cstdio>
+
+#include "accel/area.h"
+#include "accel/configs.h"
+#include "bench/bench_util.h"
+#include "workload/apps.h"
+#include "workload/tfhe_ops.h"
+
+using namespace trinity;
+using namespace trinity::bench;
+using namespace trinity::workload;
+
+int
+main()
+{
+    header("Fig. 15: normalized latency vs cluster count "
+           "(normalized to 2 clusters)");
+    std::printf("%-12s %10s %10s %10s\n", "Workload", "2 clusters",
+                "4 clusters", "8 clusters");
+    for (const auto &app : {packedBootstrap(), helr(), resnet20()}) {
+        double base = ckksAppMs(accel::trinityCkks(2), app);
+        std::printf("%-12s %10.3f %10.3f %10.3f\n", app.name.c_str(),
+                    1.0, ckksAppMs(accel::trinityCkks(4), app) / base,
+                    ckksAppMs(accel::trinityCkks(8), app) / base);
+    }
+    auto p3 = TfheParams::setIII();
+    for (size_t depth : {20u, 50u, 100u}) {
+        double base = nnLatencyMs(accel::trinityTfhe(2), p3, depth);
+        std::printf("NN-%-9zu %10.3f %10.3f %10.3f\n", depth, 1.0,
+                    nnLatencyMs(accel::trinityTfhe(4), p3, depth) / base,
+                    nnLatencyMs(accel::trinityTfhe(8), p3, depth) /
+                        base);
+    }
+    // Hybrid rows are PBS-throughput dominated; scale by the
+    // Set-III throughput ratio across cluster counts.
+    {
+        double o2 = pbsThroughputOps(accel::trinityTfhe(2), p3);
+        double o4 = pbsThroughputOps(accel::trinityTfhe(4), p3);
+        double o8 = pbsThroughputOps(accel::trinityTfhe(8), p3);
+        for (size_t rows_n : {4096u, 16384u}) {
+            std::printf("HE3DB-%-6zu %10.3f %10.3f %10.3f\n", rows_n,
+                        1.0, o2 / o4, o2 / o8);
+        }
+    }
+    note("paper: 4 -> 8 clusters gives 2.04x average speedup");
+
+    header("Fig. 16: normalized area and power (to 2 clusters)");
+    accel::AreaModel a2(2), a4(4), a8(8);
+    std::printf("%-8s %10s %10s %10s\n", "", "2", "4", "8");
+    std::printf("%-8s %10.3f %10.3f %10.3f\n", "area", 1.0,
+                a4.totalArea() / a2.totalArea(),
+                a8.totalArea() / a2.totalArea());
+    std::printf("%-8s %10.3f %10.3f %10.3f\n", "power", 1.0,
+                a4.totalPower() / a2.totalPower(),
+                a8.totalPower() / a2.totalPower());
+    note("paper: 2 clusters save 28% area / 36% power vs 4; 8 "
+         "clusters roughly double area");
+    return 0;
+}

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Fig. 2: computational breakdown (modular multiplies) between NTT and
+ * MAC for CKKS KeySwitch (L=23, dnum=3) and TFHE PBS Set-I/II/III.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "workload/tfhe_ops.h"
+
+using namespace trinity;
+using namespace trinity::bench;
+using namespace trinity::workload;
+
+int
+main()
+{
+    header("Fig. 2: NTT vs MAC computational breakdown (%)");
+    std::printf("%-18s %10s %10s   %s\n", "Workload", "NTT", "MAC",
+                "(paper NTT share)");
+    CkksShape ks{1ULL << 16, 23, 23, 3};
+    auto b = keySwitchBreakdown(ks);
+    std::printf("%-18s %9.1f%% %9.1f%%   (59.2%%)\n", "CKKS KeySwitch",
+                100 * b.nttShare(), 100 * (1 - b.nttShare()));
+    const char *paper[] = {"75.6%", "74.5%", "76.3%"};
+    int i = 0;
+    for (const auto &p : {TfheParams::setI(), TfheParams::setII(),
+                          TfheParams::setIII()}) {
+        auto pb = pbsBreakdown(p);
+        std::printf("%-18s %9.1f%% %9.1f%%   (%s)\n",
+                    ("PBS " + p.name).c_str(), 100 * pb.nttShare(),
+                    100 * (1 - pb.nttShare()), paper[i++]);
+    }
+    note("counts derived from the Algorithm 1 / Algorithm 2 kernel "
+         "volumes; NTT multiplies = (N/2)log2(N) per transform");
+    return 0;
+}

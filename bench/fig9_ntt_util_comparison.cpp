@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Fig. 9: utilization of the F1-like fixed NTT vs Trinity's
+ * NTTU+CU configurable NTT across polynomial lengths.
+ */
+
+#include <cstdio>
+
+#include "accel/ntt_util.h"
+#include "bench/bench_util.h"
+
+using namespace trinity;
+using namespace trinity::bench;
+
+int
+main()
+{
+    header("Fig. 9: NTT utilization, F1-like vs Trinity");
+    std::printf("%-8s %12s %12s\n", "N", "F1-like", "Trinity");
+    double f1_sum = 0, tr_sum = 0;
+    int cnt = 0;
+    for (unsigned lg = 8; lg <= 16; ++lg) {
+        size_t n = 1ULL << lg;
+        double f1 = accel::f1LikeNttUtil(n);
+        double tr = accel::trinityNttUtil(n);
+        std::printf("2^%-6u %12.3f %12.3f\n", lg, f1, tr);
+        f1_sum += f1;
+        tr_sum += tr;
+        ++cnt;
+    }
+    note("average improvement: " + std::to_string(tr_sum / f1_sum) +
+         "x (paper: 1.2x)");
+    return 0;
+}

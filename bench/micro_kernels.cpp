@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) for the FHE operation layer:
+ * CKKS HMult / HRotate / keyswitch, BConv, TFHE external product and
+ * full PBS — the CPU costs behind the measured Baseline rows.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "ckks/evaluator.h"
+#include "common/primes.h"
+#include "tfhe/gates.h"
+
+namespace trinity {
+namespace {
+
+struct CkksBenchState
+{
+    std::shared_ptr<CkksContext> ctx;
+    std::unique_ptr<CkksKeyGenerator> keygen;
+    std::unique_ptr<CkksEncoder> encoder;
+    std::unique_ptr<CkksEncryptor> enc;
+    std::unique_ptr<CkksEvaluator> eval;
+    CkksEvalKey relin;
+    CkksEvalKey rot;
+    CkksCiphertext ct;
+
+    static CkksBenchState &
+    instance()
+    {
+        static CkksBenchState s = [] {
+            CkksBenchState st;
+            st.ctx = std::make_shared<CkksContext>(
+                CkksParams::testMedium());
+            st.keygen =
+                std::make_unique<CkksKeyGenerator>(st.ctx, 1234);
+            st.encoder = std::make_unique<CkksEncoder>(st.ctx);
+            st.enc = std::make_unique<CkksEncryptor>(
+                st.ctx, st.keygen->makePublicKey(), 1235);
+            st.eval = std::make_unique<CkksEvaluator>(st.ctx);
+            st.relin = st.keygen->makeRelinKey();
+            st.rot = st.keygen->makeRotationKey(1);
+            std::vector<cd> z(16, cd(0.5, 0.25));
+            st.ct = st.enc->encrypt(st.encoder->encode(
+                z, st.ctx->params().maxLevel));
+            return st;
+        }();
+        return s;
+    }
+};
+
+void
+BM_CkksHMult(benchmark::State &state)
+{
+    auto &s = CkksBenchState::instance();
+    for (auto _ : state) {
+        auto prod = s.eval->multiply(s.ct, s.ct, s.relin);
+        benchmark::DoNotOptimize(&prod);
+    }
+}
+BENCHMARK(BM_CkksHMult)->Unit(benchmark::kMillisecond);
+
+void
+BM_CkksHRotate(benchmark::State &state)
+{
+    auto &s = CkksBenchState::instance();
+    for (auto _ : state) {
+        auto r = s.eval->rotate(s.ct, 1, s.rot);
+        benchmark::DoNotOptimize(&r);
+    }
+}
+BENCHMARK(BM_CkksHRotate)->Unit(benchmark::kMillisecond);
+
+void
+BM_CkksKeySwitch(benchmark::State &state)
+{
+    auto &s = CkksBenchState::instance();
+    RnsPoly d = s.ct.c1;
+    d.toCoeff();
+    for (auto _ : state) {
+        auto [a, b] = s.eval->keySwitch(d, s.relin,
+                                        s.ctx->params().maxLevel);
+        benchmark::DoNotOptimize(&a);
+        benchmark::DoNotOptimize(&b);
+    }
+}
+BENCHMARK(BM_CkksKeySwitch)->Unit(benchmark::kMillisecond);
+
+void
+BM_BConv(benchmark::State &state)
+{
+    size_t n = 4096;
+    auto from = findNttPrimes(36, 2 * n, 4);
+    auto to = findNttPrimes(37, 2 * n, 4);
+    BaseConverter bc(from, to);
+    Rng rng(6);
+    std::vector<Poly> in;
+    for (u64 q : from) {
+        in.push_back(Poly::uniform(n, q, rng));
+    }
+    for (auto _ : state) {
+        auto out = bc.convert(in);
+        benchmark::DoNotOptimize(out.data());
+    }
+}
+BENCHMARK(BM_BConv)->Unit(benchmark::kMicrosecond);
+
+struct TfheBenchState
+{
+    std::unique_ptr<TfheGateBootstrapper> gb;
+    LweCiphertext ct;
+
+    static TfheBenchState &
+    instance()
+    {
+        static TfheBenchState s = [] {
+            TfheBenchState st;
+            st.gb = std::make_unique<TfheGateBootstrapper>(
+                TfheParams::testTiny(), 55);
+            st.ct = st.gb->encryptBit(true);
+            return st;
+        }();
+        return s;
+    }
+};
+
+void
+BM_TfheExternalProduct(benchmark::State &state)
+{
+    auto &s = TfheBenchState::instance();
+    auto &ctx = s.gb->context();
+    Poly m(ctx.params().bigN, ctx.q());
+    m[0] = ctx.q() / 4;
+    auto glwe = ctx.glweTrivial(m);
+    const auto &ggsw = s.gb->bootstrapKey().bsk[0];
+    for (auto _ : state) {
+        auto out = ctx.externalProduct(ggsw, glwe);
+        benchmark::DoNotOptimize(&out);
+    }
+}
+BENCHMARK(BM_TfheExternalProduct)->Unit(benchmark::kMicrosecond);
+
+void
+BM_TfhePbs(benchmark::State &state)
+{
+    auto &s = TfheBenchState::instance();
+    for (auto _ : state) {
+        auto out = s.gb->bootstrapSign(s.ct);
+        benchmark::DoNotOptimize(&out);
+    }
+}
+BENCHMARK(BM_TfhePbs)->Unit(benchmark::kMillisecond);
+
+void
+BM_TfheGateNand(benchmark::State &state)
+{
+    auto &s = TfheBenchState::instance();
+    auto c2 = s.gb->encryptBit(false);
+    for (auto _ : state) {
+        auto out = s.gb->gateNand(s.ct, c2);
+        benchmark::DoNotOptimize(&out);
+    }
+}
+BENCHMARK(BM_TfheGateNand)->Unit(benchmark::kMillisecond);
+
+} // namespace
+} // namespace trinity
+
+BENCHMARK_MAIN();

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) for the transform engines — the
+ * CPU-side kernel costs that back the Baseline rows: reference NTT,
+ * constant-geometry NTT, four-step NTT, and double-precision FFT.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/primes.h"
+#include "common/rng.h"
+#include "poly/cg_ntt.h"
+#include "poly/fft.h"
+#include "poly/four_step.h"
+
+namespace trinity {
+namespace {
+
+void
+BM_NttForward(benchmark::State &state)
+{
+    size_t n = static_cast<size_t>(state.range(0));
+    u64 q = findNttPrimes(36, 2 * n, 1)[0];
+    NttTable table(n, Modulus(q));
+    Rng rng(1);
+    auto a = rng.uniformVec(n, q);
+    for (auto _ : state) {
+        table.forward(a);
+        benchmark::DoNotOptimize(a.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<i64>(n));
+}
+BENCHMARK(BM_NttForward)->Arg(1024)->Arg(4096)->Arg(16384)->Arg(65536);
+
+void
+BM_NttRoundtrip(benchmark::State &state)
+{
+    size_t n = static_cast<size_t>(state.range(0));
+    u64 q = findNttPrimes(36, 2 * n, 1)[0];
+    NttTable table(n, Modulus(q));
+    Rng rng(2);
+    auto a = rng.uniformVec(n, q);
+    for (auto _ : state) {
+        table.forward(a);
+        table.inverse(a);
+        benchmark::DoNotOptimize(a.data());
+    }
+}
+BENCHMARK(BM_NttRoundtrip)->Arg(1024)->Arg(65536);
+
+void
+BM_CgNttForward(benchmark::State &state)
+{
+    size_t n = static_cast<size_t>(state.range(0));
+    u64 q = findNttPrimes(36, 2 * n, 1)[0];
+    CgNtt cg(n, Modulus(q));
+    Rng rng(3);
+    auto a = rng.uniformVec(n, q);
+    for (auto _ : state) {
+        cg.forward(a);
+        benchmark::DoNotOptimize(a.data());
+    }
+}
+BENCHMARK(BM_CgNttForward)->Arg(1024)->Arg(4096);
+
+void
+BM_FourStepForward(benchmark::State &state)
+{
+    size_t n1 = static_cast<size_t>(state.range(0));
+    size_t n2 = static_cast<size_t>(state.range(1));
+    size_t n = n1 * n2;
+    u64 q = findNttPrimes(36, 2 * n, 1)[0];
+    FourStepNtt fs(n1, n2, Modulus(q));
+    Rng rng(4);
+    auto a = rng.uniformVec(n, q);
+    for (auto _ : state) {
+        fs.forward(a);
+        benchmark::DoNotOptimize(a.data());
+    }
+}
+BENCHMARK(BM_FourStepForward)
+    ->Args({256, 4})
+    ->Args({256, 16})
+    ->Args({256, 256});
+
+void
+BM_FftNegacyclicConvolution(benchmark::State &state)
+{
+    size_t n = static_cast<size_t>(state.range(0));
+    Rng rng(5);
+    std::vector<i64> a(n), b(n);
+    for (size_t i = 0; i < n; ++i) {
+        a[i] = static_cast<i64>(rng.uniform(1 << 20)) - (1 << 19);
+        b[i] = static_cast<i64>(rng.uniform(1 << 20)) - (1 << 19);
+    }
+    for (auto _ : state) {
+        auto c = negacyclicConvolutionFft(a, b);
+        benchmark::DoNotOptimize(c.data());
+    }
+}
+BENCHMARK(BM_FftNegacyclicConvolution)->Arg(1024)->Arg(2048);
+
+} // namespace
+} // namespace trinity
+
+BENCHMARK_MAIN();

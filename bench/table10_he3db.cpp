@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Table X: HE3DB TPC-H Query 6 latency — TFHE filter + scheme
+ * conversion + CKKS aggregation — on unified Trinity vs the split
+ * SHARP+Morphling system.
+ */
+
+#include "accel/reported.h"
+#include "bench/bench_util.h"
+#include "workload/apps.h"
+
+using namespace trinity;
+using namespace trinity::bench;
+
+int
+main()
+{
+    header("Table X: Hybrid-scheme HE3DB Query 6 latency (s)");
+    for (const auto &r : accel::table10Reported()) {
+        row(r.scheme, r.metric, r.value, r.unit, "reported");
+    }
+    for (size_t rows_n : {4096u, 16384u}) {
+        std::string metric = "HE3DB-" + std::to_string(rows_n);
+        row("SHARP+Morphling (model)", metric,
+            workload::he3dbSharpMorphlingSeconds(rows_n), "s",
+            "simulated");
+        row("Trinity (this model)", metric,
+            workload::he3dbTrinitySeconds(rows_n), "s", "simulated");
+    }
+    for (const auto &r : accel::trinityPaperResults()) {
+        if (r.metric.rfind("HE3DB", 0) == 0) {
+            row("Trinity (paper)", r.metric, r.value, r.unit,
+                "reported");
+        }
+    }
+    double ratio = workload::he3dbSharpMorphlingSeconds(4096) /
+                   workload::he3dbTrinitySeconds(4096);
+    note("modelled split-system penalty at 4096 rows: " +
+         std::to_string(ratio) + "x (paper: 13.42x average)");
+    return 0;
+}

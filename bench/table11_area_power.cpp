@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Table XI: circuit area and power by component, and the headline
+ * claim that Trinity is ~15% smaller than SHARP + Morphling combined.
+ */
+
+#include "accel/area.h"
+#include "bench/bench_util.h"
+
+using namespace trinity;
+using namespace trinity::bench;
+
+int
+main()
+{
+    header("Table XI: Circuit area and power (TSMC 7nm calibration)");
+    accel::AreaModel m(4);
+    for (const auto &c : m.clusterComponents()) {
+        row(c.name, "per cluster", c.areaMm2, "mm2", "model");
+        row(c.name, "per cluster", c.powerW, "W", "model");
+    }
+    row("cluster", "total", m.clusterArea(), "mm2", "model");
+    row("cluster", "total", m.clusterPower(), "W", "model");
+    for (const auto &c : m.chipComponents()) {
+        row(c.name, "chip", c.areaMm2, "mm2", "model");
+        row(c.name, "chip", c.powerW, "W", "model");
+    }
+    row("Total", "chip", m.totalArea(), "mm2", "model");
+    row("Total", "chip", m.totalPower(), "W", "model");
+
+    double combined = accel::AreaModel::sharpAreaMm2() +
+                      accel::AreaModel::morphlingAreaMm2();
+    note("SHARP(178.8) + Morphling(4.0, 7nm-scaled) = " +
+         std::to_string(combined) + " mm2");
+    note("Trinity / combined = " +
+         std::to_string(m.totalArea() / combined) +
+         " (paper: 15% smaller)");
+    return 0;
+}

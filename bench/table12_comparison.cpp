@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Table XII: comparison with state-of-the-art FHE accelerators —
+ * scheme support, word length, frequency, memory, technology, area,
+ * power.
+ */
+
+#include <cstdio>
+
+#include "accel/area.h"
+#include "bench/bench_util.h"
+
+using namespace trinity;
+using namespace trinity::bench;
+
+int
+main()
+{
+    header("Table XII: Comparison with state-of-the-art accelerators");
+    std::printf("%-14s %-22s %-8s %-8s %-12s %-12s %-10s %-10s\n",
+                "Design", "Schemes", "Word", "Freq", "Off-chip BW",
+                "On-chip Cap", "Area(mm2)", "Power(W)");
+    std::printf("%-14s %-22s %-8s %-8s %-12s %-12s %-10s %-10s\n",
+                "CraterLake", "CKKS", "28-bit", "1GHz", "1TB/s",
+                "282MB", "472.3(12nm)", "320");
+    std::printf("%-14s %-22s %-8s %-8s %-12s %-12s %-10s %-10s\n",
+                "SHARP", "CKKS", "36-bit", "1GHz", "1TB/s", "198MB",
+                "178.8(7nm)", "-");
+    std::printf("%-14s %-22s %-8s %-8s %-12s %-12s %-10s %-10s\n",
+                "Morphling", "TFHE", "32-bit", "1.2GHz", "310GB/s",
+                "11MB", "74(28nm)", "53.0");
+    accel::AreaModel m(4);
+    char area[32], power[32];
+    std::snprintf(area, sizeof(area), "%.2f(7nm)", m.totalArea());
+    std::snprintf(power, sizeof(power), "%.2f", m.totalPower());
+    std::printf("%-14s %-22s %-8s %-8s %-12s %-12s %-10s %-10s\n",
+                "Trinity", "CKKS;TFHE;conversion", "36-bit", "1GHz",
+                "1TB/s", "191MB", area, power);
+    note("all non-Trinity rows reported from the cited papers; the "
+         "Trinity row comes from this repo's area model");
+    note("power vs CraterLake: " +
+         std::to_string(100.0 * (1.0 - m.totalPower() /
+                                           accel::AreaModel::
+                                               craterlakePowerW())) +
+         "% reduction (paper: 28.5%)");
+    return 0;
+}

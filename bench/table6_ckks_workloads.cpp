@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Table VI: performance for CKKS workloads (ms) — Packed Bootstrapping,
+ * HELR (per iteration), ResNet-20. Trinity and SHARP are modelled
+ * first-principles on the cycle-level simulator; other rows are
+ * published references.
+ */
+
+#include "accel/configs.h"
+#include "accel/reported.h"
+#include "bench/bench_util.h"
+#include "workload/apps.h"
+
+using namespace trinity;
+using namespace trinity::bench;
+using namespace trinity::workload;
+
+int
+main()
+{
+    header("Table VI: Performance for CKKS workloads (ms)");
+    for (const auto &r : accel::table6Reported()) {
+        row(r.scheme, r.metric, r.value, r.unit, "reported");
+    }
+    auto trin = accel::trinityCkks(4);
+    auto shrp = accel::sharp();
+    for (const auto &app : {packedBootstrap(), helr(), resnet20()}) {
+        row("SHARP (this model)", app.name, ckksAppMs(shrp, app), "ms",
+            "simulated");
+        row("Trinity (this model)", app.name, ckksAppMs(trin, app),
+            "ms", "simulated");
+    }
+    for (const auto &r : accel::trinityPaperResults()) {
+        if (r.metric == "Bootstrap" || r.metric == "HELR" ||
+            r.metric == "ResNet-20") {
+            row("Trinity (paper)", r.metric, r.value, r.unit,
+                "reported");
+        }
+    }
+    double speedup = 0;
+    for (const auto &app : {packedBootstrap(), helr(), resnet20()}) {
+        speedup += ckksAppMs(shrp, app) / ckksAppMs(trin, app);
+    }
+    note("average modelled speedup over SHARP: " +
+         std::to_string(speedup / 3.0) + "x (paper: 1.49x)");
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Table VII: TFHE PBS throughput (operations per second) under the
+ * Table IV parameter sets. Trinity, its CU ablations, and Morphling
+ * are modelled; the CPU baseline is *measured live* by running this
+ * repository's functional NTT-based PBS on the host.
+ */
+
+#include "accel/configs.h"
+#include "accel/reported.h"
+#include "bench/bench_util.h"
+#include "tfhe/gates.h"
+#include "workload/tfhe_ops.h"
+
+using namespace trinity;
+using namespace trinity::bench;
+using namespace trinity::workload;
+
+namespace {
+
+double
+measureCpuPbsOps(const TfheParams &p)
+{
+    TfheGateBootstrapper gb(p, 90210);
+    auto ct = gb.encryptBit(true);
+    // Warm once, then time a few bootstraps.
+    auto out = gb.bootstrapSign(ct);
+    Timer t;
+    const int iters = 3;
+    for (int i = 0; i < iters; ++i) {
+        out = gb.bootstrapSign(out);
+    }
+    return 1000.0 * iters / t.elapsedMs();
+}
+
+} // namespace
+
+int
+main()
+{
+    header("Table VII: Throughput for TFHE PBS (OPS)");
+    for (const auto &r : accel::table7Reported()) {
+        row(r.scheme, r.metric, r.value, r.unit, "reported");
+    }
+    const TfheParams sets[] = {TfheParams::setI(), TfheParams::setII(),
+                               TfheParams::setIII()};
+    for (const auto &p : sets) {
+        row("Baseline-CPU (this host)", p.name, measureCpuPbsOps(p),
+            "OPS", "measured");
+    }
+    for (const auto &p : sets) {
+        row("Morphling (this model)", p.name,
+            pbsThroughputOps(accel::morphling(), p), "OPS",
+            "simulated");
+        row("Morphling_1GHz (model)", p.name,
+            pbsThroughputOps(accel::morphling1GHz(), p), "OPS",
+            "simulated");
+        row("Trinity-TFHE w/o CU", p.name,
+            pbsThroughputOps(accel::trinityTfheWithoutCu(), p), "OPS",
+            "simulated");
+        row("Trinity-TFHE w/ CU", p.name,
+            pbsThroughputOps(accel::trinityTfheWithCu(), p), "OPS",
+            "simulated");
+        row("Trinity (this model)", p.name,
+            pbsThroughputOps(accel::trinityTfhe(4), p), "OPS",
+            "simulated");
+    }
+    for (const auto &r : accel::trinityPaperResults()) {
+        if (r.metric.rfind("PBS", 0) == 0) {
+            row(r.scheme + " (paper)", r.metric, r.value, r.unit,
+                "reported");
+        }
+    }
+    note("host CPU rows use this repo's scalar NTT-based PBS (single "
+         "thread, unoptimized) — same order as the paper's CPU rows");
+    return 0;
+}

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Table VIII: NN-20 / NN-50 / NN-100 MNIST inference latency at
+ * 128-bit security (Set-III), single inference (latency-bound PBS).
+ */
+
+#include "accel/configs.h"
+#include "accel/reported.h"
+#include "bench/bench_util.h"
+#include "workload/apps.h"
+
+using namespace trinity;
+using namespace trinity::bench;
+
+int
+main()
+{
+    header("Table VIII: NN-x inference latency (128-bit security)");
+    for (const auto &r : accel::table8Reported()) {
+        row(r.scheme, r.metric, r.value, r.unit, "reported");
+    }
+    auto m = accel::trinityTfhe(4);
+    auto p = TfheParams::setIII();
+    for (size_t depth : {20u, 50u, 100u}) {
+        row("Trinity (this model)", "NN-" + std::to_string(depth),
+            workload::nnLatencyMs(m, p, depth), "ms", "simulated");
+    }
+    for (const auto &r : accel::trinityPaperResults()) {
+        if (r.metric.rfind("NN-", 0) == 0) {
+            row("Trinity (paper)", r.metric, r.value, r.unit,
+                "reported");
+        }
+    }
+    note("model: 92 PBS per layer, dependency-bound blind rotation, "
+         "linear layers on the VPU");
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Table IX: TFHE -> CKKS scheme-conversion (repacking) latency.
+ * The Trinity row is simulated; the CPU baseline row is *measured
+ * live* by running this repository's functional PackLWEs + field
+ * trace (Algorithms 4/5) at N = 2^14 on the host.
+ */
+
+#include "accel/configs.h"
+#include "accel/reported.h"
+#include "bench/bench_util.h"
+#include "conv/conversion.h"
+#include "workload/apps.h"
+
+using namespace trinity;
+using namespace trinity::bench;
+
+namespace {
+
+double
+measureCpuConversionMs(size_t nslot)
+{
+    // N = 2^14 ring as in the paper's conversion benchmark; packing
+    // runs at level 0 (single-modulus RLWE, as in Chen et al.).
+    static std::shared_ptr<CkksContext> ctx;
+    static std::unique_ptr<CkksKeyGenerator> keygen;
+    static std::unique_ptr<LwePacker> packer;
+    if (!ctx) {
+        CkksParams p;
+        p.n = 1ULL << 14;
+        p.maxLevel = 2;
+        p.dnum = 1;
+        ctx = std::make_shared<CkksContext>(p);
+        keygen = std::make_unique<CkksKeyGenerator>(ctx, 777);
+        packer = std::make_unique<LwePacker>(ctx, *keygen);
+    }
+    Rng rng(nslot);
+    u64 q0 = ctx->qChain()[0];
+    std::vector<ConvLwe> lwes;
+    for (size_t j = 0; j < nslot; ++j) {
+        lwes.push_back(
+            convLweEncrypt(q0 / 16, keygen->secretKey(), q0, rng));
+    }
+    Timer t;
+    auto packed = packer->tfheToCkks(lwes);
+    (void)packed;
+    return t.elapsedMs();
+}
+
+} // namespace
+
+int
+main()
+{
+    header("Table IX: Scheme Conversion TFHE->CKKS (ms), N=2^14");
+    for (const auto &r : accel::table9Reported()) {
+        row(r.scheme, r.metric, r.value, r.unit, "reported");
+    }
+    auto m = accel::trinityConversion(4);
+    for (size_t nslot : {2u, 8u, 32u}) {
+        std::string metric = "nslot=" + std::to_string(nslot);
+        row("Baseline-CPU (this host)", metric,
+            measureCpuConversionMs(nslot), "ms", "measured");
+        row("Trinity (this model)", metric,
+            workload::conversionMs(m, 1ULL << 14, 8, nslot), "ms",
+            "simulated");
+    }
+    for (const auto &r : accel::trinityPaperResults()) {
+        if (r.metric.rfind("Conversion", 0) == 0) {
+            row("Trinity (paper)", r.metric, r.value, r.unit,
+                "reported");
+        }
+    }
+    note("host rows run the functional Algorithms 4/5 of src/conv "
+         "(level-0 packing; the paper's CPU used an i7-4770K)");
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Design-space exploration with the Trinity simulator — the Fig. 15/16
+ * sensitivity study as an interactive tool: sweep the cluster count
+ * and print performance, area, and power side by side, plus the
+ * per-pool utilization that explains each configuration.
+ */
+
+#include <cstdio>
+
+#include "accel/area.h"
+#include "accel/configs.h"
+#include "workload/apps.h"
+#include "workload/tfhe_ops.h"
+
+using namespace trinity;
+using namespace trinity::workload;
+
+int
+main()
+{
+    std::printf("== Trinity design-space explorer ==\n\n");
+    std::printf("%-9s %12s %12s %12s %10s %10s %12s\n", "clusters",
+                "Bootstrap", "PBS Set-I", "PBS Set-III", "area",
+                "power", "perf/area");
+    std::printf("%-9s %12s %12s %12s %10s %10s %12s\n", "", "(ms)",
+                "(kOPS)", "(kOPS)", "(mm2)", "(W)", "(kOPS/mm2)");
+    for (size_t c : {1u, 2u, 4u, 8u}) {
+        auto ckks = accel::trinityCkks(c);
+        auto tfhe = accel::trinityTfhe(c);
+        accel::AreaModel area(c);
+        double boot = ckksAppMs(ckks, packedBootstrap());
+        double pbs1 =
+            pbsThroughputOps(tfhe, TfheParams::setI()) / 1e3;
+        double pbs3 =
+            pbsThroughputOps(tfhe, TfheParams::setIII()) / 1e3;
+        std::printf("%-9zu %12.2f %12.0f %12.0f %10.1f %10.1f %12.2f\n",
+                    c, boot, pbs1, pbs3, area.totalArea(),
+                    area.totalPower(), pbs3 / area.totalArea());
+    }
+
+    std::printf("\nPer-pool utilization, 4-cluster Trinity:\n");
+    auto m = accel::trinityCkks(4);
+    for (const auto &app : {packedBootstrap(), helr(), resnet20()}) {
+        auto r = runCkksApp(m, app);
+        std::printf("  %-11s", app.name.c_str());
+        for (const char *pool : {"NTTU", "CU", "EWE", "AUTOU"}) {
+            std::printf("  %s=%4.1f%%", pool,
+                        100 * r.utilization(pool));
+        }
+        std::printf("\n");
+    }
+    std::printf("\nThe knee: 4 clusters balance perf/area; 8 clusters "
+                "double area for ~2x speed (Fig. 15/16).\n");
+    return 0;
+}

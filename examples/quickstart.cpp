@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Quickstart: encrypted SIMD arithmetic with CKKS, a TFHE boolean
+ * gate, and a Trinity latency estimate for each operation — the three
+ * pillars of the library in ~100 lines.
+ *
+ * Build & run:  ./examples/quickstart
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "accel/configs.h"
+#include "ckks/evaluator.h"
+#include "tfhe/gates.h"
+#include "workload/apps.h"
+#include "workload/tfhe_ops.h"
+
+using namespace trinity;
+
+int
+main()
+{
+    std::printf("== Trinity quickstart ==\n\n");
+
+    // --- CKKS: encrypted vector arithmetic ---------------------------
+    auto ctx = std::make_shared<CkksContext>(CkksParams::testSmall());
+    CkksKeyGenerator keygen(ctx, 42);
+    CkksEncoder encoder(ctx);
+    CkksEncryptor enc(ctx, keygen.makePublicKey(), 43);
+    CkksEvaluator eval(ctx);
+    auto relin = keygen.makeRelinKey();
+
+    std::vector<cd> xs = {cd(1.5, 0), cd(-2.0, 0), cd(0.25, 0)};
+    std::vector<cd> ys = {cd(2.0, 0), cd(0.5, 0), cd(4.0, 0)};
+    size_t level = ctx->params().maxLevel;
+    auto ct_x = enc.encrypt(encoder.encode(xs, level));
+    auto ct_y = enc.encrypt(encoder.encode(ys, level));
+
+    auto ct_sum = eval.add(ct_x, ct_y);
+    auto ct_prod = eval.multiply(ct_x, ct_y, relin);
+    eval.rescaleInPlace(ct_prod);
+
+    auto sum = encoder.decode(enc.decrypt(ct_sum, keygen.secretKey()));
+    auto prod =
+        encoder.decode(enc.decrypt(ct_prod, keygen.secretKey()));
+    std::printf("CKKS SIMD:  x + y = [%.3f, %.3f, %.3f]\n",
+                sum[0].real(), sum[1].real(), sum[2].real());
+    std::printf("            x * y = [%.3f, %.3f, %.3f]\n",
+                prod[0].real(), prod[1].real(), prod[2].real());
+
+    // --- TFHE: an encrypted logic gate -------------------------------
+    TfheGateBootstrapper gb(TfheParams::testTiny(), 44);
+    auto bit_a = gb.encryptBit(true);
+    auto bit_b = gb.encryptBit(false);
+    std::printf("\nTFHE logic: NAND(1,0) = %d, AND(1,0) = %d, "
+                "XOR(1,0) = %d\n",
+                gb.decryptBit(gb.gateNand(bit_a, bit_b)),
+                gb.decryptBit(gb.gateAnd(bit_a, bit_b)),
+                gb.decryptBit(gb.gateXor(bit_a, bit_b)));
+
+    // --- Trinity: what would the accelerator do? ---------------------
+    auto trinity_ckks = accel::trinityCkks(4);
+    workload::CkksShape shape{1ULL << 16, 35, 35, 3};
+    auto hmult = workload::hmultGraph(shape);
+    double hmult_us =
+        trinity_ckks.seconds(
+            sim::schedule(hmult, trinity_ckks).makespanCycles) *
+        1e6;
+    auto trinity_tfhe = accel::trinityTfhe(4);
+    double pbs_ops = workload::pbsThroughputOps(trinity_tfhe,
+                                                TfheParams::setIII());
+    std::printf("\nOn Trinity (simulated, paper parameters):\n");
+    std::printf("  one CKKS HMult at L=35 ....... %.1f us\n", hmult_us);
+    std::printf("  TFHE PBS throughput (Set-III)  %.0f ops/s\n",
+                pbs_ops);
+    std::printf("\nDone.\n");
+    return 0;
+}

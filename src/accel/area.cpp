@@ -1,0 +1,96 @@
+#include "accel/area.h"
+
+namespace trinity {
+namespace accel {
+
+namespace {
+
+// Table XI per-cluster rows (counts folded into the row, as printed
+// in the paper).
+const ComponentArea kClusterRows[] = {
+    {"2x NTTU", 3.20, 4.24},
+    {"1x CU-1", 0.18, 0.31},
+    {"4x CU-2", 1.44, 2.48},
+    {"1x CU-3", 0.55, 0.93},
+    {"AutoU", 0.04, 0.22},
+    {"Rotator", 2.40, 8.57},
+    {"EWE", 1.87, 4.47},
+    {"VPU", 0.05, 0.07},
+    {"NoC (intra)", 0.10, 13.24},
+    {"local buffer", 6.45, 1.41},
+};
+
+const double kInterClusterNocArea = 20.60;
+const double kInterClusterNocPower = 27.00;
+const double kScratchpadArea = 41.94;
+const double kScratchpadPower = 26.80;
+const double kHbmPhyArea = 29.60;
+const double kHbmPhyPower = 31.80;
+
+} // namespace
+
+AreaModel::AreaModel(size_t clusters)
+    : clusters_(clusters)
+{
+    for (const auto &row : kClusterRows) {
+        components_.push_back(row);
+    }
+}
+
+double
+AreaModel::clusterArea() const
+{
+    double a = 0;
+    for (const auto &c : components_) {
+        a += c.areaMm2;
+    }
+    return a;
+}
+
+double
+AreaModel::clusterPower() const
+{
+    double p = 0;
+    for (const auto &c : components_) {
+        p += c.powerW;
+    }
+    return p;
+}
+
+std::vector<ComponentArea>
+AreaModel::chipComponents() const
+{
+    double n = static_cast<double>(clusters_);
+    double noc_scale = (n / 4.0) * (n / 4.0); // all-to-all topology
+    std::vector<ComponentArea> rows;
+    rows.push_back({std::to_string(clusters_) + "x cluster",
+                    clusterArea() * n, clusterPower() * n});
+    rows.push_back({"inter-cluster NoC", kInterClusterNocArea * noc_scale,
+                    kInterClusterNocPower * noc_scale});
+    rows.push_back({"scratchpad", kScratchpadArea, kScratchpadPower});
+    rows.push_back({"HBM PHY", kHbmPhyArea, kHbmPhyPower});
+    return rows;
+}
+
+double
+AreaModel::totalArea() const
+{
+    double a = 0;
+    for (const auto &c : chipComponents()) {
+        a += c.areaMm2;
+    }
+    return a;
+}
+
+double
+AreaModel::totalPower() const
+{
+    double p = 0;
+    for (const auto &c : chipComponents()) {
+        p += c.powerW;
+    }
+    return p;
+}
+
+} // namespace accel
+} // namespace trinity

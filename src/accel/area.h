@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Area and power model (Table XI / Table XII / Fig. 16).
+ *
+ * Per-component area and power constants are calibrated to the paper's
+ * TSMC 7nm synthesis results (Table XI) — the only substitution made
+ * for the unavailable PDK. Everything derived (cluster totals, chip
+ * totals, cluster-count scaling, the SHARP+Morphling comparison) is
+ * computed by this model:
+ *   - per-cluster logic scales linearly with cluster count,
+ *   - the all-to-all inter-cluster NoC scales quadratically,
+ *   - scratchpad capacity (and HBM PHY) is a chip-level resource and
+ *     stays fixed.
+ */
+
+#ifndef TRINITY_ACCEL_AREA_H
+#define TRINITY_ACCEL_AREA_H
+
+#include <string>
+#include <vector>
+
+namespace trinity {
+namespace accel {
+
+/** One Table XI row. */
+struct ComponentArea
+{
+    std::string name;
+    double areaMm2 = 0;
+    double powerW = 0;
+};
+
+/** Area/power model for a Trinity configuration. */
+class AreaModel
+{
+  public:
+    explicit AreaModel(size_t clusters = 4);
+
+    /** Per-component rows (counts folded in), cluster scope. */
+    const std::vector<ComponentArea> &clusterComponents() const
+    {
+        return components_;
+    }
+
+    double clusterArea() const;
+    double clusterPower() const;
+
+    /** Chip-level rows: clusters, NoC, scratchpad, HBM PHY. */
+    std::vector<ComponentArea> chipComponents() const;
+
+    double totalArea() const;
+    double totalPower() const;
+
+    size_t clusters() const { return clusters_; }
+
+    /** Published totals for the comparison table (Table XII). */
+    static double sharpAreaMm2() { return 178.8; }      // 7nm
+    static double morphlingAreaMm2() { return 4.0; }    // scaled to 7nm
+    static double craterlakePowerW() { return 320.0; }
+
+  private:
+    size_t clusters_;
+    std::vector<ComponentArea> components_;
+};
+
+} // namespace accel
+} // namespace trinity
+
+#endif // TRINITY_ACCEL_AREA_H

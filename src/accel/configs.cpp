@@ -1,0 +1,229 @@
+#include "accel/configs.h"
+
+namespace trinity {
+namespace accel {
+
+using sim::Kernel;
+using sim::KernelType;
+using sim::Machine;
+using sim::Pool;
+
+namespace {
+
+void
+addPool(Machine &m, const std::string &name, double elems_per_cycle,
+        double efficiency = 1.0, double latency = 0)
+{
+    m.pools[name] = Pool{name, elems_per_cycle, efficiency, latency};
+}
+
+void
+route(Machine &m, KernelType t, const std::string &pool,
+      double cost = 1.0)
+{
+    m.routes[t] = sim::Route{pool, cost};
+}
+
+/** Shared CKKS-side plumbing for Trinity-style machines. */
+void
+trinityCommonPools(Machine &m, size_t c)
+{
+    double cd = static_cast<double>(c);
+    addPool(m, "EWE", 512 * cd);
+    addPool(m, "AUTOU", 256 * cd);
+    addPool(m, "ROTATOR", 256 * cd);
+    addPool(m, "VPU", 256 * cd); // vector modswitch/keyswitch engine
+    addPool(m, "TP", 512 * cd);
+    addPool(m, "HBM", 1000.0);    // 1 TB/s at 1 GHz
+    addPool(m, "NOC", 4096.0);
+    route(m, KernelType::ModMul, "EWE");
+    route(m, KernelType::ModAdd, "EWE");
+    route(m, KernelType::Auto, "AUTOU");
+    route(m, KernelType::Rotate, "ROTATOR");
+    route(m, KernelType::SampleExtract, "ROTATOR");
+    route(m, KernelType::Decomp, "VPU");
+    route(m, KernelType::ModSwitch, "VPU");
+    route(m, KernelType::LweKs, "VPU");
+    route(m, KernelType::Transpose, "TP");
+    route(m, KernelType::HbmXfer, "HBM");
+    route(m, KernelType::NocXfer, "NOC");
+}
+
+} // namespace
+
+Machine
+trinityCkks(size_t clusters)
+{
+    Machine m;
+    m.name = "Trinity";
+    m.freqGhz = 1.0;
+    m.clusters = clusters;
+    double c = static_cast<double>(clusters);
+    // Fig. 7(a): two NTTUs per cluster run both four-step phases for
+    // N = 4M^2 = 2^16 -> every element passes the pipeline twice.
+    addPool(m, "NTTU", 2 * 256 * c, 0.95, 24);
+    route(m, KernelType::Ntt, "NTTU", 2.0);
+    route(m, KernelType::Intt, "NTTU", 2.0);
+    // Dynamic CU allocation (Section IV-F): all 12 CU columns per
+    // cluster (CU-1 + 4x CU-2 + CU-3) serve BConv and IP as one
+    // shared MAC pool; the scheduler fills whatever NTT leaves idle.
+    addPool(m, "CU", 12 * 128 * c);
+    route(m, KernelType::Bconv, "CU");
+    route(m, KernelType::Ip, "CU");
+    trinityCommonPools(m, clusters);
+    return m;
+}
+
+Machine
+trinityCkksIpUseEwe(size_t clusters)
+{
+    Machine m = trinityCkks(clusters);
+    m.name = "Trinity-CKKS_IP-use-EWE";
+    // IP falls back to the EWE. Element-wise engines have no
+    // broadcast accumulator, so both evk-component multiplies are
+    // separate element operations (cost factor 2).
+    m.routes[KernelType::Ip] = sim::Route{"EWE", 2.0};
+    return m;
+}
+
+Machine
+trinityTfhe(size_t clusters)
+{
+    Machine m;
+    m.name = "Trinity";
+    m.freqGhz = 1.0;
+    m.clusters = clusters;
+    double c = static_cast<double>(clusters);
+    // Fig. 7(c): NTTU + CU-1 + CU-3 + two CU-2 form two full NTT
+    // pipelines per cluster; phase-2 streams through CU butterfly
+    // columns in the same pass (cost 1.0). Efficiency 0.9 models the
+    // NTTU->CU handoff bubbles.
+    addPool(m, "NTT", 2 * 256 * c, 0.9, 20);
+    route(m, KernelType::Ntt, "NTT", 1.0);
+    route(m, KernelType::Intt, "NTT", 1.0);
+    // Fig. 7(e): external-product MACs on the remaining two CU-2.
+    addPool(m, "MAC", (2 + 2) * 128 * c);
+    route(m, KernelType::Ip, "MAC");
+    route(m, KernelType::Bconv, "MAC");
+    trinityCommonPools(m, clusters);
+    return m;
+}
+
+Machine
+trinityTfheWithoutCu()
+{
+    Machine m;
+    m.name = "Trinity-TFHE_w/o_CU";
+    m.freqGhz = 1.0;
+    m.clusters = 1;
+    // Fixed design: two NTTUs (Morphling-matched parallelism); NTTs
+    // longer than 2M = 256 need two full passes (cost factor 2.0).
+    addPool(m, "NTT", 2 * 256, 1.0, 24);
+    route(m, KernelType::Ntt, "NTT", 2.0);
+    route(m, KernelType::Intt, "NTT", 2.0);
+    // Systolic array of depth 12 (total CU depth in Trinity).
+    addPool(m, "MAC", 12 * 128);
+    route(m, KernelType::Ip, "MAC");
+    route(m, KernelType::Bconv, "MAC");
+    trinityCommonPools(m, 1);
+    return m;
+}
+
+Machine
+trinityTfheWithCu()
+{
+    Machine m = trinityTfhe(1);
+    m.name = "Trinity-TFHE_w/_CU";
+    return m;
+}
+
+Machine
+sharp()
+{
+    Machine m;
+    m.name = "SHARP";
+    m.freqGhz = 1.0;
+    m.clusters = 4;
+    double c = 4.0;
+    // One NTTU per cluster; fixed 8-stage design -> two passes for
+    // N = 2^16 (same strategy F1/SHARP use for long polynomials).
+    addPool(m, "NTTU", 256 * c, 0.95, 24);
+    route(m, KernelType::Ntt, "NTTU", 2.0);
+    route(m, KernelType::Intt, "NTTU", 2.0);
+    addPool(m, "BCONV", 1024 * c);
+    route(m, KernelType::Bconv, "BCONV");
+    addPool(m, "EWE", 512 * c);
+    // No configurable units: IP shares the EWE (two element-wise
+    // multiplies per input element, one per evk component).
+    route(m, KernelType::Ip, "EWE", 2.0);
+    route(m, KernelType::ModMul, "EWE");
+    route(m, KernelType::ModAdd, "EWE");
+    addPool(m, "AUTOU", 256 * c);
+    route(m, KernelType::Auto, "AUTOU");
+    // SHARP has no Rotator; permutation-style kernels (used only when
+    // it hosts scheme conversion in the SHARP+Morphling system) run on
+    // the AutoU shuffle network.
+    route(m, KernelType::Rotate, "AUTOU");
+    route(m, KernelType::SampleExtract, "AUTOU");
+    addPool(m, "HBM", 1000.0);
+    route(m, KernelType::HbmXfer, "HBM");
+    addPool(m, "NOC", 4096.0);
+    route(m, KernelType::NocXfer, "NOC");
+    return m;
+}
+
+Machine
+morphling()
+{
+    Machine m;
+    m.name = "Morphling";
+    m.freqGhz = 1.2;
+    m.clusters = 1;
+    // 8 FFT + 16 IFFT units, each a 16-lane pipeline; modeled as one
+    // transform pool (Morphling time-shares them across PBS batches).
+    addPool(m, "FFT", 24 * 16, 1.0, 24);
+    m.routes[sim::KernelType::Ntt] = sim::Route{"FFT", 1.0};
+    m.routes[sim::KernelType::Intt] = sim::Route{"FFT", 1.0};
+    // 64 vector PEs handle the external-product MACs.
+    addPool(m, "VPE", 64 * 8);
+    m.routes[sim::KernelType::Ip] = sim::Route{"VPE", 1.0};
+    m.routes[sim::KernelType::Bconv] = sim::Route{"VPE", 1.0};
+    addPool(m, "VPU", 2048);
+    m.routes[sim::KernelType::Decomp] = sim::Route{"VPU", 1.0};
+    m.routes[sim::KernelType::ModSwitch] = sim::Route{"VPU", 1.0};
+    m.routes[sim::KernelType::LweKs] = sim::Route{"VPU", 1.0};
+    addPool(m, "ROTATOR", 256);
+    m.routes[sim::KernelType::Rotate] = sim::Route{"ROTATOR", 1.0};
+    m.routes[sim::KernelType::SampleExtract] = sim::Route{"ROTATOR", 1.0};
+    addPool(m, "EWE", 512);
+    m.routes[sim::KernelType::ModAdd] = sim::Route{"EWE", 1.0};
+    m.routes[sim::KernelType::ModMul] = sim::Route{"EWE", 1.0};
+    addPool(m, "HBM", 310.0 / 1.2); // 310 GB/s at 1.2 GHz
+    m.routes[sim::KernelType::HbmXfer] = sim::Route{"HBM", 1.0};
+    return m;
+}
+
+Machine
+morphling1GHz()
+{
+    Machine m = morphling();
+    m.name = "Morphling_1GHz";
+    m.freqGhz = 1.0;
+    return m;
+}
+
+Machine
+trinityConversion(size_t clusters)
+{
+    // Conversion reuses the CKKS mapping (Section IV-G) with the
+    // Rotator handling Rotate / SampleExtract; N = 2^14 polynomials
+    // stream through NTTU phase-1 + CU phase-2 in a single pass.
+    Machine m = trinityCkks(clusters);
+    m.name = "Trinity";
+    m.routes[KernelType::Ntt] = sim::Route{"NTTU", 1.0};
+    m.routes[KernelType::Intt] = sim::Route{"NTTU", 1.0};
+    return m;
+}
+
+} // namespace accel
+} // namespace trinity

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Accelerator configurations for the simulator: Trinity (Table III /
+ * Fig. 3) in its CKKS and TFHE mapping modes (Fig. 7), the paper's
+ * ablation variants (Section V-C), and the first-principles baseline
+ * models of SHARP and Morphling (Table V).
+ *
+ * Throughput figures per unit:
+ *   NTTU      256 elements/cycle through 8 butterfly stages + twist
+ *   CU-x      256 elements/cycle in NTT mode (x butterfly columns),
+ *             128*x MACs/cycle in systolic (MAC) mode
+ *   EWE       512 elements/cycle;  AutoU / Rotator / TP / VPU lanes 256
+ *
+ * Cost factors encode the four-step strategy (Section IV-E): on a
+ * fixed 8-stage NTTU, polynomial lengths above 2M take two passes
+ * (cost 2.0); with CU butterfly columns attached, phase-2 streams
+ * through the extra stages in the same pass (cost 1.0).
+ */
+
+#ifndef TRINITY_ACCEL_CONFIGS_H
+#define TRINITY_ACCEL_CONFIGS_H
+
+#include "sim/machine.h"
+
+namespace trinity {
+namespace accel {
+
+/** Trinity running CKKS workloads (Fig. 7 a/b/d mapping), N = 2^16. */
+sim::Machine trinityCkks(size_t clusters = 4);
+
+/**
+ * Trinity CKKS ablation: Inner Product on the EWE instead of CUs
+ * (the paper's Trinity-CKKS_IP-use-EWE compared scheme).
+ */
+sim::Machine trinityCkksIpUseEwe(size_t clusters = 4);
+
+/** Trinity running TFHE workloads (Fig. 7 c/e mapping). */
+sim::Machine trinityTfhe(size_t clusters = 4);
+
+/**
+ * Trinity-TFHE w/o CU: fixed NTTU + systolic array, Morphling-matched
+ * parallelism (one cluster). NTTs longer than 2M take two NTTU passes.
+ */
+sim::Machine trinityTfheWithoutCu();
+
+/** Trinity-TFHE w/ CU at Morphling-matched parallelism (one cluster). */
+sim::Machine trinityTfheWithCu();
+
+/** SHARP (4 clusters x {1 NTTU, BConvU, AutoU, EWE}; IP on the EWE). */
+sim::Machine sharp();
+
+/** Morphling (8 FFT + 16 IFFT + 64 VPE + VPU) at its native 1.2 GHz. */
+sim::Machine morphling();
+
+/** Morphling normalized to 1 GHz (paper's Morphling_1GHz row). */
+sim::Machine morphling1GHz();
+
+/** Trinity in scheme-conversion mode (CKKS kernels + Rotator). */
+sim::Machine trinityConversion(size_t clusters = 4);
+
+} // namespace accel
+} // namespace trinity
+
+#endif // TRINITY_ACCEL_CONFIGS_H

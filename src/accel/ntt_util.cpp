@@ -1,0 +1,70 @@
+#include "accel/ntt_util.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bitops.h"
+
+namespace trinity {
+namespace accel {
+
+double
+f1LikeNttUtil(size_t n)
+{
+    // 8 stages x 128 butterflies, 256 elements/cycle, fill depth 8.
+    const double stages = 8.0;
+    const double lanes = 256.0;
+    // Fill/drain bubble per pass, amortized over a small back-to-back
+    // transform batch (FHE workloads rarely issue one NTT alone).
+    const double fill = 2.0;
+    double logn = static_cast<double>(log2Exact(n));
+    double passes = std::ceil(logn / stages);
+    double stream = std::max(1.0, static_cast<double>(n) / lanes);
+    // Busy stage-cycles: each pass uses min(8, remaining) stages for
+    // `stream` cycles; idle stages and the per-transform fill bubble
+    // count against.
+    double busy = logn * stream;
+    double elapsed = passes * stream + fill;
+    return busy / (stages * elapsed);
+}
+
+double
+fabLikeNttUtil(size_t n)
+{
+    // One stage of 1024 butterflies (2048 elements/cycle). Up to the
+    // native span (N <= 2^11) small transforms batch to fill the
+    // lanes; beyond it, each doubling adds four-step transpose passes
+    // and strided buffer traffic on the single-stage loop.
+    const double native_span = 2048.0;
+    const double base = 0.92; // residual inter-pass turnaround
+    double nn = static_cast<double>(n);
+    if (nn <= native_span) {
+        return base;
+    }
+    double extra = std::log2(nn / native_span);
+    return base / (1.0 + 0.35 * extra);
+}
+
+double
+trinityNttUtil(size_t n)
+{
+    // Section IV-E mapping, measured in steady state (FHE workloads
+    // stream thousands of transforms back-to-back, amortizing fill):
+    //  - N <= 2M: batched straight through the NTTU; all 8 stages busy.
+    //  - 2M < N <= 2M^2: NTTU phase-1 + CU-column phase-2 in one
+    //    streamed pass; every allocated butterfly stage is busy, minus
+    //    the NTTU->CU handoff bubble.
+    //  - N = 4M^2: two full NTTU passes; only inter-pass turnaround.
+    double nn = static_cast<double>(n);
+    if (n <= 256) {
+        return 0.90;
+    }
+    if (n <= 32768) {
+        return 0.88;
+    }
+    double stream = nn / 256.0;
+    return 0.97 * stream / (stream + 8.0);
+}
+
+} // namespace accel
+} // namespace trinity

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * NTT-unit utilization models (Fig. 1 and Fig. 9).
+ *
+ * Utilization is measured at single-butterfly-stage granularity, as in
+ * the paper's Fig. 1 caption. The mechanisms:
+ *
+ *  - F1-like (deep: 8 cascaded stages, 256 elements/cycle): a length-N
+ *    transform streams ceil(N/256) cycles per pass and needs
+ *    ceil(log2 N / 8) passes; short transforms leave the pipeline
+ *    mostly in fill/drain, so utilization falls as N shrinks.
+ *  - FAB-like (wide: one stage, 2048 elements/cycle): short transforms
+ *    batch to fill the lanes, but for N above the native 2^11 span the
+ *    single-stage loop pays four-step transposes and strided buffer
+ *    passes, degrading utilization as N grows.
+ *  - Trinity (heterogeneous NTTU + CU columns): the mapping strategy
+ *    of Section IV-E picks per length, keeping utilization high across
+ *    the whole 2^8..2^16 range.
+ */
+
+#ifndef TRINITY_ACCEL_NTT_UTIL_H
+#define TRINITY_ACCEL_NTT_UTIL_H
+
+#include <cstddef>
+
+namespace trinity {
+namespace accel {
+
+/** F1-like 8-stage pipelined NTT utilization at length N. */
+double f1LikeNttUtil(size_t n);
+
+/** FAB-like single-stage wide NTT utilization at length N. */
+double fabLikeNttUtil(size_t n);
+
+/** Trinity NTTU+CU utilization at length N (Fig. 9). */
+double trinityNttUtil(size_t n);
+
+} // namespace accel
+} // namespace trinity
+
+#endif // TRINITY_ACCEL_NTT_UTIL_H

@@ -1,0 +1,122 @@
+#include "accel/reported.h"
+
+namespace trinity {
+namespace accel {
+
+std::vector<ReportedRow>
+table6Reported()
+{
+    return {
+        {"Baseline-CKKS", "Bootstrap", 17200, "ms"},
+        {"Baseline-CKKS", "HELR", 356000, "ms"},
+        {"Baseline-CKKS", "ResNet-20", 1380000, "ms"},
+        {"TensorFHE", "Bootstrap", 421.8, "ms"},
+        {"TensorFHE", "HELR", 220, "ms"},
+        {"TensorFHE", "ResNet-20", 4939, "ms"},
+        {"F1", "HELR", 639, "ms"},
+        {"F1", "ResNet-20", 2693, "ms"},
+        {"CraterLake", "Bootstrap", 3.91, "ms"},
+        {"CraterLake", "HELR", 119.52, "ms"},
+        {"CraterLake", "ResNet-20", 249.45, "ms"},
+        {"BTS", "Bootstrap", 22.88, "ms"},
+        {"BTS", "HELR", 28.4, "ms"},
+        {"BTS", "ResNet-20", 1910, "ms"},
+        {"ARK", "Bootstrap", 3.52, "ms"},
+        {"ARK", "HELR", 7.42, "ms"},
+        {"ARK", "ResNet-20", 125, "ms"},
+        {"SHARP", "Bootstrap", 3.12, "ms"},
+        {"SHARP", "HELR", 2.53, "ms"},
+        {"SHARP", "ResNet-20", 99, "ms"},
+    };
+}
+
+std::vector<ReportedRow>
+table7Reported()
+{
+    return {
+        {"Baseline-TFHE", "Set-I", 63, "OPS"},
+        {"Baseline-TFHE", "Set-II", 36, "OPS"},
+        {"Baseline-TFHE", "Set-III", 12, "OPS"},
+        {"GPU", "Set-I", 2500, "OPS"},
+        {"GPU", "Set-II", 550, "OPS"},
+        {"Matcha", "Set-I", 10000, "OPS"},
+        {"Strix", "Set-I", 74696, "OPS"},
+        {"Strix", "Set-II", 39600, "OPS"},
+        {"Strix", "Set-III", 21104, "OPS"},
+        {"Morphling", "Set-I", 147615, "OPS"},
+        {"Morphling", "Set-II", 78692, "OPS"},
+        {"Morphling", "Set-III", 41850, "OPS"},
+        {"Morphling_1GHz", "Set-I", 123012, "OPS"},
+        {"Morphling_1GHz", "Set-II", 65576, "OPS"},
+        {"Morphling_1GHz", "Set-III", 34875, "OPS"},
+    };
+}
+
+std::vector<ReportedRow>
+table8Reported()
+{
+    return {
+        {"Baseline-TFHE", "NN-20", 64600, "ms"},
+        {"Baseline-TFHE", "NN-50", 129250, "ms"},
+        {"Baseline-TFHE", "NN-100", 263540, "ms"},
+        {"Strix_128bit", "NN-20", 434.44, "ms"},
+        {"Strix_128bit", "NN-50", 1193.77, "ms"},
+        {"Strix_128bit", "NN-100", 1511.77, "ms"},
+        {"Strix_best(80bit)", "NN-20", 78.96, "ms"},
+        {"Strix_best(80bit)", "NN-50", 148.73, "ms"},
+        {"Strix_best(80bit)", "NN-100", 551.28, "ms"},
+    };
+}
+
+std::vector<ReportedRow>
+table9Reported()
+{
+    return {
+        {"Baseline-SC", "nslot=2", 364, "ms"},
+        {"Baseline-SC", "nslot=8", 492, "ms"},
+        {"Baseline-SC", "nslot=32", 1168, "ms"},
+    };
+}
+
+std::vector<ReportedRow>
+table10Reported()
+{
+    return {
+        {"Baseline-Hybrid", "HE3DB-4096", 3012, "s"},
+        {"Baseline-Hybrid", "HE3DB-16384", 11835, "s"},
+        {"SHARP+Morphling", "HE3DB-4096", 5.64, "s"},
+        {"SHARP+Morphling", "HE3DB-16384", 22.55, "s"},
+    };
+}
+
+std::vector<ReportedRow>
+trinityPaperResults()
+{
+    return {
+        {"Trinity", "Bootstrap", 1.92, "ms"},
+        {"Trinity", "HELR", 1.37, "ms"},
+        {"Trinity", "ResNet-20", 89, "ms"},
+        {"Trinity", "PBS Set-I", 600060, "OPS"},
+        {"Trinity", "PBS Set-II", 340136, "OPS"},
+        {"Trinity", "PBS Set-III", 180987, "OPS"},
+        {"Trinity-TFHE_w/o_CU", "PBS Set-I", 83333, "OPS"},
+        {"Trinity-TFHE_w/o_CU", "PBS Set-II", 49603, "OPS"},
+        {"Trinity-TFHE_w/o_CU", "PBS Set-III", 26393, "OPS"},
+        {"Trinity-TFHE_w/_CU", "PBS Set-I", 150015, "OPS"},
+        {"Trinity-TFHE_w/_CU", "PBS Set-II", 85034, "OPS"},
+        {"Trinity-TFHE_w/_CU", "PBS Set-III", 45246, "OPS"},
+        {"Trinity", "NN-20", 69.86, "ms"},
+        {"Trinity", "NN-50", 146.26, "ms"},
+        {"Trinity", "NN-100", 277.13, "ms"},
+        {"Trinity", "Conversion nslot=2", 0.049, "ms"},
+        {"Trinity", "Conversion nslot=8", 0.063, "ms"},
+        {"Trinity", "Conversion nslot=32", 0.142, "ms"},
+        {"Trinity", "HE3DB-4096", 0.42, "s"},
+        {"Trinity", "HE3DB-16384", 1.68, "s"},
+        {"Trinity", "Area", 157.26, "mm2"},
+        {"Trinity", "Power", 229.36, "W"},
+    };
+}
+
+} // namespace accel
+} // namespace trinity

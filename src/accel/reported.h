@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Registry of published baseline numbers used as reference rows in the
+ * benchmark output (Tables VI, VII, VIII, IX, X, XII). These are the
+ * rows this repository cannot recompute offline (CPU clusters we do
+ * not have, GPUs, and third-party ASICs evaluated only in their own
+ * papers); every value is labeled `reported` in bench output.
+ */
+
+#ifndef TRINITY_ACCEL_REPORTED_H
+#define TRINITY_ACCEL_REPORTED_H
+
+#include <string>
+#include <vector>
+
+namespace trinity {
+namespace accel {
+
+/** A published latency/throughput reference. */
+struct ReportedRow
+{
+    std::string scheme;   ///< design name
+    std::string metric;   ///< benchmark / column
+    double value;         ///< in the unit stated by the table
+    std::string unit;
+};
+
+/** Table VI reference rows (CKKS workloads, ms). */
+std::vector<ReportedRow> table6Reported();
+
+/** Table VII reference rows (PBS throughput, OPS). */
+std::vector<ReportedRow> table7Reported();
+
+/** Table VIII reference rows (NN latency, ms). */
+std::vector<ReportedRow> table8Reported();
+
+/** Table IX reference row (CPU scheme conversion, ms). */
+std::vector<ReportedRow> table9Reported();
+
+/** Table X reference rows (hybrid HE3DB, s). */
+std::vector<ReportedRow> table10Reported();
+
+/** The paper's own Trinity results, for paper-vs-measured deltas. */
+std::vector<ReportedRow> trinityPaperResults();
+
+} // namespace accel
+} // namespace trinity
+
+#endif // TRINITY_ACCEL_REPORTED_H

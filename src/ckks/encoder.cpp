@@ -1,0 +1,101 @@
+#include "ckks/encoder.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace trinity {
+
+CkksEncoder::CkksEncoder(std::shared_ptr<const CkksContext> ctx)
+    : ctx_(std::move(ctx)), fft_(ctx_->params().slots())
+{
+}
+
+CkksPlaintext
+CkksEncoder::encode(const std::vector<cd> &values, size_t level,
+                    double scale) const
+{
+    size_t n = ctx_->n();
+    size_t n_slots = slots();
+    trinity_assert(values.size() <= n_slots,
+                   "too many values (%zu) for %zu slots", values.size(),
+                   n_slots);
+    if (scale == 0) {
+        scale = ctx_->defaultScale();
+    }
+    std::vector<cd> v(n_slots, cd(0, 0));
+    std::copy(values.begin(), values.end(), v.begin());
+    fft_.inverse(v);
+    std::vector<i64> coeffs(n);
+    for (size_t j = 0; j < n_slots; ++j) {
+        double re = v[j].real() * scale;
+        double im = v[j].imag() * scale;
+        trinity_assert(std::abs(re) < 9.0e18 && std::abs(im) < 9.0e18,
+                       "encoded coefficient overflows 63 bits");
+        coeffs[j] = static_cast<i64>(std::llround(re));
+        coeffs[j + n_slots] = static_cast<i64>(std::llround(im));
+    }
+    CkksPlaintext pt;
+    pt.poly = RnsPoly::fromSigned(coeffs, n, ctx_->qTo(level));
+    pt.level = level;
+    pt.scale = scale;
+    return pt;
+}
+
+CkksPlaintext
+CkksEncoder::encodeReal(const std::vector<double> &values, size_t level,
+                        double scale) const
+{
+    std::vector<cd> v(values.size());
+    for (size_t i = 0; i < values.size(); ++i) {
+        v[i] = cd(values[i], 0);
+    }
+    return encode(v, level, scale);
+}
+
+std::vector<cd>
+CkksEncoder::decode(const CkksPlaintext &pt) const
+{
+    size_t n = ctx_->n();
+    size_t n_slots = slots();
+    const RnsPoly &poly = pt.poly;
+    trinity_assert(poly.domain() == Domain::Coeff,
+                   "decode expects coefficient domain");
+    size_t limbs = std::min<size_t>(2, poly.numLimbs());
+    // CRT-reconstruct each coefficient from up to two limbs (covers
+    // scales up to ~q0*q1/4, i.e. Delta^2 products before rescale).
+    std::vector<double> centered(n);
+    if (limbs == 1) {
+        u64 q0 = poly.limb(0).q();
+        for (size_t i = 0; i < n; ++i) {
+            centered[i] =
+                static_cast<double>(centeredRep(poly.limb(0)[i], q0));
+        }
+    } else {
+        u64 q0 = poly.limb(0).q();
+        u64 q1 = poly.limb(1).q();
+        Modulus m1(q1);
+        u64 q0_inv = m1.inv(q0 % q1);
+        i128 big_q = static_cast<i128>(q0) * q1;
+        for (size_t i = 0; i < n; ++i) {
+            u64 r0 = poly.limb(0)[i];
+            u64 r1 = poly.limb(1)[i];
+            // Garner: x = r0 + q0 * t, t = (r1 - r0)*q0^{-1} mod q1.
+            u64 t = m1.mul(m1.sub(r1, m1.reduce(r0)), q0_inv);
+            i128 x = static_cast<i128>(r0) + static_cast<i128>(q0) * t;
+            if (x > big_q / 2) {
+                x -= big_q;
+            }
+            centered[i] = static_cast<double>(x);
+        }
+    }
+    std::vector<cd> v(n_slots);
+    for (size_t j = 0; j < n_slots; ++j) {
+        v[j] = cd(centered[j] / pt.scale,
+                  centered[j + n_slots] / pt.scale);
+    }
+    fft_.forward(v);
+    return v;
+}
+
+} // namespace trinity

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * CKKS encoder: canonical embedding between C^(N/2) slot vectors and
+ * plaintext polynomials (SIMD packing, Table I's m -> P_m).
+ */
+
+#ifndef TRINITY_CKKS_ENCODER_H
+#define TRINITY_CKKS_ENCODER_H
+
+#include <complex>
+#include <vector>
+
+#include "ckks/params.h"
+#include "poly/fft.h"
+
+namespace trinity {
+
+/** CKKS plaintext: an RNS polynomial plus scale/level bookkeeping. */
+struct CkksPlaintext
+{
+    RnsPoly poly;   ///< coefficient domain
+    size_t level;   ///< chain level the plaintext was encoded at
+    double scale;   ///< encoding scale
+};
+
+/** Canonical-embedding encoder/decoder. */
+class CkksEncoder
+{
+  public:
+    explicit CkksEncoder(std::shared_ptr<const CkksContext> ctx);
+
+    /** Number of complex slots (N/2). */
+    size_t slots() const { return ctx_->params().slots(); }
+
+    /**
+     * Encode complex slot values at the given level and scale.
+     * @param values up to slots() entries (zero padded)
+     * @param level target chain level
+     * @param scale encoding scale; 0 means the context default
+     */
+    CkksPlaintext encode(const std::vector<cd> &values, size_t level,
+                         double scale = 0) const;
+
+    /** Encode real slot values. */
+    CkksPlaintext encodeReal(const std::vector<double> &values,
+                             size_t level, double scale = 0) const;
+
+    /** Decode back to complex slot values. */
+    std::vector<cd> decode(const CkksPlaintext &pt) const;
+
+  private:
+    std::shared_ptr<const CkksContext> ctx_;
+    SpecialFft fft_;
+};
+
+} // namespace trinity
+
+#endif // TRINITY_CKKS_ENCODER_H

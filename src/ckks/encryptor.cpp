@@ -1,0 +1,75 @@
+#include "ckks/encryptor.h"
+
+#include "common/logging.h"
+
+namespace trinity {
+
+CkksEncryptor::CkksEncryptor(std::shared_ptr<const CkksContext> ctx,
+                             CkksPublicKey pk, u64 seed)
+    : ctx_(std::move(ctx)), pk_(std::move(pk)), rng_(seed)
+{
+}
+
+CkksCiphertext
+CkksEncryptor::encrypt(const CkksPlaintext &pt)
+{
+    size_t n = ctx_->n();
+    size_t level = pt.level;
+    auto moduli = ctx_->qTo(level);
+
+    // v: ternary; e0, e1: gaussian — all sampled as integers so the
+    // RNS limbs stay consistent.
+    std::vector<i64> v(n), e0(n), e1(n);
+    for (size_t i = 0; i < n; ++i) {
+        v[i] = rng_.ternary();
+        e0[i] = rng_.gaussian(ctx_->params().sigma);
+        e1[i] = rng_.gaussian(ctx_->params().sigma);
+    }
+    RnsPoly vp = RnsPoly::fromSigned(v, n, moduli);
+    vp.toEval();
+
+    // Slice the public key down to the ciphertext level.
+    CkksCiphertext ct;
+    ct.level = level;
+    ct.scale = pt.scale;
+    std::vector<Poly> b_limbs, a_limbs;
+    for (size_t j = 0; j <= level; ++j) {
+        b_limbs.push_back(pk_.b.limb(j));
+        a_limbs.push_back(pk_.a.limb(j));
+    }
+    ct.c0 = RnsPoly(std::move(b_limbs));
+    ct.c1 = RnsPoly(std::move(a_limbs));
+    ct.c0.mulPointwiseInPlace(vp);
+    ct.c1.mulPointwiseInPlace(vp);
+    ct.c0.toCoeff();
+    ct.c1.toCoeff();
+
+    RnsPoly e0p = RnsPoly::fromSigned(e0, n, moduli);
+    RnsPoly e1p = RnsPoly::fromSigned(e1, n, moduli);
+    ct.c0.addInPlace(e0p);
+    ct.c1.addInPlace(e1p);
+    ct.c0.addInPlace(pt.poly);
+    return ct;
+}
+
+CkksPlaintext
+CkksEncryptor::decrypt(const CkksCiphertext &ct,
+                       const CkksSecretKey &sk) const
+{
+    auto moduli = ct.c0.moduli();
+    RnsPoly s = sk.embed(moduli);
+    s.toEval();
+    RnsPoly c1 = ct.c1;
+    c1.toEval();
+    c1.mulPointwiseInPlace(s);
+    c1.toCoeff();
+    CkksPlaintext pt;
+    pt.poly = ct.c0;
+    pt.poly.toCoeff();
+    pt.poly.addInPlace(c1);
+    pt.level = ct.level;
+    pt.scale = ct.scale;
+    return pt;
+}
+
+} // namespace trinity

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * CKKS encryption and decryption ([[m]] = (c0, c1) with
+ * Dec = c0 + c1*s).
+ */
+
+#ifndef TRINITY_CKKS_ENCRYPTOR_H
+#define TRINITY_CKKS_ENCRYPTOR_H
+
+#include "ckks/encoder.h"
+#include "ckks/keys.h"
+
+namespace trinity {
+
+/** RLWE ciphertext [[m]] = (c0, c1); Dec(ct) = c0 + c1 * s. */
+struct CkksCiphertext
+{
+    RnsPoly c0;
+    RnsPoly c1;
+    size_t level = 0;
+    double scale = 1.0;
+
+    size_t numLimbs() const { return c0.numLimbs(); }
+};
+
+/** Encrypts plaintexts under a public key, decrypts with the secret. */
+class CkksEncryptor
+{
+  public:
+    CkksEncryptor(std::shared_ptr<const CkksContext> ctx,
+                  CkksPublicKey pk, u64 seed);
+
+    /** Public-key encryption. */
+    CkksCiphertext encrypt(const CkksPlaintext &pt);
+
+    /** Decrypt with the secret key (testing / the data owner's side). */
+    CkksPlaintext decrypt(const CkksCiphertext &ct,
+                          const CkksSecretKey &sk) const;
+
+  private:
+    std::shared_ptr<const CkksContext> ctx_;
+    CkksPublicKey pk_;
+    Rng rng_;
+};
+
+} // namespace trinity
+
+#endif // TRINITY_CKKS_ENCRYPTOR_H

@@ -1,0 +1,364 @@
+#include "ckks/evaluator.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace trinity {
+
+CkksEvaluator::CkksEvaluator(std::shared_ptr<const CkksContext> ctx)
+    : ctx_(std::move(ctx))
+{
+}
+
+void
+CkksEvaluator::checkAligned(const CkksCiphertext &a,
+                            const CkksCiphertext &b) const
+{
+    trinity_assert(a.level == b.level,
+                   "ciphertext levels differ (%zu vs %zu)", a.level,
+                   b.level);
+    double ratio = a.scale / b.scale;
+    trinity_assert(ratio > 0.999 && ratio < 1.001,
+                   "ciphertext scales differ (%g vs %g)", a.scale,
+                   b.scale);
+}
+
+CkksCiphertext
+CkksEvaluator::add(const CkksCiphertext &a, const CkksCiphertext &b) const
+{
+    checkAligned(a, b);
+    CkksCiphertext r = a;
+    r.c0.addInPlace(b.c0);
+    r.c1.addInPlace(b.c1);
+    return r;
+}
+
+CkksCiphertext
+CkksEvaluator::sub(const CkksCiphertext &a, const CkksCiphertext &b) const
+{
+    checkAligned(a, b);
+    CkksCiphertext r = a;
+    r.c0.subInPlace(b.c0);
+    r.c1.subInPlace(b.c1);
+    return r;
+}
+
+CkksCiphertext
+CkksEvaluator::negate(const CkksCiphertext &a) const
+{
+    CkksCiphertext r = a;
+    r.c0.negInPlace();
+    r.c1.negInPlace();
+    return r;
+}
+
+CkksCiphertext
+CkksEvaluator::addPlain(const CkksCiphertext &a,
+                        const CkksPlaintext &pt) const
+{
+    trinity_assert(a.level == pt.level, "plaintext level mismatch");
+    CkksCiphertext r = a;
+    r.c0.toCoeff();
+    RnsPoly p = pt.poly;
+    p.toCoeff();
+    r.c0.addInPlace(p);
+    return r;
+}
+
+CkksCiphertext
+CkksEvaluator::mulPlain(const CkksCiphertext &a,
+                        const CkksPlaintext &pt) const
+{
+    trinity_assert(a.level == pt.level, "plaintext level mismatch");
+    CkksCiphertext r = a;
+    RnsPoly p = pt.poly;
+    p.toEval();
+    r.c0.toEval();
+    r.c1.toEval();
+    r.c0.mulPointwiseInPlace(p);
+    r.c1.mulPointwiseInPlace(p);
+    r.c0.toCoeff();
+    r.c1.toCoeff();
+    r.scale = a.scale * pt.scale;
+    return r;
+}
+
+std::pair<RnsPoly, RnsPoly>
+CkksEvaluator::keySwitch(const RnsPoly &d, const CkksEvalKey &evk,
+                         size_t level) const
+{
+    size_t n = ctx_->n();
+    const auto &params = ctx_->params();
+    size_t alpha = params.alpha();
+    size_t beta = params.beta(level);
+    size_t nq = level + 1;
+    auto ext_basis = ctx_->extendedBasis(level);
+    size_t next = ext_basis.size(); // nq + alpha
+    size_t big_l = params.maxLevel;
+
+    trinity_assert(d.numLimbs() == nq, "keyswitch level mismatch");
+    trinity_assert(evk.digits.size() >= beta, "evk has too few digits");
+
+    RnsPoly d_coeff = d;
+    d_coeff.toCoeff();
+
+    // Accumulators over the extended basis, evaluation domain.
+    RnsPoly acc0(n, ext_basis);
+    RnsPoly acc1(n, ext_basis);
+    acc0.toEval();
+    acc1.toEval();
+
+    for (size_t j = 0; j < beta; ++j) {
+        auto [begin, end] = ctx_->digitRange(level, j);
+        // Decompose: take the digit's limbs (line 1 of Algorithm 1).
+        std::vector<Poly> digit_limbs;
+        for (size_t i = begin; i < end; ++i) {
+            digit_limbs.push_back(d_coeff.limb(i));
+        }
+        // BConv (line 4): raise the digit to the rest of the basis.
+        auto raised =
+            ctx_->modUpConverter(level, j).convert(digit_limbs);
+        // Assemble the full extended-basis polynomial; conv outputs
+        // are ordered (q limbs excluding digit, then special primes).
+        std::vector<Poly> full(next);
+        size_t conv_idx = 0;
+        for (size_t i = 0; i < nq; ++i) {
+            if (i >= begin && i < end) {
+                full[i] = digit_limbs[i - begin];
+            } else {
+                full[i] = std::move(raised[conv_idx++]);
+            }
+        }
+        for (size_t t = 0; t < alpha; ++t) {
+            full[nq + t] = std::move(raised[conv_idx++]);
+        }
+        // NTT (line 5) then inner product with the evk (line 9).
+        for (size_t t = 0; t < next; ++t) {
+            full[t].toEval();
+            // evk limbs are ordered q_0..q_L, p_0..p_{alpha-1}.
+            size_t evk_limb = t < nq ? t : (big_l + 1) + (t - nq);
+            Poly prod_b = full[t];
+            prod_b.mulPointwiseInPlace(
+                evk.digits[j].b.limb(evk_limb));
+            acc0.limb(t).addInPlace(prod_b);
+            full[t].mulPointwiseInPlace(
+                evk.digits[j].a.limb(evk_limb));
+            acc1.limb(t).addInPlace(full[t]);
+        }
+    }
+
+    // iNTT (line 11) and ModDown (line 12): subtract the base-converted
+    // special part and multiply by P^{-1}.
+    acc0.toCoeff();
+    acc1.toCoeff();
+    const BaseConverter &down = ctx_->modDownConverter(level);
+    auto mod_down = [&](RnsPoly &acc) {
+        std::vector<Poly> p_part;
+        for (size_t t = 0; t < alpha; ++t) {
+            p_part.push_back(acc.limb(nq + t));
+        }
+        auto conv = down.convert(p_part);
+        std::vector<Poly> out;
+        out.reserve(nq);
+        for (size_t i = 0; i < nq; ++i) {
+            Poly limb = acc.limb(i);
+            limb.subInPlace(conv[i]);
+            limb.scalarMulInPlace(ctx_->pInvModQ(i));
+            out.push_back(std::move(limb));
+        }
+        return RnsPoly(std::move(out));
+    };
+    return {mod_down(acc0), mod_down(acc1)};
+}
+
+CkksCiphertext
+CkksEvaluator::multiply(const CkksCiphertext &a, const CkksCiphertext &b,
+                        const CkksEvalKey &relin_key) const
+{
+    checkAligned(a, b);
+    // Tensor product (all in the evaluation domain).
+    RnsPoly a0 = a.c0, a1 = a.c1, b0 = b.c0, b1 = b.c1;
+    a0.toEval();
+    a1.toEval();
+    b0.toEval();
+    b1.toEval();
+
+    RnsPoly d0 = a0;
+    d0.mulPointwiseInPlace(b0);
+    RnsPoly d1 = a0;
+    d1.mulPointwiseInPlace(b1);
+    RnsPoly d1b = a1;
+    d1b.mulPointwiseInPlace(b0);
+    d1.addInPlace(d1b);
+    RnsPoly d2 = a1;
+    d2.mulPointwiseInPlace(b1);
+
+    // Relinearize d2 via keyswitch with target secret s^2.
+    d2.toCoeff();
+    auto [e0, e1] = keySwitch(d2, relin_key, a.level);
+
+    CkksCiphertext r;
+    r.level = a.level;
+    r.scale = a.scale * b.scale;
+    d0.toCoeff();
+    d1.toCoeff();
+    d0.addInPlace(e0);
+    d1.addInPlace(e1);
+    r.c0 = std::move(d0);
+    r.c1 = std::move(d1);
+    return r;
+}
+
+CkksCiphertext
+CkksEvaluator::square(const CkksCiphertext &a,
+                      const CkksEvalKey &relin_key) const
+{
+    // d0 = c0^2, d1 = 2 c0 c1, d2 = c1^2, then relinearize d2.
+    RnsPoly a0 = a.c0, a1 = a.c1;
+    a0.toEval();
+    a1.toEval();
+    RnsPoly d0 = a0;
+    d0.mulPointwiseInPlace(a0);
+    RnsPoly d1 = a0;
+    d1.mulPointwiseInPlace(a1);
+    RnsPoly d1b = d1;
+    d1.addInPlace(d1b);
+    RnsPoly d2 = a1;
+    d2.mulPointwiseInPlace(a1);
+    d2.toCoeff();
+    auto [e0, e1] = keySwitch(d2, relin_key, a.level);
+    CkksCiphertext r;
+    r.level = a.level;
+    r.scale = a.scale * a.scale;
+    d0.toCoeff();
+    d1.toCoeff();
+    d0.addInPlace(e0);
+    d1.addInPlace(e1);
+    r.c0 = std::move(d0);
+    r.c1 = std::move(d1);
+    return r;
+}
+
+CkksCiphertext
+CkksEvaluator::addScalar(const CkksCiphertext &a, double v) const
+{
+    // Adding v to every slot adds round(v * scale) to coefficient 0
+    // of the plaintext polynomial (the canonical embedding maps
+    // constants to constants).
+    CkksCiphertext r = a;
+    r.c0.toCoeff();
+    i64 raw = static_cast<i64>(std::llround(v * a.scale));
+    for (size_t j = 0; j < r.c0.numLimbs(); ++j) {
+        Poly &limb = r.c0.limb(j);
+        limb[0] = limb.modulus().add(limb[0],
+                                     toResidue(raw, limb.q()));
+    }
+    return r;
+}
+
+CkksCiphertext
+CkksEvaluator::mulScalarInt(const CkksCiphertext &a, i64 v) const
+{
+    CkksCiphertext r = a;
+    for (RnsPoly *comp : {&r.c0, &r.c1}) {
+        for (size_t j = 0; j < comp->numLimbs(); ++j) {
+            comp->limb(j).scalarMulInPlace(
+                toResidue(v, comp->limb(j).q()));
+        }
+    }
+    return r;
+}
+
+CkksCiphertext
+CkksEvaluator::conjugate(const CkksCiphertext &ct,
+                         const CkksEvalKey &conj_key) const
+{
+    return applyGalois(ct, 2 * ctx_->n() - 1, conj_key);
+}
+
+void
+CkksEvaluator::rescaleInPlace(CkksCiphertext &ct) const
+{
+    trinity_assert(ct.level >= 1, "cannot rescale at level 0");
+    size_t l = ct.level;
+    u64 ql = ctx_->qChain()[l];
+    ct.c0.toCoeff();
+    ct.c1.toCoeff();
+    for (RnsPoly *comp : {&ct.c0, &ct.c1}) {
+        const Poly &last = comp->limb(l);
+        for (size_t i = 0; i < l; ++i) {
+            Poly &limb = comp->limb(i);
+            const Modulus &qi = limb.modulus();
+            u64 ql_inv = qi.inv(qi.reduce(ql));
+            for (size_t c = 0; c < limb.n(); ++c) {
+                u64 v = qi.sub(limb[c], qi.reduce(last[c]));
+                limb[c] = qi.mul(v, ql_inv);
+            }
+        }
+        comp->dropLastLimb();
+    }
+    ct.level -= 1;
+    ct.scale /= static_cast<double>(ql);
+}
+
+CkksCiphertext
+CkksEvaluator::applyGalois(const CkksCiphertext &ct, u64 g,
+                           const CkksEvalKey &galois_key) const
+{
+    CkksCiphertext in = ct;
+    in.c0.toCoeff();
+    in.c1.toCoeff();
+    RnsPoly sc0 = in.c0.automorphism(g);
+    RnsPoly sc1 = in.c1.automorphism(g);
+    auto [e0, e1] = keySwitch(sc1, galois_key, ct.level);
+    CkksCiphertext r;
+    r.level = ct.level;
+    r.scale = ct.scale;
+    sc0.addInPlace(e0);
+    r.c0 = std::move(sc0);
+    r.c1 = std::move(e1);
+    return r;
+}
+
+CkksCiphertext
+CkksEvaluator::rotate(const CkksCiphertext &ct, i64 steps,
+                      const CkksEvalKey &rot_key) const
+{
+    size_t two_n = 2 * ctx_->n();
+    size_t order = ctx_->n() / 2;
+    u64 r = static_cast<u64>(((steps % static_cast<i64>(order)) +
+                              static_cast<i64>(order)) %
+                             static_cast<i64>(order));
+    u64 g = 1;
+    for (u64 i = 0; i < r; ++i) {
+        g = (g * 5) % two_n;
+    }
+    return applyGalois(ct, g, rot_key);
+}
+
+CkksCiphertext
+CkksEvaluator::rotatePoly(const CkksCiphertext &ct, u64 t) const
+{
+    CkksCiphertext r = ct;
+    r.c0.toCoeff();
+    r.c1.toCoeff();
+    r.c0 = r.c0.mulMonomial(t);
+    r.c1 = r.c1.mulMonomial(t);
+    return r;
+}
+
+void
+CkksEvaluator::dropToLevel(CkksCiphertext &ct, size_t level) const
+{
+    trinity_assert(level <= ct.level, "cannot raise level");
+    ct.c0.toCoeff();
+    ct.c1.toCoeff();
+    while (ct.level > level) {
+        ct.c0.dropLastLimb();
+        ct.c1.dropLastLimb();
+        ct.level -= 1;
+    }
+}
+
+} // namespace trinity

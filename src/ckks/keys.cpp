@@ -1,0 +1,169 @@
+#include "ckks/keys.h"
+
+#include "common/logging.h"
+#include "common/primes.h"
+
+namespace trinity {
+
+RnsPoly
+CkksSecretKey::embed(const std::vector<u64> &moduli) const
+{
+    return RnsPoly::fromSigned(s, s.size(), moduli);
+}
+
+CkksSecretKey
+CkksSecretKey::automorphism(u64 g) const
+{
+    size_t n = s.size();
+    size_t two_n = 2 * n;
+    CkksSecretKey out;
+    out.s.assign(n, 0);
+    for (size_t i = 0; i < n; ++i) {
+        u64 e = (static_cast<u64>(i) * g) % two_n;
+        if (e < n) {
+            out.s[e] = s[i];
+        } else {
+            out.s[e - n] = -s[i];
+        }
+    }
+    return out;
+}
+
+CkksKeyGenerator::CkksKeyGenerator(std::shared_ptr<const CkksContext> ctx,
+                                   u64 seed)
+    : ctx_(std::move(ctx)), rng_(seed)
+{
+    size_t n = ctx_->n();
+    sk_.s.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+        sk_.s[i] = rng_.ternary();
+    }
+}
+
+CkksPublicKey
+CkksKeyGenerator::makePublicKey()
+{
+    size_t n = ctx_->n();
+    auto moduli = ctx_->qTo(ctx_->params().maxLevel);
+    RnsPoly s = sk_.embed(moduli);
+    s.toEval();
+
+    CkksPublicKey pk;
+    pk.a = RnsPoly(n, moduli);
+    for (size_t j = 0; j < moduli.size(); ++j) {
+        pk.a.limb(j) = Poly::uniform(n, moduli[j], rng_, Domain::Eval);
+    }
+    // e sampled once as an integer polynomial, embedded per limb.
+    std::vector<i64> e(n);
+    for (size_t i = 0; i < n; ++i) {
+        e[i] = rng_.gaussian(ctx_->params().sigma);
+    }
+    RnsPoly ep = RnsPoly::fromSigned(e, n, moduli);
+    ep.toEval();
+    // b = -(a s) + e
+    pk.b = pk.a;
+    pk.b.mulPointwiseInPlace(s);
+    pk.b.negInPlace();
+    pk.b.addInPlace(ep);
+    return pk;
+}
+
+CkksEvalKey
+CkksKeyGenerator::makeEvalKey(const std::vector<i64> &target)
+{
+    size_t n = ctx_->n();
+    size_t big_l = ctx_->params().maxLevel;
+    auto basis = ctx_->extendedBasis(big_l);
+    size_t nq = big_l + 1;
+
+    RnsPoly s = sk_.embed(basis);
+    s.toEval();
+    RnsPoly sp = RnsPoly::fromSigned(target, n, basis);
+    sp.toEval();
+
+    CkksEvalKey evk;
+    // Effective digit count: when dnum does not divide L+1 the last
+    // digit(s) would be empty — ceil((L+1)/alpha) digits exist.
+    size_t dnum = ctx_->params().beta(big_l);
+    evk.digits.reserve(dnum);
+    for (size_t j = 0; j < dnum; ++j) {
+        auto [begin, end] = ctx_->digitRange(big_l, j);
+        EvalKeyDigit d;
+        d.a = RnsPoly(n, basis);
+        for (size_t t = 0; t < basis.size(); ++t) {
+            d.a.limb(t) = Poly::uniform(n, basis[t], rng_,
+                                        Domain::Eval);
+        }
+        std::vector<i64> e(n);
+        for (size_t i = 0; i < n; ++i) {
+            e[i] = rng_.gaussian(ctx_->params().sigma);
+        }
+        RnsPoly ep = RnsPoly::fromSigned(e, n, basis);
+        ep.toEval();
+        // b = -(a s) + e + P*Dtilde_j*s' ; Dtilde_j is 1 on digit-j
+        // q-limbs and 0 elsewhere (incl. all special-prime limbs).
+        d.b = d.a;
+        d.b.mulPointwiseInPlace(s);
+        d.b.negInPlace();
+        d.b.addInPlace(ep);
+        for (size_t t = begin; t < end && t < nq; ++t) {
+            const Modulus m(basis[t]);
+            u64 pmod = ctx_->pModQ(t);
+            Poly &bl = d.b.limb(t);
+            const Poly &sl = sp.limb(t);
+            for (size_t c = 0; c < n; ++c) {
+                bl[c] = m.add(bl[c], m.mul(pmod, sl[c]));
+            }
+        }
+        evk.digits.push_back(std::move(d));
+    }
+    return evk;
+}
+
+CkksEvalKey
+CkksKeyGenerator::makeRelinKey()
+{
+    // Target secret: s^2 mod (X^N + 1), computed exactly via an NTT
+    // over a 59-bit prime (|s^2|_inf <= N, far below q/2).
+    size_t n = ctx_->n();
+    u64 wide = findNttPrimes(59, 2 * n, 1)[0];
+    Poly sp(n, wide);
+    for (size_t i = 0; i < n; ++i) {
+        sp[i] = toResidue(sk_.s[i], wide);
+    }
+    Poly sq = sp * sp;
+    std::vector<i64> s2(n);
+    for (size_t i = 0; i < n; ++i) {
+        s2[i] = centeredRep(sq[i], wide);
+    }
+    return makeEvalKey(s2);
+}
+
+CkksEvalKey
+CkksKeyGenerator::makeGaloisKey(u64 g)
+{
+    return makeEvalKey(sk_.automorphism(g).s);
+}
+
+u64
+CkksKeyGenerator::rotationToGalois(i64 steps) const
+{
+    size_t two_n = 2 * ctx_->n();
+    size_t order = ctx_->n() / 2; // slot count
+    u64 r = static_cast<u64>(((steps % static_cast<i64>(order)) +
+                              static_cast<i64>(order)) %
+                             static_cast<i64>(order));
+    u64 g = 1;
+    for (u64 i = 0; i < r; ++i) {
+        g = (g * 5) % two_n;
+    }
+    return g;
+}
+
+CkksEvalKey
+CkksKeyGenerator::makeRotationKey(i64 steps)
+{
+    return makeGaloisKey(rotationToGalois(steps));
+}
+
+} // namespace trinity

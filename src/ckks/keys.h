@@ -1,0 +1,92 @@
+/**
+ * @file
+ * CKKS key material: secret, public, and the hybrid-keyswitch
+ * evaluation keys (Algorithm 1's evk).
+ *
+ * An evaluation key for target secret s' is a set of dnum digit pairs
+ * evk_j = (b_j, a_j) over the extended basis Q_L * P with
+ *   b_j = -(a_j s + e_j) + P * Dtilde_j * s'
+ * where Dtilde_j is 1 on the digit-j limbs and 0 elsewhere (the CRT
+ * reconstruction factor reduced per limb).
+ */
+
+#ifndef TRINITY_CKKS_KEYS_H
+#define TRINITY_CKKS_KEYS_H
+
+#include <vector>
+
+#include "ckks/params.h"
+#include "common/rng.h"
+
+namespace trinity {
+
+/** Secret key: ternary s, kept in signed form for automorphisms. */
+struct CkksSecretKey
+{
+    std::vector<i64> s;
+
+    /** Embed s (or an automorphism of it) over the given moduli. */
+    RnsPoly embed(const std::vector<u64> &moduli) const;
+
+    /** sigma_g(s): the secret key under automorphism X -> X^g. */
+    CkksSecretKey automorphism(u64 g) const;
+};
+
+/** Public encryption key (b, a) over the full Q chain. */
+struct CkksPublicKey
+{
+    RnsPoly b; ///< -(a s) + e, eval domain
+    RnsPoly a; ///< uniform, eval domain
+};
+
+/** One hybrid-keyswitch digit pair over the extended basis. */
+struct EvalKeyDigit
+{
+    RnsPoly b; ///< eval domain, limbs over [q_0..q_L, p_0..p_alpha-1]
+    RnsPoly a;
+};
+
+/** Evaluation key: dnum digit pairs (relinearization or Galois). */
+struct CkksEvalKey
+{
+    std::vector<EvalKeyDigit> digits;
+};
+
+/** Generates all key material for a context. */
+class CkksKeyGenerator
+{
+  public:
+    CkksKeyGenerator(std::shared_ptr<const CkksContext> ctx, u64 seed);
+
+    const CkksSecretKey &secretKey() const { return sk_; }
+
+    /** Public encryption key. */
+    CkksPublicKey makePublicKey();
+
+    /** Relinearization key (target secret s^2). */
+    CkksEvalKey makeRelinKey();
+
+    /**
+     * Galois key for automorphism index @p g (target secret
+     * sigma_g(s)). Slot rotation by r uses g = 5^r mod 2N.
+     */
+    CkksEvalKey makeGaloisKey(u64 g);
+
+    /** Galois key for slot rotation by @p steps. */
+    CkksEvalKey makeRotationKey(i64 steps);
+
+    /** Automorphism index for a slot rotation: 5^steps mod 2N. */
+    u64 rotationToGalois(i64 steps) const;
+
+  private:
+    std::shared_ptr<const CkksContext> ctx_;
+    Rng rng_;
+    CkksSecretKey sk_;
+
+    /** Core evk generator for an arbitrary signed target secret. */
+    CkksEvalKey makeEvalKey(const std::vector<i64> &target);
+};
+
+} // namespace trinity
+
+#endif // TRINITY_CKKS_KEYS_H

@@ -1,0 +1,142 @@
+#include "ckks/params.h"
+
+#include <cmath>
+
+#include "common/bitops.h"
+#include "common/logging.h"
+#include "common/primes.h"
+
+namespace trinity {
+
+CkksParams
+CkksParams::paperDefault()
+{
+    CkksParams p;
+    p.n = 1 << 16;
+    p.maxLevel = 35;
+    p.dnum = 3;
+    p.scaleBits = 36;
+    p.firstModBits = 45;
+    p.specialModBits = 45;
+    return p;
+}
+
+CkksParams
+CkksParams::testSmall()
+{
+    CkksParams p;
+    p.n = 1 << 10;
+    p.maxLevel = 3;
+    p.dnum = 2;
+    p.scaleBits = 36;
+    p.firstModBits = 45;
+    p.specialModBits = 45;
+    return p;
+}
+
+CkksParams
+CkksParams::testMedium()
+{
+    CkksParams p;
+    p.n = 1 << 12;
+    p.maxLevel = 5;
+    p.dnum = 3;
+    p.scaleBits = 36;
+    p.firstModBits = 45;
+    p.specialModBits = 45;
+    return p;
+}
+
+CkksContext::CkksContext(const CkksParams &params)
+    : params_(params)
+{
+    trinity_assert(isPowerOfTwo(params.n), "N must be a power of two");
+    trinity_assert(params.dnum >= 1 && params.dnum <= params.maxLevel + 1,
+                   "invalid dnum");
+    u64 two_n = 2 * params.n;
+
+    // q_0: wide prime for decryption headroom; q_1..q_L: scale primes;
+    // p_0..p_{alpha-1}: special primes (distinct from all q's).
+    q_ = findNttPrimes(params.firstModBits, two_n, 1);
+    auto scale_primes =
+        findNttPrimes(params.scaleBits, two_n, params.maxLevel, q_);
+    q_.insert(q_.end(), scale_primes.begin(), scale_primes.end());
+    p_ = findNttPrimes(params.specialModBits, two_n, params.alpha(), q_);
+
+    // P mod q_i and P^{-1} mod q_i for the ModDown rescale by P.
+    pModQ_.resize(q_.size());
+    pInvModQ_.resize(q_.size());
+    for (size_t i = 0; i < q_.size(); ++i) {
+        Modulus qi(q_[i]);
+        u64 pm = 1;
+        for (u64 pj : p_) {
+            pm = qi.mul(pm, qi.reduce(pj));
+        }
+        pModQ_[i] = pm;
+        pInvModQ_[i] = qi.inv(pm);
+    }
+}
+
+std::vector<u64>
+CkksContext::qTo(size_t level) const
+{
+    trinity_assert(level <= params_.maxLevel, "level out of range");
+    return std::vector<u64>(q_.begin(), q_.begin() + level + 1);
+}
+
+std::vector<u64>
+CkksContext::extendedBasis(size_t level) const
+{
+    auto basis = qTo(level);
+    basis.insert(basis.end(), p_.begin(), p_.end());
+    return basis;
+}
+
+std::pair<size_t, size_t>
+CkksContext::digitRange(size_t level, size_t digit) const
+{
+    size_t a = params_.alpha();
+    size_t begin = digit * a;
+    size_t end = std::min(begin + a, level + 1);
+    trinity_assert(begin < end, "digit %zu empty at level %zu", digit,
+                   level);
+    return {begin, end};
+}
+
+const BaseConverter &
+CkksContext::modUpConverter(size_t level, size_t digit) const
+{
+    auto key = std::make_pair(level, digit);
+    auto it = modUpCache_.find(key);
+    if (it != modUpCache_.end()) {
+        return *it->second;
+    }
+    auto [begin, end] = digitRange(level, digit);
+    std::vector<u64> from(q_.begin() + begin, q_.begin() + end);
+    std::vector<u64> to;
+    for (size_t i = 0; i <= level; ++i) {
+        if (i < begin || i >= end) {
+            to.push_back(q_[i]);
+        }
+    }
+    to.insert(to.end(), p_.begin(), p_.end());
+    auto conv = std::make_unique<BaseConverter>(from, to);
+    const BaseConverter &ref = *conv;
+    modUpCache_.emplace(key, std::move(conv));
+    return ref;
+}
+
+const BaseConverter &
+CkksContext::modDownConverter(size_t level) const
+{
+    auto it = modDownCache_.find(level);
+    if (it != modDownCache_.end()) {
+        return *it->second;
+    }
+    auto conv = std::make_unique<BaseConverter>(p_, qTo(level));
+    const BaseConverter &ref = *conv;
+    modDownCache_.emplace(level, std::move(conv));
+    return ref;
+}
+
+} // namespace trinity

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * RNS-CKKS parameter sets and the shared context (modulus chains,
+ * cached base converters, hybrid-keyswitch constants).
+ *
+ * The paper's default CKKS configuration (Table IV) is N = 65536,
+ * L = 35, dnum = 3 at 128-bit security with a 36-bit word; tests use
+ * the same construction scaled down.
+ */
+
+#ifndef TRINITY_CKKS_PARAMS_H
+#define TRINITY_CKKS_PARAMS_H
+
+#include <cmath>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "poly/rns.h"
+
+namespace trinity {
+
+/** Static CKKS scheme parameters. */
+struct CkksParams
+{
+    size_t n = 0;          ///< ring degree N
+    size_t maxLevel = 0;   ///< L; modulus chain has L+1 primes
+    size_t dnum = 1;       ///< hybrid keyswitch digit count
+    u32 scaleBits = 36;    ///< log2 of the default scale Delta
+    u32 firstModBits = 45; ///< size of q_0 (decryption headroom)
+    u32 specialModBits = 45; ///< size of the special primes p_i
+    double sigma = 3.2;    ///< noise standard deviation
+
+    /** Limbs per digit: alpha = ceil((L+1)/dnum). */
+    size_t alpha() const { return (maxLevel + 1 + dnum - 1) / dnum; }
+
+    /** Digits active at level l: beta = ceil((l+1)/alpha). */
+    size_t
+    beta(size_t level) const
+    {
+        return (level + 1 + alpha() - 1) / alpha();
+    }
+
+    /** Number of slots n_slots = N/2. */
+    size_t slots() const { return n / 2; }
+
+    /** The paper's default parameter set (Table IV). */
+    static CkksParams paperDefault();
+
+    /** A small, fast set for unit tests. */
+    static CkksParams testSmall();
+
+    /** A mid-size set for integration tests. */
+    static CkksParams testMedium();
+};
+
+/**
+ * Shared immutable CKKS context: the generated modulus chains plus all
+ * precomputation the evaluator needs. Create once, share everywhere.
+ */
+class CkksContext
+{
+  public:
+    explicit CkksContext(const CkksParams &params);
+
+    const CkksParams &params() const { return params_; }
+    size_t n() const { return params_.n; }
+
+    /** Ciphertext modulus chain q_0 .. q_L. */
+    const std::vector<u64> &qChain() const { return q_; }
+    /** Special primes p_0 .. p_{alpha-1}. */
+    const std::vector<u64> &pChain() const { return p_; }
+
+    /** Moduli q_0..q_l. */
+    std::vector<u64> qTo(size_t level) const;
+    /** Extended basis q_0..q_l followed by all special primes. */
+    std::vector<u64> extendedBasis(size_t level) const;
+
+    /** P mod q_i. */
+    u64 pModQ(size_t i) const { return pModQ_[i]; }
+    /** P^{-1} mod q_i. */
+    u64 pInvModQ(size_t i) const { return pInvModQ_[i]; }
+
+    /**
+     * ModUp converter for digit @p digit at level @p level: from the
+     * digit's limb moduli to the rest of the extended basis.
+     */
+    const BaseConverter &modUpConverter(size_t level, size_t digit) const;
+
+    /** ModDown converter: special primes -> q_0..q_l. */
+    const BaseConverter &modDownConverter(size_t level) const;
+
+    /** Limb indices [begin, end) of digit @p digit at level @p level. */
+    std::pair<size_t, size_t> digitRange(size_t level,
+                                         size_t digit) const;
+
+    double defaultScale() const
+    {
+        return std::pow(2.0, params_.scaleBits);
+    }
+
+  private:
+    CkksParams params_;
+    std::vector<u64> q_;
+    std::vector<u64> p_;
+    std::vector<u64> pModQ_;
+    std::vector<u64> pInvModQ_;
+    mutable std::map<std::pair<size_t, size_t>,
+                     std::unique_ptr<BaseConverter>> modUpCache_;
+    mutable std::map<size_t, std::unique_ptr<BaseConverter>>
+        modDownCache_;
+};
+
+} // namespace trinity
+
+#endif // TRINITY_CKKS_PARAMS_H

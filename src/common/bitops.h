@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Small bit-manipulation helpers shared by the NTT engines and the
+ * hardware models.
+ */
+
+#ifndef TRINITY_COMMON_BITOPS_H
+#define TRINITY_COMMON_BITOPS_H
+
+#include <bit>
+
+#include "common/types.h"
+
+namespace trinity {
+
+/** @return true iff @p x is a power of two (and non-zero). */
+constexpr bool
+isPowerOfTwo(u64 x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+/** @return floor(log2(x)); x must be non-zero. */
+constexpr u32
+log2Floor(u64 x)
+{
+    return 63 - static_cast<u32>(std::countl_zero(x));
+}
+
+/** @return log2(x) for a power of two x. */
+constexpr u32
+log2Exact(u64 x)
+{
+    return log2Floor(x);
+}
+
+/** @return ceil(log2(x)); x must be non-zero. */
+constexpr u32
+log2Ceil(u64 x)
+{
+    return x <= 1 ? 0 : log2Floor(x - 1) + 1;
+}
+
+/** @return @p v with its lowest @p bits bits reversed. */
+constexpr u64
+bitReverse(u64 v, u32 bits)
+{
+    u64 r = 0;
+    for (u32 i = 0; i < bits; ++i) {
+        r = (r << 1) | ((v >> i) & 1);
+    }
+    return r;
+}
+
+/** @return ceil(a / b) for positive integers. */
+constexpr u64
+ceilDiv(u64 a, u64 b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace trinity
+
+#endif // TRINITY_COMMON_BITOPS_H

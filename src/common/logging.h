@@ -1,0 +1,61 @@
+/**
+ * @file
+ * gem5-style status and error reporting helpers.
+ *
+ * fatal()  — the situation is the *user's* fault (bad parameters,
+ *            unsupported configuration); exits with status 1.
+ * panic()  — an internal invariant was violated (a library bug); aborts.
+ * warn()   — something works but not as well as it should.
+ * inform() — plain status output.
+ */
+
+#ifndef TRINITY_COMMON_LOGGING_H
+#define TRINITY_COMMON_LOGGING_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace trinity {
+
+namespace detail {
+
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** Minimal printf-style formatter returning std::string. */
+std::string formatStr(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace detail
+
+#define trinity_fatal(...) \
+    ::trinity::detail::fatalImpl(__FILE__, __LINE__, \
+        ::trinity::detail::formatStr(__VA_ARGS__))
+
+#define trinity_panic(...) \
+    ::trinity::detail::panicImpl(__FILE__, __LINE__, \
+        ::trinity::detail::formatStr(__VA_ARGS__))
+
+#define trinity_warn(...) \
+    ::trinity::detail::warnImpl(::trinity::detail::formatStr(__VA_ARGS__))
+
+#define trinity_inform(...) \
+    ::trinity::detail::informImpl(::trinity::detail::formatStr(__VA_ARGS__))
+
+/** panic() unless the given invariant holds. */
+#define trinity_assert(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            ::trinity::detail::panicImpl(__FILE__, __LINE__, \
+                ::trinity::detail::formatStr(__VA_ARGS__)); \
+        } \
+    } while (0)
+
+} // namespace trinity
+
+#endif // TRINITY_COMMON_LOGGING_H

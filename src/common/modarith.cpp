@@ -1,0 +1,87 @@
+#include "common/modarith.h"
+
+namespace trinity {
+
+Modulus::Modulus(u64 q)
+    : value_(q)
+{
+    if (q < 2 || q >= (1ULL << 62)) {
+        trinity_fatal("modulus %llu out of supported range [2, 2^62)",
+                      static_cast<unsigned long long>(q));
+    }
+    // Compute floor(2^128 / q) by long division of 2^128 by q.
+    // 2^128 / q = (2^64 / q) * 2^64 + ((2^64 mod q) * 2^64) / q.
+    u64 hi = ~0ULL / q;            // floor((2^64 - 1) / q)
+    u128 rem = (static_cast<u128>(~0ULL) % q) + 1;  // 2^64 mod q (if q | 2^64 handled below)
+    if (rem == q) {
+        hi += 1;
+        rem = 0;
+    }
+    u128 lo128 = (rem << 64) / q;
+    barrettHi_ = hi;
+    barrettLo_ = static_cast<u64>(lo128);
+}
+
+u32
+Modulus::bits() const
+{
+    u32 b = 0;
+    u64 v = value_;
+    while (v) {
+        ++b;
+        v >>= 1;
+    }
+    return b;
+}
+
+u64
+Modulus::reduce128(u128 a) const
+{
+    // Barrett: q_est = floor(a * floor(2^128/q) / 2^128), computed with
+    // 128x128 -> top 128 bits multiplication pieces.
+    u64 a_lo = static_cast<u64>(a);
+    u64 a_hi = static_cast<u64>(a >> 64);
+
+    // t = a * (barrettHi_ * 2^64 + barrettLo_) >> 128
+    // Expand into four partial products; we only need the top 128 bits.
+    u128 p_ll = static_cast<u128>(a_lo) * barrettLo_;
+    u128 p_lh = static_cast<u128>(a_lo) * barrettHi_;
+    u128 p_hl = static_cast<u128>(a_hi) * barrettLo_;
+    u128 p_hh = static_cast<u128>(a_hi) * barrettHi_;
+
+    u128 mid = (p_ll >> 64) + static_cast<u64>(p_lh)
+             + static_cast<u64>(p_hl);
+    u128 top = p_hh + (p_lh >> 64) + (p_hl >> 64) + (mid >> 64);
+
+    u128 q_est = top; // floor(a * B / 2^128)
+    u128 r = a - q_est * value_;
+    while (r >= value_) {
+        r -= value_;
+    }
+    return static_cast<u64>(r);
+}
+
+u64
+Modulus::pow(u64 a, u64 e) const
+{
+    u64 base = reduce(a);
+    u64 result = 1;
+    while (e) {
+        if (e & 1) {
+            result = mul(result, base);
+        }
+        base = mul(base, base);
+        e >>= 1;
+    }
+    return result;
+}
+
+u64
+Modulus::inv(u64 a) const
+{
+    trinity_assert(a % value_ != 0, "inverse of zero mod %llu",
+                   static_cast<unsigned long long>(value_));
+    return pow(a, value_ - 2);
+}
+
+} // namespace trinity

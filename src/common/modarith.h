@@ -1,0 +1,152 @@
+/**
+ * @file
+ * 64-bit modular arithmetic: a Modulus object carrying Barrett
+ * precomputation, plus Shoup-style lazy multiplication used by the NTT
+ * butterflies (the software analogue of the modular multipliers inside
+ * Trinity's BU / PE datapaths).
+ *
+ * All moduli are required to be < 2^62 so that lazy additions of two
+ * residues never overflow 64 bits.
+ */
+
+#ifndef TRINITY_COMMON_MODARITH_H
+#define TRINITY_COMMON_MODARITH_H
+
+#include "common/logging.h"
+#include "common/types.h"
+
+namespace trinity {
+
+/**
+ * An odd modulus q < 2^62 with Barrett reduction precomputation.
+ *
+ * The Barrett constant is floor(2^128 / q) stored as a 128-bit value,
+ * which yields an exact reduction for any 128-bit product input.
+ */
+class Modulus
+{
+  public:
+    Modulus() : value_(0), barrettHi_(0), barrettLo_(0) {}
+
+    /** Construct from a modulus value. @param q the modulus, 2 < q < 2^62 */
+    explicit Modulus(u64 q);
+
+    /** The raw modulus value. */
+    u64 value() const { return value_; }
+
+    /** Number of significant bits in the modulus. */
+    u32 bits() const;
+
+    /** @return a + b mod q; inputs must already be reduced. */
+    u64
+    add(u64 a, u64 b) const
+    {
+        u64 s = a + b;
+        return s >= value_ ? s - value_ : s;
+    }
+
+    /** @return a - b mod q; inputs must already be reduced. */
+    u64
+    sub(u64 a, u64 b) const
+    {
+        return a >= b ? a - b : a + value_ - b;
+    }
+
+    /** @return -a mod q. */
+    u64
+    neg(u64 a) const
+    {
+        return a == 0 ? 0 : value_ - a;
+    }
+
+    /** Reduce an arbitrary 64-bit value mod q. */
+    u64
+    reduce(u64 a) const
+    {
+        return a % value_;
+    }
+
+    /** Reduce a 128-bit value mod q via Barrett reduction. */
+    u64 reduce128(u128 a) const;
+
+    /** @return a * b mod q for reduced inputs. */
+    u64
+    mul(u64 a, u64 b) const
+    {
+        return reduce128(static_cast<u128>(a) * b);
+    }
+
+    /** @return a * b + c mod q for reduced inputs. */
+    u64
+    mulAdd(u64 a, u64 b, u64 c) const
+    {
+        return reduce128(static_cast<u128>(a) * b + c);
+    }
+
+    /** @return a^e mod q. */
+    u64 pow(u64 a, u64 e) const;
+
+    /**
+     * @return the multiplicative inverse of a mod q.
+     * The modulus must be prime (Fermat inversion).
+     */
+    u64 inv(u64 a) const;
+
+    /**
+     * Precompute the Shoup constant for multiplying by fixed operand
+     * @p w: floor(w * 2^64 / q). Feed to mulShoup().
+     */
+    u64
+    shoupPrecompute(u64 w) const
+    {
+        return static_cast<u64>((static_cast<u128>(w) << 64) / value_);
+    }
+
+    /**
+     * Shoup modular multiplication by a constant with precomputation.
+     * @param a reduced multiplicand
+     * @param w reduced constant operand
+     * @param w_precon shoupPrecompute(w)
+     * @return a * w mod q
+     */
+    u64
+    mulShoup(u64 a, u64 w, u64 w_precon) const
+    {
+        u64 quot = static_cast<u64>(
+            (static_cast<u128>(a) * w_precon) >> 64);
+        u64 r = a * w - quot * value_;
+        return r >= value_ ? r - value_ : r;
+    }
+
+    bool operator==(const Modulus &o) const { return value_ == o.value_; }
+    bool operator!=(const Modulus &o) const { return value_ != o.value_; }
+
+  private:
+    u64 value_;
+    /** floor(2^128 / q), split across two 64-bit words (hi, lo). */
+    u64 barrettHi_;
+    u64 barrettLo_;
+};
+
+/** Centered (balanced) representative of a residue in (-q/2, q/2]. */
+inline i64
+centeredRep(u64 a, u64 q)
+{
+    return a > q / 2 ? static_cast<i64>(a) - static_cast<i64>(q)
+                     : static_cast<i64>(a);
+}
+
+/** Map a signed value into [0, q). */
+inline u64
+toResidue(i64 a, u64 q)
+{
+    i64 r = a % static_cast<i64>(q);
+    if (r < 0) {
+        r += static_cast<i64>(q);
+    }
+    return static_cast<u64>(r);
+}
+
+} // namespace trinity
+
+#endif // TRINITY_COMMON_MODARITH_H

@@ -1,0 +1,166 @@
+#include "common/primes.h"
+
+#include "common/bitops.h"
+#include "common/logging.h"
+
+namespace trinity {
+
+namespace {
+
+/** Modular exponentiation without a precomputed Modulus. */
+u64
+powMod(u64 base, u64 exp, u64 mod)
+{
+    u128 result = 1;
+    u128 b = base % mod;
+    while (exp) {
+        if (exp & 1) {
+            result = result * b % mod;
+        }
+        b = b * b % mod;
+        exp >>= 1;
+    }
+    return static_cast<u64>(result);
+}
+
+bool
+millerRabinWitness(u64 n, u64 a, u64 d, u32 r)
+{
+    u64 x = powMod(a, d, n);
+    if (x == 1 || x == n - 1) {
+        return false;
+    }
+    for (u32 i = 1; i < r; ++i) {
+        x = static_cast<u64>(static_cast<u128>(x) * x % n);
+        if (x == n - 1) {
+            return false;
+        }
+    }
+    return true; // composite witness
+}
+
+} // namespace
+
+bool
+isPrime(u64 n)
+{
+    if (n < 2) {
+        return false;
+    }
+    for (u64 p : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL,
+                  23ULL, 29ULL, 31ULL, 37ULL}) {
+        if (n == p) {
+            return true;
+        }
+        if (n % p == 0) {
+            return false;
+        }
+    }
+    u64 d = n - 1;
+    u32 r = 0;
+    while ((d & 1) == 0) {
+        d >>= 1;
+        ++r;
+    }
+    // Deterministic base set for all n < 2^64 (Sinclair 2011).
+    for (u64 a : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL,
+                  23ULL, 29ULL, 31ULL, 37ULL}) {
+        if (millerRabinWitness(n, a, d, r)) {
+            return false;
+        }
+    }
+    return true;
+}
+
+std::vector<u64>
+findNttPrimes(u32 bits, u64 two_n, size_t count, const std::vector<u64> &skip)
+{
+    trinity_assert(isPowerOfTwo(two_n), "2N must be a power of two");
+    if (bits < log2Exact(two_n) + 2 || bits > 61) {
+        trinity_fatal("prime size %u bits incompatible with 2N=%llu",
+                      bits, static_cast<unsigned long long>(two_n));
+    }
+    std::vector<u64> primes;
+    // Largest candidate of the requested size congruent to 1 mod 2N.
+    u64 hi = (bits == 63) ? ~0ULL : (1ULL << bits) - 1;
+    u64 lo = 1ULL << (bits - 1);
+    u64 cand = (hi / two_n) * two_n + 1;
+    while (cand > hi) {
+        cand -= two_n;
+    }
+    for (; cand >= lo && primes.size() < count; cand -= two_n) {
+        if (!isPrime(cand)) {
+            continue;
+        }
+        bool skipped = false;
+        for (u64 s : skip) {
+            if (s == cand) {
+                skipped = true;
+                break;
+            }
+        }
+        if (!skipped) {
+            primes.push_back(cand);
+        }
+    }
+    if (primes.size() < count) {
+        trinity_fatal("not enough %u-bit primes congruent 1 mod %llu",
+                      bits, static_cast<unsigned long long>(two_n));
+    }
+    return primes;
+}
+
+u64
+nearestNttPrime(u64 target, u64 two_n)
+{
+    trinity_assert(isPowerOfTwo(two_n), "2N must be a power of two");
+    // Walk outward from the nearest multiple-of-2N + 1.
+    u64 base = (target / two_n) * two_n + 1;
+    for (u64 k = 0; k < (1ULL << 24); ++k) {
+        u64 up = base + k * two_n;
+        if (up >= target && isPrime(up)) {
+            // Check the symmetric candidate below before deciding.
+            u64 down_k = (up - target) / two_n + 1;
+            u64 down = base >= down_k * two_n ? base - down_k * two_n : 0;
+            while (down > target) {
+                down -= two_n;
+            }
+            if (down > 2 && isPrime(down) &&
+                target - down < up - target) {
+                return down;
+            }
+            return up;
+        }
+        if (base >= k * two_n) {
+            u64 down = base - k * two_n;
+            if (down <= target && down > 2 && isPrime(down)) {
+                return down;
+            }
+        }
+    }
+    trinity_fatal("no NTT prime near %llu for 2N=%llu",
+                  static_cast<unsigned long long>(target),
+                  static_cast<unsigned long long>(two_n));
+}
+
+u64
+findPrimitiveRoot(u64 two_n, const Modulus &mod)
+{
+    u64 p = mod.value();
+    trinity_assert((p - 1) % two_n == 0, "p != 1 mod 2N");
+    u64 group_order = p - 1;
+    u64 quotient = group_order / two_n;
+    // Try small candidates as generators of the 2N-torsion subgroup.
+    for (u64 g = 2; g < 1000; ++g) {
+        u64 root = mod.pow(g, quotient);
+        // root has order dividing 2N; it is primitive iff
+        // root^(2N/2) = root^N != 1.
+        if (mod.pow(root, two_n / 2) == p - 1) {
+            return root;
+        }
+    }
+    trinity_fatal("no primitive 2N-th root found for p=%llu",
+                  static_cast<unsigned long long>(p));
+}
+
+} // namespace trinity

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * NTT-friendly prime generation and primitive-root search.
+ *
+ * Trinity substitutes TFHE's FFT with NTT by picking a prime modulus
+ * p ≡ 1 (mod 2N) nearest to the power-of-two torus modulus q
+ * (Section II-B, "Substituting FFT with NTT"). The helpers here provide
+ * exactly that: deterministic Miller-Rabin for 64-bit integers, searches
+ * for primes congruent to 1 mod 2N at a given bit size or nearest a
+ * target, and 2N-th primitive roots of unity.
+ */
+
+#ifndef TRINITY_COMMON_PRIMES_H
+#define TRINITY_COMMON_PRIMES_H
+
+#include <vector>
+
+#include "common/modarith.h"
+#include "common/types.h"
+
+namespace trinity {
+
+/** Deterministic Miller-Rabin primality test for 64-bit inputs. */
+bool isPrime(u64 n);
+
+/**
+ * Find @p count distinct primes of exactly @p bits bits with
+ * p ≡ 1 (mod 2N), scanning downward from 2^bits - 1.
+ *
+ * @param bits prime size in bits (3..61)
+ * @param two_n the congruence modulus 2N (power of two)
+ * @param count number of primes requested
+ * @param skip primes to exclude (e.g. already allocated to the chain)
+ */
+std::vector<u64> findNttPrimes(u32 bits, u64 two_n, size_t count,
+                               const std::vector<u64> &skip = {});
+
+/**
+ * Find the NTT-friendly prime closest to @p target with
+ * p ≡ 1 (mod 2N) — the paper's FFT→NTT substitution rule.
+ */
+u64 nearestNttPrime(u64 target, u64 two_n);
+
+/**
+ * Find a primitive 2N-th root of unity mod prime p (p ≡ 1 mod 2N).
+ * The returned psi satisfies psi^N = -1 mod p.
+ */
+u64 findPrimitiveRoot(u64 two_n, const Modulus &mod);
+
+} // namespace trinity
+
+#endif // TRINITY_COMMON_PRIMES_H

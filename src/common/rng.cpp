@@ -1,0 +1,81 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace trinity {
+
+Rng::Rng(u64 seed)
+{
+    // SplitMix64 expansion of the seed into the xoshiro state.
+    u64 x = seed;
+    for (int i = 0; i < 4; ++i) {
+        x += 0x9e3779b97f4a7c15ULL;
+        u64 z = x;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        s_[i] = z ^ (z >> 31);
+    }
+}
+
+u64
+Rng::next()
+{
+    u64 result = rotl(s_[1] * 5, 7) * 9;
+    u64 t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+u64
+Rng::uniform(u64 q)
+{
+    // Rejection sampling to avoid modulo bias.
+    u64 limit = ~0ULL - (~0ULL % q);
+    u64 v = next();
+    while (v >= limit) {
+        v = next();
+    }
+    return v % q;
+}
+
+double
+Rng::uniformReal()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+i64
+Rng::ternary()
+{
+    return static_cast<i64>(next() % 3) - 1;
+}
+
+i64
+Rng::gaussian(double sigma)
+{
+    double u1 = uniformReal();
+    double u2 = uniformReal();
+    while (u1 <= 1e-300) {
+        u1 = uniformReal();
+    }
+    double g = std::sqrt(-2.0 * std::log(u1)) *
+               std::cos(2.0 * M_PI * u2);
+    return static_cast<i64>(std::llround(g * sigma));
+}
+
+std::vector<u64>
+Rng::uniformVec(size_t n, u64 q)
+{
+    std::vector<u64> v(n);
+    for (auto &x : v) {
+        x = uniform(q);
+    }
+    return v;
+}
+
+} // namespace trinity

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Deterministic randomness for key generation and encryption.
+ *
+ * The schemes need three samplers: uniform residues, ternary secrets,
+ * and a (rounded) discrete Gaussian for noise. A fixed-seed xoshiro256**
+ * generator keeps tests reproducible.
+ */
+
+#ifndef TRINITY_COMMON_RNG_H
+#define TRINITY_COMMON_RNG_H
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.h"
+
+namespace trinity {
+
+/** xoshiro256** PRNG; fast, seedable, good statistical quality. */
+class Rng
+{
+  public:
+    explicit Rng(u64 seed = 0x5eed5eed5eedULL);
+
+    /** Uniform 64-bit word. */
+    u64 next();
+
+    /** Uniform residue in [0, q). */
+    u64 uniform(u64 q);
+
+    /** Uniform double in [0, 1). */
+    double uniformReal();
+
+    /** Ternary sample in {-1, 0, 1} (uniform). */
+    i64 ternary();
+
+    /**
+     * Rounded Gaussian sample with standard deviation @p sigma
+     * (Box-Muller, rounded to nearest integer).
+     */
+    i64 gaussian(double sigma);
+
+    /** Fill a vector with uniform residues mod q. */
+    std::vector<u64> uniformVec(size_t n, u64 q);
+
+  private:
+    u64 rotl(u64 x, int k) const { return (x << k) | (x >> (64 - k)); }
+
+    u64 s_[4];
+};
+
+} // namespace trinity
+
+#endif // TRINITY_COMMON_RNG_H

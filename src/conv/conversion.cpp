@@ -1,0 +1,179 @@
+#include "conv/conversion.h"
+
+#include "common/bitops.h"
+#include "common/logging.h"
+
+namespace trinity {
+
+ConvLwe
+convLweEncrypt(u64 m, const CkksSecretKey &sk, u64 q, Rng &rng,
+               double sigma)
+{
+    size_t n = sk.s.size();
+    Modulus mod(q);
+    ConvLwe ct;
+    ct.q = q;
+    ct.a.resize(n);
+    u64 acc = 0;
+    for (size_t i = 0; i < n; ++i) {
+        ct.a[i] = rng.uniform(q);
+        u64 si = toResidue(sk.s[i], q);
+        acc = mod.add(acc, mod.mul(ct.a[i], si));
+    }
+    u64 e = toResidue(rng.gaussian(sigma), q);
+    ct.b = mod.add(mod.add(acc, mod.reduce(m)), e);
+    return ct;
+}
+
+u64
+convLwePhase(const ConvLwe &ct, const CkksSecretKey &sk)
+{
+    Modulus mod(ct.q);
+    u64 acc = 0;
+    for (size_t i = 0; i < ct.a.size(); ++i) {
+        u64 si = toResidue(sk.s[i], ct.q);
+        acc = mod.add(acc, mod.mul(ct.a[i], si));
+    }
+    return mod.sub(ct.b, acc);
+}
+
+ConvLwe
+sampleExtract(const CkksCiphertext &ct, size_t idx)
+{
+    // Dec = c0 + c1*s; coefficient idx of (c1*s) equals -<a, s> with
+    //   a_i = -c1[idx-i]          for i <= idx
+    //   a_i = +c1[N+idx-i]        for i > idx  (negacyclic wrap).
+    const Poly &c0 = ct.c0.limb(0);
+    const Poly &c1 = ct.c1.limb(0);
+    trinity_assert(c0.domain() == Domain::Coeff,
+                   "sampleExtract needs coefficient domain");
+    size_t n = c0.n();
+    trinity_assert(idx < n, "extract index out of range");
+    const Modulus &m = c0.modulus();
+    ConvLwe out;
+    out.q = c0.q();
+    out.a.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+        out.a[i] = i <= idx ? m.neg(c1[idx - i]) : c1[n + idx - i];
+    }
+    out.b = c0[idx];
+    return out;
+}
+
+std::vector<ConvLwe>
+ckksToTfhe(const CkksCiphertext &ct, size_t nslot)
+{
+    CkksCiphertext c = ct;
+    c.c0.toCoeff();
+    c.c1.toCoeff();
+    std::vector<ConvLwe> out;
+    out.reserve(nslot);
+    for (size_t i = 0; i < nslot; ++i) {
+        out.push_back(sampleExtract(c, i));
+    }
+    return out;
+}
+
+LwePacker::LwePacker(std::shared_ptr<const CkksContext> ctx,
+                     CkksKeyGenerator &keygen)
+    : ctx_(std::move(ctx)), eval_(ctx_)
+{
+    // All automorphisms used by PackLWEs and the Field Trace are of
+    // the form 2^t + 1, t = 1 .. log2(N).
+    size_t n = ctx_->n();
+    for (u64 t = 1; (1ULL << t) <= n; ++t) {
+        u64 g = (1ULL << t) + 1;
+        galoisKeys_.emplace(g, keygen.makeGaloisKey(g));
+    }
+}
+
+CkksCiphertext
+LwePacker::ringEmbed(const ConvLwe &lwe) const
+{
+    size_t n = ctx_->n();
+    trinity_assert(lwe.a.size() == n, "LWE dimension mismatch");
+    trinity_assert(lwe.q == ctx_->qChain()[0],
+                   "LWE modulus must be the level-0 prime");
+    Poly c0(n, lwe.q);
+    c0[0] = lwe.b;
+    Poly c1(n, lwe.q);
+    const Modulus m(lwe.q);
+    c1[0] = m.neg(lwe.a[0]);
+    for (size_t i = 1; i < n; ++i) {
+        c1[i] = lwe.a[n - i];
+    }
+    CkksCiphertext ct;
+    ct.c0 = RnsPoly(std::vector<Poly>{std::move(c0)});
+    ct.c1 = RnsPoly(std::vector<Poly>{std::move(c1)});
+    ct.level = 0;
+    ct.scale = 1.0;
+    return ct;
+}
+
+CkksCiphertext
+LwePacker::packLwes(std::vector<CkksCiphertext> cts) const
+{
+    size_t h = cts.size();
+    trinity_assert(isPowerOfTwo(h), "PackLWEs needs a power-of-two count");
+    if (h == 1) {
+        return cts[0];
+    }
+    size_t n = ctx_->n();
+    std::vector<CkksCiphertext> even, odd;
+    for (size_t j = 0; j < h; j += 2) {
+        even.push_back(std::move(cts[j]));
+        odd.push_back(std::move(cts[j + 1]));
+    }
+    CkksCiphertext ct_even = packLwes(std::move(even));
+    CkksCiphertext ct_odd = packLwes(std::move(odd));
+    // ct = (even + X^{N/h} odd) + sigma_{h+1}(even - X^{N/h} odd)
+    CkksCiphertext shifted = eval_.rotatePoly(ct_odd, n / h);
+    CkksCiphertext sum = eval_.add(ct_even, shifted);
+    CkksCiphertext diff = eval_.sub(ct_even, shifted);
+    u64 g = static_cast<u64>(h) + 1;
+    auto it = galoisKeys_.find(g);
+    trinity_assert(it != galoisKeys_.end(), "missing Galois key %llu",
+                   static_cast<unsigned long long>(g));
+    CkksCiphertext rotated = eval_.applyGalois(diff, g, it->second);
+    return eval_.add(sum, rotated);
+}
+
+CkksCiphertext
+LwePacker::fieldTrace(CkksCiphertext ct, size_t nslot) const
+{
+    size_t n = ctx_->n();
+    u32 log_n = log2Exact(n);
+    u32 log_slot = log2Exact(nslot);
+    // for k = 1 .. log(N/nslot): ct += sigma_{2^{logN-k+1} + 1}(ct)
+    for (u32 k = 1; k <= log_n - log_slot; ++k) {
+        u64 g = (1ULL << (log_n - k + 1)) + 1;
+        auto it = galoisKeys_.find(g);
+        trinity_assert(it != galoisKeys_.end(), "missing Galois key");
+        CkksCiphertext rot = eval_.applyGalois(ct, g, it->second);
+        ct = eval_.add(ct, rot);
+    }
+    return ct;
+}
+
+CkksCiphertext
+LwePacker::tfheToCkks(const std::vector<ConvLwe> &lwes) const
+{
+    trinity_assert(!lwes.empty(), "no LWEs to pack");
+    std::vector<CkksCiphertext> cts;
+    cts.reserve(lwes.size());
+    for (const auto &lwe : lwes) {
+        cts.push_back(ringEmbed(lwe)); // Ring Embedding
+    }
+    CkksCiphertext packed = packLwes(std::move(cts)); // Packing
+    return fieldTrace(std::move(packed), lwes.size()); // Field Trace
+}
+
+size_t
+LwePacker::hRotateCount(size_t n, size_t nslot)
+{
+    // PackLWEs performs nslot-1 keyswitched automorphisms (one per
+    // internal combine); the field trace adds log2(N/nslot) more.
+    return (nslot - 1) + (log2Exact(n) - log2Exact(nslot));
+}
+
+} // namespace trinity

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Scheme Conversion between CKKS and TFHE (Section II-C; Chen, Dai,
+ * Kim, Song, ACNS'21):
+ *
+ *  - CKKS -> TFHE (Algorithm 3): SampleExtract pulls each message
+ *    coefficient of an RLWE ciphertext out as an LWE ciphertext under
+ *    the (flattened) CKKS secret. On Trinity this runs on the Rotator.
+ *  - TFHE -> CKKS (Algorithms 4, 5): Ring Embedding turns each LWE
+ *    back into a one-coefficient RLWE, PackLWEs merges them with
+ *    Rotate (X^t monomial multiplies) and HRotate (automorphism +
+ *    hybrid keyswitch), and the Field Trace clears the unused
+ *    coefficients. The packed result carries each message scaled by N.
+ *
+ * All automorphisms used are of the form X -> X^(2^t + 1); the packer
+ * generates exactly those log2(N) Galois keys.
+ */
+
+#ifndef TRINITY_CONV_CONVERSION_H
+#define TRINITY_CONV_CONVERSION_H
+
+#include <map>
+
+#include "ckks/evaluator.h"
+
+namespace trinity {
+
+/**
+ * LWE ciphertext in the conversion domain: phase = b - <a, s> with s
+ * the CKKS ternary secret and modulus q_0 (level-0 prime).
+ */
+struct ConvLwe
+{
+    std::vector<u64> a;
+    u64 b = 0;
+    u64 q = 0;
+};
+
+/** Fresh LWE encryption of raw message m under the CKKS secret. */
+ConvLwe convLweEncrypt(u64 m, const CkksSecretKey &sk, u64 q, Rng &rng,
+                       double sigma = 3.2);
+
+/** Noise-free phase b - <a, s> (decryption for tests). */
+u64 convLwePhase(const ConvLwe &ct, const CkksSecretKey &sk);
+
+/**
+ * Algorithm 3, one slot: extract coefficient @p idx of the RLWE
+ * ciphertext as an LWE ciphertext (limb 0 modulus).
+ */
+ConvLwe sampleExtract(const CkksCiphertext &ct, size_t idx);
+
+/** Algorithm 3: extract coefficients 0..nslot-1. */
+std::vector<ConvLwe> ckksToTfhe(const CkksCiphertext &ct, size_t nslot);
+
+/**
+ * TFHE -> CKKS packer (Algorithms 4 and 5). Holds the Galois keys for
+ * the 2^t + 1 automorphism family.
+ */
+class LwePacker
+{
+  public:
+    /**
+     * @param ctx CKKS context (packing happens at level 0)
+     * @param keygen key generator holding the CKKS secret
+     */
+    LwePacker(std::shared_ptr<const CkksContext> ctx,
+              CkksKeyGenerator &keygen);
+
+    /** Ring Embedding: LWE -> RLWE with the message in coefficient 0. */
+    CkksCiphertext ringEmbed(const ConvLwe &lwe) const;
+
+    /**
+     * Algorithm 4 (PackLWEs): merge 2^m one-coefficient RLWEs; message
+     * j lands at coefficient j*N/nslot scaled by nslot.
+     */
+    CkksCiphertext packLwes(std::vector<CkksCiphertext> cts) const;
+
+    /**
+     * Algorithm 5 lines 3-5 (Field Trace): clear coefficients that are
+     * not multiples of N/nslot, scaling survivors by N/nslot.
+     */
+    CkksCiphertext fieldTrace(CkksCiphertext ct, size_t nslot) const;
+
+    /**
+     * Full Algorithm 5: Ring Embedding + Ciphertext Packing + Field
+     * Trace. Output coefficient j*N/nslot holds N * mu_j.
+     */
+    CkksCiphertext tfheToCkks(const std::vector<ConvLwe> &lwes) const;
+
+    /** Number of HRotate (keyswitched automorphism) ops per packing —
+     *  the dominant cost the paper's Table IX measures. */
+    static size_t hRotateCount(size_t n, size_t nslot);
+
+  private:
+    std::shared_ptr<const CkksContext> ctx_;
+    CkksEvaluator eval_;
+    std::map<u64, CkksEvalKey> galoisKeys_;
+};
+
+} // namespace trinity
+
+#endif // TRINITY_CONV_CONVERSION_H

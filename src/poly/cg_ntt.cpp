@@ -1,0 +1,152 @@
+#include "poly/cg_ntt.h"
+
+#include "common/bitops.h"
+#include "common/logging.h"
+
+namespace trinity {
+
+CgNtt::CgNtt(size_t n, const Modulus &mod)
+    : n_(n), logn_(log2Exact(n)), mod_(mod)
+{
+    trinity_assert(isPowerOfTwo(n) && n >= 2, "CG-NTT length");
+    table_ = NttTableCache::get(n, mod.value());
+    u64 psi = table_->psi();
+    u64 ipsi = mod_.inv(psi);
+    u64 omega = mod_.mul(psi, psi); // principal n-th root
+
+    psiPow_.resize(n);
+    psiPowPre_.resize(n);
+    ipsiPow_.resize(n);
+    ipsiPowPre_.resize(n);
+    u64 p = 1, ip = 1;
+    for (size_t i = 0; i < n; ++i) {
+        psiPow_[i] = p;
+        ipsiPow_[i] = ip;
+        psiPowPre_[i] = mod_.shoupPrecompute(p);
+        ipsiPowPre_[i] = mod_.shoupPrecompute(ip);
+        p = mod_.mul(p, psi);
+        ip = mod_.mul(ip, ipsi);
+    }
+    halfInv_ = mod_.inv(2);
+    halfInvPre_ = mod_.shoupPrecompute(halfInv_);
+
+    // Simulate the perfect-shuffle dataflow against the standard DIF
+    // schedule to derive per-stage twiddles.
+    std::vector<u64> omega_pow(n);
+    u64 w = 1;
+    for (size_t i = 0; i < n; ++i) {
+        omega_pow[i] = w;
+        w = mod_.mul(w, omega);
+    }
+
+    twiddle_.assign(logn_, std::vector<u64>(n / 2));
+    twiddlePre_.assign(logn_, std::vector<u64>(n / 2));
+    itwiddle_.assign(logn_, std::vector<u64>(n / 2));
+    itwiddlePre_.assign(logn_, std::vector<u64>(n / 2));
+
+    std::vector<size_t> cur(n), nxt(n);
+    for (size_t i = 0; i < n; ++i) {
+        cur[i] = i;
+    }
+    for (u32 s = 0; s < logn_; ++s) {
+        size_t m = n >> s;     // DIF block size at this stage
+        size_t half = m >> 1;
+        for (size_t i = 0; i < n / 2; ++i) {
+            size_t su = cur[i];
+            size_t sv = cur[i + n / 2];
+            // Pease invariant: the shuffle keeps DIF pairs adjacent in
+            // the physical layout at distance n/2.
+            trinity_assert(sv == su + half,
+                           "CG invariant broken at stage %u bfly %zu",
+                           s, i);
+            size_t j = su % m; // position within the DIF block
+            trinity_assert(j < half, "CG twiddle index out of range");
+            u64 tw = omega_pow[(j << s) % n]; // omega_m^j = omega_n^(j*2^s)
+            twiddle_[s][i] = tw;
+            twiddlePre_[s][i] = mod_.shoupPrecompute(tw);
+            u64 itw = mod_.inv(tw);
+            itwiddle_[s][i] = itw;
+            itwiddlePre_[s][i] = mod_.shoupPrecompute(itw);
+            nxt[2 * i] = su;
+            nxt[2 * i + 1] = sv;
+        }
+        cur.swap(nxt);
+    }
+    // Standard DIF leaves X[bitrev(j)] in slot j; cur[p] names the slot
+    // at physical position p after all shuffles.
+    std::vector<size_t> pos_of_slot(n);
+    for (size_t pth = 0; pth < n; ++pth) {
+        pos_of_slot[cur[pth]] = pth;
+    }
+    outPerm_.resize(n);
+    for (size_t k = 0; k < n; ++k) {
+        outPerm_[k] = pos_of_slot[bitReverse(k, logn_)];
+    }
+}
+
+void
+CgNtt::forward(std::vector<u64> &a) const
+{
+    trinity_assert(a.size() == n_, "CG-NTT size mismatch");
+    // Negacyclic pre-twist, then cyclic constant-geometry stages.
+    for (size_t i = 0; i < n_; ++i) {
+        a[i] = mod_.mulShoup(a[i], psiPow_[i], psiPowPre_[i]);
+    }
+    std::vector<u64> buf(n_);
+    u64 *src = a.data();
+    u64 *dst = buf.data();
+    for (u32 s = 0; s < logn_; ++s) {
+        const auto &tw = twiddle_[s];
+        const auto &twp = twiddlePre_[s];
+        for (size_t i = 0; i < n_ / 2; ++i) {
+            u64 u = src[i];
+            u64 v = src[i + n_ / 2];
+            dst[2 * i] = mod_.add(u, v);
+            dst[2 * i + 1] =
+                mod_.mulShoup(mod_.sub(u, v), tw[i], twp[i]);
+        }
+        std::swap(src, dst);
+    }
+    // src now points at the stage output; emit in natural order.
+    std::vector<u64> out(n_);
+    for (size_t k = 0; k < n_; ++k) {
+        out[k] = src[outPerm_[k]];
+    }
+    a.swap(out);
+}
+
+void
+CgNtt::inverse(std::vector<u64> &a) const
+{
+    trinity_assert(a.size() == n_, "CG-iNTT size mismatch");
+    // Undo the output permutation.
+    std::vector<u64> buf(n_);
+    std::vector<u64> cur(n_);
+    for (size_t k = 0; k < n_; ++k) {
+        cur[outPerm_[k]] = a[k];
+    }
+    u64 *src = cur.data();
+    u64 *dst = buf.data();
+    // Reverse the stages with inverse butterflies:
+    //   u = (y0 + y1*w^-1)/2 ; v = (y0 - y1*w^-1)/2
+    for (u32 s = logn_; s-- > 0;) {
+        const auto &itw = itwiddle_[s];
+        const auto &itwp = itwiddlePre_[s];
+        for (size_t i = 0; i < n_ / 2; ++i) {
+            u64 y0 = src[2 * i];
+            u64 y1 = mod_.mulShoup(src[2 * i + 1], itw[i], itwp[i]);
+            u64 u = mod_.mulShoup(mod_.add(y0, y1), halfInv_,
+                                  halfInvPre_);
+            u64 v = mod_.mulShoup(mod_.sub(y0, y1), halfInv_,
+                                  halfInvPre_);
+            dst[i] = u;
+            dst[i + n_ / 2] = v;
+        }
+        std::swap(src, dst);
+    }
+    for (size_t i = 0; i < n_; ++i) {
+        a[i] = mod_.mulShoup(src[i], ipsiPow_[i], ipsiPowPre_[i]);
+    }
+}
+
+} // namespace trinity

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Constant-geometry (Pease) NTT.
+ *
+ * Trinity's NTTU and the CU butterfly columns implement the
+ * constant-geometry dataflow (Section IV-B): every stage reads operand
+ * pairs at the fixed physical distance N/2 and writes them interleaved,
+ * so the wiring between consecutive butterfly stages is identical — the
+ * property that makes the CU's butterfly NoC cheap (0.2% of CU area).
+ *
+ * This class is the bit-exact software model of that network. The
+ * per-stage twiddle schedule is derived at construction time by
+ * simulating the perfect-shuffle permutation against the standard
+ * decimation-in-frequency NTT, asserting at every stage that the Pease
+ * invariant holds (each physical pair (i, i+N/2) is a valid DIF slot
+ * pair). Outputs are verified against NttTable in the unit tests.
+ */
+
+#ifndef TRINITY_POLY_CG_NTT_H
+#define TRINITY_POLY_CG_NTT_H
+
+#include <memory>
+#include <vector>
+
+#include "poly/ntt.h"
+
+namespace trinity {
+
+/** Constant-geometry negacyclic NTT engine. */
+class CgNtt
+{
+  public:
+    /**
+     * Build the constant-geometry schedule for length @p n over
+     * modulus @p mod (prime, q ≡ 1 mod 2n).
+     */
+    CgNtt(size_t n, const Modulus &mod);
+
+    size_t n() const { return n_; }
+
+    /**
+     * Forward negacyclic NTT, natural order in, natural order out
+     * (evaluations at psi^(2k+1) in index order k).
+     */
+    void forward(std::vector<u64> &a) const;
+
+    /** Inverse of forward(). */
+    void inverse(std::vector<u64> &a) const;
+
+    /** Number of butterfly stages (log2 n). */
+    u32 stages() const { return logn_; }
+
+  private:
+    size_t n_;
+    u32 logn_;
+    Modulus mod_;
+    std::shared_ptr<const NttTable> table_;
+    /** twiddle_[s][i]: twiddle of physical butterfly i at stage s. */
+    std::vector<std::vector<u64>> twiddle_;
+    std::vector<std::vector<u64>> twiddlePre_;
+    /** Inverse twiddles for the reversed (Gentleman-Sande) traversal. */
+    std::vector<std::vector<u64>> itwiddle_;
+    std::vector<std::vector<u64>> itwiddlePre_;
+    /** outPerm_[k]: physical position holding natural output k. */
+    std::vector<size_t> outPerm_;
+    /** psi^i twist tables (negacyclic pre/post twist). */
+    std::vector<u64> psiPow_, psiPowPre_, ipsiPow_, ipsiPowPre_;
+    u64 halfInv_; // (1/2) mod q, for inverse butterflies
+    u64 halfInvPre_;
+};
+
+} // namespace trinity
+
+#endif // TRINITY_POLY_CG_NTT_H

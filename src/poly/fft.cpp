@@ -1,0 +1,160 @@
+#include "poly/fft.h"
+
+#include <cmath>
+
+#include "common/bitops.h"
+#include "common/logging.h"
+
+namespace trinity {
+
+void
+fft(std::vector<cd> &a, bool invert)
+{
+    size_t n = a.size();
+    trinity_assert(isPowerOfTwo(n), "FFT length must be a power of two");
+    // Bit-reversal permutation.
+    for (size_t i = 1, j = 0; i < n; ++i) {
+        size_t bit = n >> 1;
+        for (; j & bit; bit >>= 1) {
+            j ^= bit;
+        }
+        j ^= bit;
+        if (i < j) {
+            std::swap(a[i], a[j]);
+        }
+    }
+    for (size_t len = 2; len <= n; len <<= 1) {
+        double ang = 2 * M_PI / static_cast<double>(len) *
+                     (invert ? -1 : 1);
+        cd wlen(std::cos(ang), std::sin(ang));
+        for (size_t i = 0; i < n; i += len) {
+            cd w(1);
+            for (size_t j = 0; j < len / 2; ++j) {
+                cd u = a[i + j];
+                cd v = a[i + j + len / 2] * w;
+                a[i + j] = u + v;
+                a[i + j + len / 2] = u - v;
+                w *= wlen;
+            }
+        }
+    }
+    if (invert) {
+        for (cd &x : a) {
+            x /= static_cast<double>(n);
+        }
+    }
+}
+
+std::vector<i64>
+negacyclicConvolutionFft(const std::vector<i64> &a,
+                         const std::vector<i64> &b)
+{
+    size_t n = a.size();
+    trinity_assert(b.size() == n, "operand size mismatch");
+    // Twist by the primitive 2N-th root to turn negacyclic into cyclic.
+    std::vector<cd> fa(n), fb(n);
+    for (size_t i = 0; i < n; ++i) {
+        double ang = M_PI * static_cast<double>(i) /
+                     static_cast<double>(n);
+        cd tw(std::cos(ang), std::sin(ang));
+        fa[i] = tw * static_cast<double>(a[i]);
+        fb[i] = tw * static_cast<double>(b[i]);
+    }
+    fft(fa, false);
+    fft(fb, false);
+    for (size_t i = 0; i < n; ++i) {
+        fa[i] *= fb[i];
+    }
+    fft(fa, true);
+    std::vector<i64> out(n);
+    for (size_t i = 0; i < n; ++i) {
+        double ang = -M_PI * static_cast<double>(i) /
+                     static_cast<double>(n);
+        cd tw(std::cos(ang), std::sin(ang));
+        out[i] = std::llround((fa[i] * tw).real());
+    }
+    return out;
+}
+
+SpecialFft::SpecialFft(size_t slots)
+    : slots_(slots), m_(4 * slots)
+{
+    trinity_assert(isPowerOfTwo(slots), "slot count must be power of 2");
+    ksiPows_.resize(m_ + 1);
+    for (size_t k = 0; k <= m_; ++k) {
+        double ang = 2.0 * M_PI * static_cast<double>(k) /
+                     static_cast<double>(m_);
+        ksiPows_[k] = cd(std::cos(ang), std::sin(ang));
+    }
+    rotGroup_.resize(slots);
+    u32 five = 1;
+    for (size_t j = 0; j < slots; ++j) {
+        rotGroup_[j] = five;
+        five = static_cast<u32>((static_cast<u64>(five) * 5) % m_);
+    }
+}
+
+void
+SpecialFft::bitReverseVec(std::vector<cd> &vals) const
+{
+    size_t n = vals.size();
+    for (size_t i = 1, j = 0; i < n; ++i) {
+        size_t bit = n >> 1;
+        for (; j & bit; bit >>= 1) {
+            j ^= bit;
+        }
+        j ^= bit;
+        if (i < j) {
+            std::swap(vals[i], vals[j]);
+        }
+    }
+}
+
+void
+SpecialFft::forward(std::vector<cd> &vals) const
+{
+    size_t n = vals.size();
+    trinity_assert(n == slots_, "special FFT size mismatch");
+    bitReverseVec(vals);
+    for (size_t len = 2; len <= n; len <<= 1) {
+        size_t lenh = len >> 1;
+        size_t lenq = len << 2;
+        for (size_t i = 0; i < n; i += len) {
+            for (size_t j = 0; j < lenh; ++j) {
+                size_t idx = (rotGroup_[j] % lenq) * (m_ / lenq);
+                cd u = vals[i + j];
+                cd v = vals[i + j + lenh] * ksiPows_[idx];
+                vals[i + j] = u + v;
+                vals[i + j + lenh] = u - v;
+            }
+        }
+    }
+}
+
+void
+SpecialFft::inverse(std::vector<cd> &vals) const
+{
+    size_t n = vals.size();
+    trinity_assert(n == slots_, "special FFT size mismatch");
+    for (size_t len = n; len >= 2; len >>= 1) {
+        size_t lenh = len >> 1;
+        size_t lenq = len << 2;
+        for (size_t i = 0; i < n; i += len) {
+            for (size_t j = 0; j < lenh; ++j) {
+                size_t idx =
+                    (lenq - (rotGroup_[j] % lenq)) * (m_ / lenq);
+                cd u = vals[i + j] + vals[i + j + lenh];
+                cd v = (vals[i + j] - vals[i + j + lenh]) *
+                       ksiPows_[idx];
+                vals[i + j] = u;
+                vals[i + j + lenh] = v;
+            }
+        }
+    }
+    bitReverseVec(vals);
+    for (cd &x : vals) {
+        x /= static_cast<double>(n);
+    }
+}
+
+} // namespace trinity

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Complex FFTs.
+ *
+ * Two users:
+ *  1. The CKKS encoder's canonical embedding ("special" FFT evaluated
+ *     at the 5^j-indexed primitive 2N-th roots, HEAAN-style).
+ *  2. The FFT-based external product used by prior TFHE accelerators
+ *     (Matcha/Strix/Morphling). Trinity's motivation is that FFT
+ *     introduces approximation error while NTT does not; the
+ *     fft_vs_ntt bench and tests quantify exactly that using this
+ *     implementation.
+ */
+
+#ifndef TRINITY_POLY_FFT_H
+#define TRINITY_POLY_FFT_H
+
+#include <complex>
+#include <vector>
+
+#include "common/types.h"
+
+namespace trinity {
+
+using cd = std::complex<double>;
+
+/**
+ * In-place iterative radix-2 cyclic FFT (natural order in/out).
+ * @param a data, length a power of two
+ * @param invert true for the inverse transform (includes 1/n scaling)
+ */
+void fft(std::vector<cd> &a, bool invert);
+
+/**
+ * Negacyclic convolution of two integer polynomials via the twisted
+ * FFT, rounding the result to nearest integers — the arithmetic prior
+ * TFHE accelerators perform in hardware. Exposes FFT rounding error.
+ *
+ * @param a first polynomial, coefficients as signed integers
+ * @param b second polynomial
+ * @return round(a * b mod X^N + 1) computed in double precision
+ */
+std::vector<i64> negacyclicConvolutionFft(const std::vector<i64> &a,
+                                          const std::vector<i64> &b);
+
+/**
+ * Canonical-embedding transform pair used by the CKKS encoder.
+ *
+ * Operates on n = N/2 slots; the evaluation points are
+ * zeta^(5^j mod 2N) with zeta = exp(i*pi/N).
+ */
+class SpecialFft
+{
+  public:
+    /** @param slots number of CKKS slots n = N/2 (power of two) */
+    explicit SpecialFft(size_t slots);
+
+    /** Decode direction: coefficients-packed vector -> slot values. */
+    void forward(std::vector<cd> &vals) const;
+
+    /** Encode direction: slot values -> coefficients-packed vector. */
+    void inverse(std::vector<cd> &vals) const;
+
+    size_t slots() const { return slots_; }
+
+  private:
+    size_t slots_;
+    size_t m_; // 2N = 4 * slots
+    std::vector<cd> ksiPows_;     // exp(2*pi*i*k / m), k in [0, m]
+    std::vector<u32> rotGroup_;   // 5^j mod m
+
+    void bitReverseVec(std::vector<cd> &vals) const;
+};
+
+} // namespace trinity
+
+#endif // TRINITY_POLY_FFT_H

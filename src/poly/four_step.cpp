@@ -1,0 +1,143 @@
+#include "poly/four_step.h"
+
+#include "common/bitops.h"
+#include "common/logging.h"
+
+namespace trinity {
+
+FourStepNtt::FourStepNtt(size_t n1, size_t n2, const Modulus &mod)
+    : n1_(n1), n2_(n2), mod_(mod)
+{
+    trinity_assert(isPowerOfTwo(n1) && isPowerOfTwo(n2),
+                   "four-step factors must be powers of two");
+    size_t n = n1 * n2;
+    t1_ = NttTableCache::get(n1, mod.value());
+    t2_ = NttTableCache::get(n2, mod.value());
+    tn_ = NttTableCache::get(n, mod.value());
+
+    u64 psi = tn_->psi();
+    u64 w_n = mod_.mul(psi, psi); // principal n-th root
+    u64 iw_n = mod_.inv(w_n);
+
+    twist_.resize(n);
+    itwist_.resize(n);
+    for (size_t k1 = 0; k1 < n1_; ++k1) {
+        // Row k1 is the geometric sequence (W_N^k1)^i2 — exactly what
+        // the hardware's OF-Twist unit generates from (first item,
+        // common ratio).
+        u64 ratio = mod_.pow(w_n, k1);
+        u64 iratio = mod_.pow(iw_n, k1);
+        u64 v = 1, iv = 1;
+        for (size_t i2 = 0; i2 < n2_; ++i2) {
+            twist_[k1 * n2_ + i2] = v;
+            itwist_[k1 * n2_ + i2] = iv;
+            v = mod_.mul(v, ratio);
+            iv = mod_.mul(iv, iratio);
+        }
+    }
+
+    psiPow_.resize(n);
+    ipsiPow_.resize(n);
+    u64 ipsi = mod_.inv(psi);
+    u64 p = 1, ip = 1;
+    for (size_t i = 0; i < n; ++i) {
+        psiPow_[i] = p;
+        ipsiPow_[i] = ip;
+        p = mod_.mul(p, psi);
+        ip = mod_.mul(ip, ipsi);
+    }
+}
+
+void
+FourStepNtt::forwardCyclic(std::vector<u64> &a) const
+{
+    size_t n = n1_ * n2_;
+    trinity_assert(a.size() == n, "four-step size mismatch");
+    // A[i1][i2] = a[i2 + n2*i1].
+    // Step 1: length-n1 DFT down each column i2.
+    std::vector<u64> col(n1_);
+    for (size_t i2 = 0; i2 < n2_; ++i2) {
+        for (size_t i1 = 0; i1 < n1_; ++i1) {
+            col[i1] = a[i2 + n2_ * i1];
+        }
+        t1_->forwardCyclic(col.data());
+        for (size_t k1 = 0; k1 < n1_; ++k1) {
+            a[i2 + n2_ * k1] = col[k1];
+        }
+    }
+    // Step 2: twist B[k1][i2] *= W_N^(i2*k1).
+    for (size_t k1 = 0; k1 < n1_; ++k1) {
+        for (size_t i2 = 0; i2 < n2_; ++i2) {
+            a[i2 + n2_ * k1] =
+                mod_.mul(a[i2 + n2_ * k1], twist_[k1 * n2_ + i2]);
+        }
+    }
+    // Step 3: length-n2 DFT along each row k1 (contiguous).
+    for (size_t k1 = 0; k1 < n1_; ++k1) {
+        t2_->forwardCyclic(a.data() + n2_ * k1);
+    }
+    // Step 4: transpose; X[k1 + n1*k2] = C[k1][k2].
+    std::vector<u64> out(n);
+    for (size_t k1 = 0; k1 < n1_; ++k1) {
+        for (size_t k2 = 0; k2 < n2_; ++k2) {
+            out[k1 + n1_ * k2] = a[k2 + n2_ * k1];
+        }
+    }
+    a.swap(out);
+}
+
+void
+FourStepNtt::inverseCyclic(std::vector<u64> &a) const
+{
+    size_t n = n1_ * n2_;
+    trinity_assert(a.size() == n, "four-step size mismatch");
+    // Reverse of forwardCyclic.
+    std::vector<u64> c(n);
+    for (size_t k1 = 0; k1 < n1_; ++k1) {
+        for (size_t k2 = 0; k2 < n2_; ++k2) {
+            c[k2 + n2_ * k1] = a[k1 + n1_ * k2];
+        }
+    }
+    for (size_t k1 = 0; k1 < n1_; ++k1) {
+        t2_->inverseCyclic(c.data() + n2_ * k1);
+    }
+    for (size_t k1 = 0; k1 < n1_; ++k1) {
+        for (size_t i2 = 0; i2 < n2_; ++i2) {
+            c[i2 + n2_ * k1] =
+                mod_.mul(c[i2 + n2_ * k1], itwist_[k1 * n2_ + i2]);
+        }
+    }
+    std::vector<u64> col(n1_);
+    for (size_t i2 = 0; i2 < n2_; ++i2) {
+        for (size_t k1 = 0; k1 < n1_; ++k1) {
+            col[k1] = c[i2 + n2_ * k1];
+        }
+        t1_->inverseCyclic(col.data());
+        for (size_t i1 = 0; i1 < n1_; ++i1) {
+            c[i2 + n2_ * i1] = col[i1];
+        }
+    }
+    a.swap(c);
+}
+
+void
+FourStepNtt::forward(std::vector<u64> &a) const
+{
+    size_t n = n1_ * n2_;
+    for (size_t i = 0; i < n; ++i) {
+        a[i] = mod_.mul(a[i], psiPow_[i]);
+    }
+    forwardCyclic(a);
+}
+
+void
+FourStepNtt::inverse(std::vector<u64> &a) const
+{
+    size_t n = n1_ * n2_;
+    inverseCyclic(a);
+    for (size_t i = 0; i < n; ++i) {
+        a[i] = mod_.mul(a[i], ipsiPow_[i]);
+    }
+}
+
+} // namespace trinity

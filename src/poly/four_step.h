@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Four-step (Bailey) NTT decomposition.
+ *
+ * Trinity computes NTTs longer than its 2M-point NTTU by splitting
+ * N = N1·N2 into phase-1 column transforms, an on-the-fly twisting-
+ * factor multiplication (OF-Twist), phase-2 row transforms, and a
+ * transpose (Sections IV-B/IV-E). For 4M..2M^2 the phase-2 transform
+ * runs on CU butterfly columns. This class is the bit-exact software
+ * model of that decomposition, validated against the monolithic NTT.
+ */
+
+#ifndef TRINITY_POLY_FOUR_STEP_H
+#define TRINITY_POLY_FOUR_STEP_H
+
+#include <memory>
+#include <vector>
+
+#include "poly/ntt.h"
+
+namespace trinity {
+
+/** Four-step cyclic/negacyclic NTT of length n1*n2. */
+class FourStepNtt
+{
+  public:
+    /**
+     * @param n1 phase-1 (column) transform length
+     * @param n2 phase-2 (row) transform length
+     * @param mod prime modulus, q ≡ 1 mod 2*n1*n2
+     */
+    FourStepNtt(size_t n1, size_t n2, const Modulus &mod);
+
+    size_t n() const { return n1_ * n2_; }
+
+    /** Forward cyclic DFT, natural order in and out. */
+    void forwardCyclic(std::vector<u64> &a) const;
+
+    /** Inverse cyclic DFT, natural order in and out. */
+    void inverseCyclic(std::vector<u64> &a) const;
+
+    /** Forward negacyclic NTT (same semantics as CgNtt::forward). */
+    void forward(std::vector<u64> &a) const;
+
+    /** Inverse negacyclic NTT. */
+    void inverse(std::vector<u64> &a) const;
+
+  private:
+    size_t n1_, n2_;
+    Modulus mod_;
+    std::shared_ptr<const NttTable> t1_;  // length n1 sub-transform
+    std::shared_ptr<const NttTable> t2_;  // length n2 sub-transform
+    std::shared_ptr<const NttTable> tn_;  // full-length table (psi source)
+    /** twist_[k1*n2 + i2] = W_N^(i2*k1); OF-Twist generates these from
+     *  a first item and common ratio per row — we precompute. */
+    std::vector<u64> twist_;
+    std::vector<u64> itwist_;
+    /** psi^i twist for the negacyclic wrapper. */
+    std::vector<u64> psiPow_, ipsiPow_;
+};
+
+} // namespace trinity
+
+#endif // TRINITY_POLY_FOUR_STEP_H

@@ -1,0 +1,161 @@
+#include "poly/ntt.h"
+
+#include <map>
+#include <mutex>
+
+#include "common/bitops.h"
+#include "common/logging.h"
+#include "common/primes.h"
+
+namespace trinity {
+
+NttTable::NttTable(size_t n, const Modulus &mod)
+    : n_(n), logn_(log2Exact(n)), mod_(mod)
+{
+    trinity_assert(isPowerOfTwo(n), "NTT length must be a power of two");
+    u64 q = mod.value();
+    if ((q - 1) % (2 * n) != 0) {
+        trinity_fatal("modulus %llu is not NTT-friendly for N=%zu",
+                      static_cast<unsigned long long>(q), n);
+    }
+    psi_ = findPrimitiveRoot(2 * n, mod_);
+    psiInv_ = mod_.inv(psi_);
+    nInv_ = mod_.inv(n);
+    nInvPrecon_ = mod_.shoupPrecompute(nInv_);
+
+    psiBr_.resize(n);
+    psiBrPrecon_.resize(n);
+    ipsiBr_.resize(n);
+    ipsiBrPrecon_.resize(n);
+    psiPow_.resize(n);
+    psiPowPrecon_.resize(n);
+    ipsiPow_.resize(n);
+    ipsiPowPrecon_.resize(n);
+
+    u64 p = 1, pi = 1;
+    for (size_t i = 0; i < n; ++i) {
+        psiPow_[i] = p;
+        ipsiPow_[i] = pi;
+        psiPowPrecon_[i] = mod_.shoupPrecompute(p);
+        ipsiPowPrecon_[i] = mod_.shoupPrecompute(pi);
+        p = mod_.mul(p, psi_);
+        pi = mod_.mul(pi, psiInv_);
+    }
+    for (size_t i = 0; i < n; ++i) {
+        size_t r = bitReverse(i, logn_);
+        psiBr_[i] = psiPow_[r];
+        ipsiBr_[i] = ipsiPow_[r];
+        psiBrPrecon_[i] = mod_.shoupPrecompute(psiBr_[i]);
+        ipsiBrPrecon_[i] = mod_.shoupPrecompute(ipsiBr_[i]);
+    }
+}
+
+void
+NttTable::forwardCore(u64 *a, const std::vector<u64> &tw,
+                      const std::vector<u64> &tw_pre) const
+{
+    size_t t = n_;
+    for (size_t m = 1; m < n_; m <<= 1) {
+        t >>= 1;
+        for (size_t i = 0; i < m; ++i) {
+            u64 s = tw[m + i];
+            u64 sp = tw_pre[m + i];
+            size_t j0 = 2 * i * t;
+            for (size_t j = j0; j < j0 + t; ++j) {
+                u64 u = a[j];
+                u64 v = mod_.mulShoup(a[j + t], s, sp);
+                a[j] = mod_.add(u, v);
+                a[j + t] = mod_.sub(u, v);
+            }
+        }
+    }
+}
+
+void
+NttTable::inverseCore(u64 *a, const std::vector<u64> &tw,
+                      const std::vector<u64> &tw_pre) const
+{
+    size_t t = 1;
+    for (size_t m = n_; m > 1; m >>= 1) {
+        size_t h = m >> 1;
+        for (size_t i = 0; i < h; ++i) {
+            u64 s = tw[h + i];
+            u64 sp = tw_pre[h + i];
+            size_t j0 = 2 * i * t;
+            for (size_t j = j0; j < j0 + t; ++j) {
+                u64 u = a[j];
+                u64 v = a[j + t];
+                a[j] = mod_.add(u, v);
+                a[j + t] = mod_.mulShoup(mod_.sub(u, v), s, sp);
+            }
+        }
+        t <<= 1;
+    }
+    for (size_t j = 0; j < n_; ++j) {
+        a[j] = mod_.mulShoup(a[j], nInv_, nInvPrecon_);
+    }
+}
+
+void
+NttTable::forward(u64 *a) const
+{
+    forwardCore(a, psiBr_, psiBrPrecon_);
+}
+
+void
+NttTable::inverse(u64 *a) const
+{
+    inverseCore(a, ipsiBr_, ipsiBrPrecon_);
+}
+
+void
+NttTable::forwardCyclic(u64 *a) const
+{
+    // cyclic(a)[k] = negacyclic(a ⊙ psi^{-i})[bitrev(k)]
+    for (size_t i = 0; i < n_; ++i) {
+        a[i] = mod_.mulShoup(a[i], ipsiPow_[i], ipsiPowPrecon_[i]);
+    }
+    forward(a);
+    bitrevPermute(a, n_);
+}
+
+void
+NttTable::inverseCyclic(u64 *a) const
+{
+    bitrevPermute(a, n_);
+    inverse(a);
+    for (size_t i = 0; i < n_; ++i) {
+        a[i] = mod_.mulShoup(a[i], psiPow_[i], psiPowPrecon_[i]);
+    }
+}
+
+void
+NttTable::bitrevPermute(u64 *a, size_t n)
+{
+    u32 logn = log2Exact(n);
+    for (size_t i = 0; i < n; ++i) {
+        size_t r = bitReverse(i, logn);
+        if (r > i) {
+            std::swap(a[i], a[r]);
+        }
+    }
+}
+
+std::shared_ptr<const NttTable>
+NttTableCache::get(size_t n, u64 q)
+{
+    static std::map<std::pair<size_t, u64>,
+                    std::shared_ptr<const NttTable>> cache;
+    static std::mutex mtx;
+    std::lock_guard<std::mutex> lock(mtx);
+    auto key = std::make_pair(n, q);
+    auto it = cache.find(key);
+    if (it != cache.end()) {
+        return it->second;
+    }
+    auto table = std::make_shared<const NttTable>(n, Modulus(q));
+    cache.emplace(key, table);
+    return table;
+}
+
+} // namespace trinity

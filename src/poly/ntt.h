@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Negacyclic Number Theoretic Transform.
+ *
+ * The software reference for every NTT datapath in Trinity. Forward is
+ * the merged-psi Cooley-Tukey network (natural order in, bit-reversed
+ * out); inverse is the Gentleman-Sande network (bit-reversed in, natural
+ * out) — matching the classic Longa-Naehrig formulation used by RNS-FHE
+ * libraries. Twiddles are applied with Shoup lazy multiplication, the
+ * same trick hardware BUs use to avoid a full Barrett per butterfly.
+ */
+
+#ifndef TRINITY_POLY_NTT_H
+#define TRINITY_POLY_NTT_H
+
+#include <memory>
+#include <vector>
+
+#include "common/modarith.h"
+#include "common/types.h"
+
+namespace trinity {
+
+/**
+ * Precomputed twiddle tables for the negacyclic NTT of length N over a
+ * prime modulus q ≡ 1 (mod 2N).
+ */
+class NttTable
+{
+  public:
+    /**
+     * Build tables.
+     * @param n transform length (power of two)
+     * @param mod prime modulus with q ≡ 1 mod 2n
+     */
+    NttTable(size_t n, const Modulus &mod);
+
+    size_t n() const { return n_; }
+    const Modulus &modulus() const { return mod_; }
+    /** The primitive 2N-th root of unity psi used by this table. */
+    u64 psi() const { return psi_; }
+
+    /** In-place forward negacyclic NTT: natural -> bit-reversed order. */
+    void forward(u64 *a) const;
+    void forward(std::vector<u64> &a) const { forward(a.data()); }
+
+    /** In-place inverse negacyclic NTT: bit-reversed -> natural order. */
+    void inverse(u64 *a) const;
+    void inverse(std::vector<u64> &a) const { inverse(a.data()); }
+
+    /**
+     * Forward cyclic (non-negacyclic) NTT, natural -> natural order.
+     * Used by the four-step decomposition, whose sub-transforms are
+     * cyclic DFTs.
+     */
+    void forwardCyclic(u64 *a) const;
+
+    /** Inverse cyclic NTT, natural -> natural order. */
+    void inverseCyclic(u64 *a) const;
+
+    /** Permute a length-N vector by bit reversal, in place. */
+    static void bitrevPermute(u64 *a, size_t n);
+
+  private:
+    size_t n_;
+    u32 logn_;
+    Modulus mod_;
+    u64 psi_;
+    u64 psiInv_;
+    u64 nInv_;
+    u64 nInvPrecon_;
+    /** psi^{bitrev(i)} table + Shoup preconditioners. */
+    std::vector<u64> psiBr_;
+    std::vector<u64> psiBrPrecon_;
+    /** psi^{-bitrev(i)} table + Shoup preconditioners. */
+    std::vector<u64> ipsiBr_;
+    std::vector<u64> ipsiBrPrecon_;
+    /**
+     * Natural-order psi^i / psi^{-i} tables. Cyclic transforms are the
+     * negacyclic network with the implicit twist removed:
+     * cyclic(a)[k] = negacyclic(a ⊙ psi^{-i})[bitrev(k)].
+     */
+    std::vector<u64> psiPow_;
+    std::vector<u64> psiPowPrecon_;
+    std::vector<u64> ipsiPow_;
+    std::vector<u64> ipsiPowPrecon_;
+
+    void forwardCore(u64 *a, const std::vector<u64> &tw,
+                     const std::vector<u64> &tw_pre) const;
+    void inverseCore(u64 *a, const std::vector<u64> &tw,
+                     const std::vector<u64> &tw_pre) const;
+};
+
+/**
+ * Global cache of NTT tables keyed by (n, q); table construction costs
+ * O(n log n) modular exponentiations, so contexts share them.
+ */
+class NttTableCache
+{
+  public:
+    static std::shared_ptr<const NttTable> get(size_t n, u64 q);
+};
+
+} // namespace trinity
+
+#endif // TRINITY_POLY_NTT_H

@@ -1,0 +1,212 @@
+#include "poly/poly.h"
+
+#include "common/bitops.h"
+#include "common/logging.h"
+
+namespace trinity {
+
+Poly::Poly(size_t n, u64 q)
+    : n_(n), mod_(q), table_(NttTableCache::get(n, q)),
+      domain_(Domain::Coeff), coeffs_(n, 0)
+{
+}
+
+Poly::Poly(std::vector<u64> coeffs, u64 q, Domain d)
+    : n_(coeffs.size()), mod_(q),
+      table_(NttTableCache::get(coeffs.size(), q)), domain_(d),
+      coeffs_(std::move(coeffs))
+{
+    for (u64 &c : coeffs_) {
+        if (c >= q) {
+            c = mod_.reduce(c);
+        }
+    }
+}
+
+void
+Poly::toEval()
+{
+    if (domain_ == Domain::Eval) {
+        return;
+    }
+    table_->forward(coeffs_);
+    domain_ = Domain::Eval;
+}
+
+void
+Poly::toCoeff()
+{
+    if (domain_ == Domain::Coeff) {
+        return;
+    }
+    table_->inverse(coeffs_);
+    domain_ = Domain::Coeff;
+}
+
+void
+Poly::checkCompatible(const Poly &other) const
+{
+    trinity_assert(n_ == other.n_ && mod_ == other.mod_,
+                   "incompatible polynomial operands");
+    trinity_assert(domain_ == other.domain_,
+                   "operands in different domains");
+}
+
+void
+Poly::addInPlace(const Poly &other)
+{
+    checkCompatible(other);
+    for (size_t i = 0; i < n_; ++i) {
+        coeffs_[i] = mod_.add(coeffs_[i], other.coeffs_[i]);
+    }
+}
+
+void
+Poly::subInPlace(const Poly &other)
+{
+    checkCompatible(other);
+    for (size_t i = 0; i < n_; ++i) {
+        coeffs_[i] = mod_.sub(coeffs_[i], other.coeffs_[i]);
+    }
+}
+
+void
+Poly::negInPlace()
+{
+    for (size_t i = 0; i < n_; ++i) {
+        coeffs_[i] = mod_.neg(coeffs_[i]);
+    }
+}
+
+void
+Poly::mulPointwiseInPlace(const Poly &other)
+{
+    checkCompatible(other);
+    trinity_assert(domain_ == Domain::Eval,
+                   "pointwise multiply requires Eval domain");
+    for (size_t i = 0; i < n_; ++i) {
+        coeffs_[i] = mod_.mul(coeffs_[i], other.coeffs_[i]);
+    }
+}
+
+void
+Poly::scalarMulInPlace(u64 c)
+{
+    c = mod_.reduce(c);
+    for (size_t i = 0; i < n_; ++i) {
+        coeffs_[i] = mod_.mul(coeffs_[i], c);
+    }
+}
+
+Poly
+Poly::operator+(const Poly &o) const
+{
+    Poly r = *this;
+    r.addInPlace(o);
+    return r;
+}
+
+Poly
+Poly::operator-(const Poly &o) const
+{
+    Poly r = *this;
+    r.subInPlace(o);
+    return r;
+}
+
+Poly
+Poly::operator*(const Poly &o) const
+{
+    Poly a = *this;
+    Poly b = o;
+    a.toEval();
+    b.toEval();
+    a.mulPointwiseInPlace(b);
+    a.toCoeff();
+    return a;
+}
+
+Poly
+Poly::automorphism(u64 g) const
+{
+    trinity_assert(domain_ == Domain::Coeff,
+                   "automorphism operates in coefficient domain");
+    trinity_assert(g % 2 == 1, "automorphism index must be odd");
+    size_t two_n = 2 * n_;
+    Poly r(n_, mod_.value());
+    for (size_t i = 0; i < n_; ++i) {
+        u64 e = (static_cast<u64>(i) * g) % two_n;
+        if (e < n_) {
+            r.coeffs_[e] = coeffs_[i];
+        } else {
+            r.coeffs_[e - n_] = mod_.neg(coeffs_[i]);
+        }
+    }
+    return r;
+}
+
+Poly
+Poly::mulMonomial(u64 t) const
+{
+    trinity_assert(domain_ == Domain::Coeff,
+                   "monomial multiply operates in coefficient domain");
+    size_t two_n = 2 * n_;
+    t %= two_n;
+    Poly r(n_, mod_.value());
+    for (size_t i = 0; i < n_; ++i) {
+        u64 e = (i + t) % two_n;
+        if (e < n_) {
+            r.coeffs_[e] = coeffs_[i];
+        } else {
+            r.coeffs_[e - n_] = mod_.neg(coeffs_[i]);
+        }
+    }
+    return r;
+}
+
+Poly
+Poly::uniform(size_t n, u64 q, Rng &rng, Domain d)
+{
+    Poly r(n, q);
+    for (size_t i = 0; i < n; ++i) {
+        r.coeffs_[i] = rng.uniform(q);
+    }
+    r.domain_ = d;
+    return r;
+}
+
+Poly
+Poly::ternary(size_t n, u64 q, Rng &rng)
+{
+    Poly r(n, q);
+    for (size_t i = 0; i < n; ++i) {
+        r.coeffs_[i] = toResidue(rng.ternary(), q);
+    }
+    return r;
+}
+
+Poly
+Poly::gaussian(size_t n, u64 q, double sigma, Rng &rng)
+{
+    Poly r(n, q);
+    for (size_t i = 0; i < n; ++i) {
+        r.coeffs_[i] = toResidue(rng.gaussian(sigma), q);
+    }
+    return r;
+}
+
+u64
+Poly::infNorm() const
+{
+    u64 q = mod_.value();
+    u64 m = 0;
+    for (u64 c : coeffs_) {
+        i64 centered = centeredRep(c, q);
+        u64 mag = centered < 0 ? static_cast<u64>(-centered)
+                               : static_cast<u64>(centered);
+        m = std::max(m, mag);
+    }
+    return m;
+}
+
+} // namespace trinity

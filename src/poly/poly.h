@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Single-modulus polynomial in R_q = Z_q[X]/(X^N + 1).
+ *
+ * A Poly carries its representation (coefficient vs evaluation/NTT
+ * domain) and its NTT table. All the FHE kernels the paper enumerates
+ * (Table I/II) bottom out here: NTT, ModMul, ModAdd, Auto
+ * (automorphism), Rotate (monomial multiplication), SampleExtract
+ * support, and gadget decomposition helpers.
+ */
+
+#ifndef TRINITY_POLY_POLY_H
+#define TRINITY_POLY_POLY_H
+
+#include <memory>
+#include <vector>
+
+#include "common/modarith.h"
+#include "common/rng.h"
+#include "poly/ntt.h"
+
+namespace trinity {
+
+/** Representation domain of a Poly. */
+enum class Domain { Coeff, Eval };
+
+/** Element of Z_q[X]/(X^N + 1). */
+class Poly
+{
+  public:
+    Poly() : n_(0), domain_(Domain::Coeff) {}
+
+    /** Zero polynomial of length @p n mod @p q, coefficient domain. */
+    Poly(size_t n, u64 q);
+
+    /** Wrap existing coefficients. */
+    Poly(std::vector<u64> coeffs, u64 q, Domain d = Domain::Coeff);
+
+    size_t n() const { return n_; }
+    u64 q() const { return mod_.value(); }
+    const Modulus &modulus() const { return mod_; }
+    Domain domain() const { return domain_; }
+    const std::vector<u64> &coeffs() const { return coeffs_; }
+    std::vector<u64> &coeffs() { return coeffs_; }
+    u64 operator[](size_t i) const { return coeffs_[i]; }
+    u64 &operator[](size_t i) { return coeffs_[i]; }
+
+    /** Convert to evaluation (NTT) domain; no-op if already there. */
+    void toEval();
+    /** Convert to coefficient domain; no-op if already there. */
+    void toCoeff();
+    /** Override the domain tag without transforming (expert use). */
+    void setDomain(Domain d) { domain_ = d; }
+
+    /** this += other (element-wise; both operands in the same domain) */
+    void addInPlace(const Poly &other);
+    /** this -= other */
+    void subInPlace(const Poly &other);
+    /** this = -this */
+    void negInPlace();
+    /** this = this ⊙ other; both must be in Eval domain. */
+    void mulPointwiseInPlace(const Poly &other);
+    /** this *= c (scalar) */
+    void scalarMulInPlace(u64 c);
+
+    Poly operator+(const Poly &o) const;
+    Poly operator-(const Poly &o) const;
+    Poly operator*(const Poly &o) const; ///< full negacyclic product
+
+    /**
+     * Apply the Galois automorphism X -> X^g (g odd), in the
+     * coefficient domain (the AutoU kernel).
+     */
+    Poly automorphism(u64 g) const;
+
+    /**
+     * Multiply by the monomial X^t, t in [0, 2N) — the negacyclic
+     * rotation performed by Trinity's Rotator unit.
+     */
+    Poly mulMonomial(u64 t) const;
+
+    /** Uniform random polynomial. */
+    static Poly uniform(size_t n, u64 q, Rng &rng,
+                        Domain d = Domain::Coeff);
+    /** Ternary {-1,0,1} polynomial (secrets). */
+    static Poly ternary(size_t n, u64 q, Rng &rng);
+    /** Rounded-Gaussian noise polynomial. */
+    static Poly gaussian(size_t n, u64 q, double sigma, Rng &rng);
+
+    /** Infinity norm of the centered representation. */
+    u64 infNorm() const;
+
+  private:
+    size_t n_;
+    Modulus mod_;
+    std::shared_ptr<const NttTable> table_;
+    Domain domain_;
+    std::vector<u64> coeffs_;
+
+    void checkCompatible(const Poly &other) const;
+};
+
+} // namespace trinity
+
+#endif // TRINITY_POLY_POLY_H

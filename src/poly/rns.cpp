@@ -1,0 +1,229 @@
+#include "poly/rns.h"
+
+#include "common/logging.h"
+
+namespace trinity {
+
+RnsPoly::RnsPoly(size_t n, const std::vector<u64> &moduli)
+{
+    limbs_.reserve(moduli.size());
+    for (u64 q : moduli) {
+        limbs_.emplace_back(n, q);
+    }
+}
+
+RnsPoly::RnsPoly(std::vector<Poly> limbs)
+    : limbs_(std::move(limbs))
+{
+}
+
+std::vector<u64>
+RnsPoly::moduli() const
+{
+    std::vector<u64> m;
+    m.reserve(limbs_.size());
+    for (const auto &l : limbs_) {
+        m.push_back(l.q());
+    }
+    return m;
+}
+
+void
+RnsPoly::toEval()
+{
+    for (auto &l : limbs_) {
+        l.toEval();
+    }
+}
+
+void
+RnsPoly::toCoeff()
+{
+    for (auto &l : limbs_) {
+        l.toCoeff();
+    }
+}
+
+Domain
+RnsPoly::domain() const
+{
+    trinity_assert(!limbs_.empty(), "empty RNS polynomial");
+    return limbs_[0].domain();
+}
+
+void
+RnsPoly::addInPlace(const RnsPoly &o)
+{
+    trinity_assert(limbs_.size() == o.limbs_.size(),
+                   "RNS limb count mismatch (%zu vs %zu)",
+                   limbs_.size(), o.limbs_.size());
+    for (size_t i = 0; i < limbs_.size(); ++i) {
+        limbs_[i].addInPlace(o.limbs_[i]);
+    }
+}
+
+void
+RnsPoly::subInPlace(const RnsPoly &o)
+{
+    trinity_assert(limbs_.size() == o.limbs_.size(),
+                   "RNS limb count mismatch");
+    for (size_t i = 0; i < limbs_.size(); ++i) {
+        limbs_[i].subInPlace(o.limbs_[i]);
+    }
+}
+
+void
+RnsPoly::negInPlace()
+{
+    for (auto &l : limbs_) {
+        l.negInPlace();
+    }
+}
+
+void
+RnsPoly::mulPointwiseInPlace(const RnsPoly &o)
+{
+    trinity_assert(limbs_.size() == o.limbs_.size(),
+                   "RNS limb count mismatch");
+    for (size_t i = 0; i < limbs_.size(); ++i) {
+        limbs_[i].mulPointwiseInPlace(o.limbs_[i]);
+    }
+}
+
+RnsPoly
+RnsPoly::operator+(const RnsPoly &o) const
+{
+    RnsPoly r = *this;
+    r.addInPlace(o);
+    return r;
+}
+
+RnsPoly
+RnsPoly::operator-(const RnsPoly &o) const
+{
+    RnsPoly r = *this;
+    r.subInPlace(o);
+    return r;
+}
+
+void
+RnsPoly::dropLastLimb()
+{
+    trinity_assert(!limbs_.empty(), "no limb to drop");
+    limbs_.pop_back();
+}
+
+RnsPoly
+RnsPoly::automorphism(u64 g) const
+{
+    std::vector<Poly> out;
+    out.reserve(limbs_.size());
+    for (const auto &l : limbs_) {
+        out.push_back(l.automorphism(g));
+    }
+    return RnsPoly(std::move(out));
+}
+
+RnsPoly
+RnsPoly::mulMonomial(u64 t) const
+{
+    std::vector<Poly> out;
+    out.reserve(limbs_.size());
+    for (const auto &l : limbs_) {
+        out.push_back(l.mulMonomial(t));
+    }
+    return RnsPoly(std::move(out));
+}
+
+RnsPoly
+RnsPoly::fromSigned(const std::vector<i64> &coeffs, size_t n,
+                    const std::vector<u64> &moduli)
+{
+    trinity_assert(coeffs.size() <= n, "coefficient vector too long");
+    RnsPoly r(n, moduli);
+    for (size_t i = 0; i < coeffs.size(); ++i) {
+        for (size_t j = 0; j < moduli.size(); ++j) {
+            r.limb(j)[i] = toResidue(coeffs[i], moduli[j]);
+        }
+    }
+    return r;
+}
+
+BaseConverter::BaseConverter(const std::vector<u64> &from,
+                             const std::vector<u64> &to)
+    : from_(from), to_(to)
+{
+    trinity_assert(!from.empty() && !to.empty(), "empty RNS basis");
+    for (u64 q : from) {
+        fromMods_.emplace_back(q);
+    }
+    for (u64 p : to) {
+        toMods_.emplace_back(p);
+    }
+    size_t k = from.size();
+    qhatInv_.resize(k);
+    qhatModP_.assign(k, std::vector<u64>(to.size()));
+    for (size_t i = 0; i < k; ++i) {
+        const Modulus &qi = fromMods_[i];
+        // (Q/q_i) mod q_i
+        u64 qhat_mod_qi = 1;
+        for (size_t t = 0; t < k; ++t) {
+            if (t != i) {
+                qhat_mod_qi = qi.mul(qhat_mod_qi, qi.reduce(from[t]));
+            }
+        }
+        qhatInv_[i] = qi.inv(qhat_mod_qi);
+        for (size_t j = 0; j < to.size(); ++j) {
+            const Modulus &pj = toMods_[j];
+            u64 qhat_mod_pj = 1;
+            for (size_t t = 0; t < k; ++t) {
+                if (t != i) {
+                    qhat_mod_pj =
+                        pj.mul(qhat_mod_pj, pj.reduce(from[t]));
+                }
+            }
+            qhatModP_[i][j] = qhat_mod_pj;
+        }
+    }
+}
+
+std::vector<Poly>
+BaseConverter::convert(const std::vector<Poly> &in) const
+{
+    trinity_assert(in.size() == from_.size(),
+                   "BConv input limb count mismatch");
+    size_t n = in[0].n();
+    for (size_t i = 0; i < in.size(); ++i) {
+        trinity_assert(in[i].q() == from_[i], "BConv limb modulus");
+        trinity_assert(in[i].domain() == Domain::Coeff,
+                       "BConv operates in coefficient domain");
+    }
+    // v_i = [x_i * qhatInv_i]_{q_i}
+    std::vector<std::vector<u64>> v(from_.size());
+    for (size_t i = 0; i < from_.size(); ++i) {
+        v[i].resize(n);
+        const Modulus &qi = fromMods_[i];
+        u64 pre = qi.shoupPrecompute(qhatInv_[i]);
+        for (size_t c = 0; c < n; ++c) {
+            v[i][c] = qi.mulShoup(in[i][c], qhatInv_[i], pre);
+        }
+    }
+    std::vector<Poly> out;
+    out.reserve(to_.size());
+    for (size_t j = 0; j < to_.size(); ++j) {
+        const Modulus &pj = toMods_[j];
+        Poly limb(n, to_[j]);
+        for (size_t c = 0; c < n; ++c) {
+            u128 acc = 0;
+            for (size_t i = 0; i < from_.size(); ++i) {
+                acc += static_cast<u128>(pj.reduce(v[i][c])) *
+                       qhatModP_[i][j];
+            }
+            limb[c] = pj.reduce128(acc);
+        }
+        out.push_back(std::move(limb));
+    }
+    return out;
+}
+
+} // namespace trinity

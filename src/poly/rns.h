@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Residue Number System polynomials and fast base conversion.
+ *
+ * RNS-CKKS decomposes a wide-modulus polynomial into limbs over small
+ * NTT-friendly primes (Table I: Q = prod q_i). The BConv kernel
+ * (Section II-A) — a matrix product between an alpha x N limb matrix
+ * and an alpha x l base-change matrix — is what Trinity maps onto CU
+ * systolic arrays. BaseConverter is its bit-exact software model.
+ */
+
+#ifndef TRINITY_POLY_RNS_H
+#define TRINITY_POLY_RNS_H
+
+#include <vector>
+
+#include "poly/poly.h"
+
+namespace trinity {
+
+/** Polynomial in RNS representation: one Poly limb per prime. */
+class RnsPoly
+{
+  public:
+    RnsPoly() = default;
+
+    /** Zero polynomial over the given prime set. */
+    RnsPoly(size_t n, const std::vector<u64> &moduli);
+
+    /** Assemble from existing limbs. */
+    explicit RnsPoly(std::vector<Poly> limbs);
+
+    size_t n() const { return limbs_.empty() ? 0 : limbs_[0].n(); }
+    size_t numLimbs() const { return limbs_.size(); }
+    const Poly &limb(size_t i) const { return limbs_[i]; }
+    Poly &limb(size_t i) { return limbs_[i]; }
+    const std::vector<Poly> &limbs() const { return limbs_; }
+    std::vector<Poly> &limbs() { return limbs_; }
+
+    /** Current modulus chain. */
+    std::vector<u64> moduli() const;
+
+    void toEval();
+    void toCoeff();
+    Domain domain() const;
+
+    void addInPlace(const RnsPoly &o);
+    void subInPlace(const RnsPoly &o);
+    void negInPlace();
+    void mulPointwiseInPlace(const RnsPoly &o);
+
+    RnsPoly operator+(const RnsPoly &o) const;
+    RnsPoly operator-(const RnsPoly &o) const;
+
+    /** Drop the last limb (modulus-chain shortening; used by Rescale). */
+    void dropLastLimb();
+
+    /** Apply automorphism X -> X^g to every limb (coeff domain). */
+    RnsPoly automorphism(u64 g) const;
+
+    /** Multiply every limb by X^t (coeff domain). */
+    RnsPoly mulMonomial(u64 t) const;
+
+    /**
+     * Encode a small signed integer polynomial into all limbs
+     * (each coefficient reduced per limb modulus).
+     */
+    static RnsPoly fromSigned(const std::vector<i64> &coeffs, size_t n,
+                              const std::vector<u64> &moduli);
+
+  private:
+    std::vector<Poly> limbs_;
+};
+
+/**
+ * Fast (HPS-style) approximate base conversion between RNS bases —
+ * the BConv kernel.
+ *
+ * For input x given by limbs x_i mod q_i, outputs
+ *   y_j = sum_i [x_i * (Q/q_i)^{-1}]_{q_i} * (Q/q_i)  mod p_j,
+ * which represents x + u*Q for some 0 <= u < #from limbs. The small
+ * Q-overshoot is absorbed by keyswitch noise, exactly as in RNS-CKKS.
+ */
+class BaseConverter
+{
+  public:
+    BaseConverter(const std::vector<u64> &from,
+                  const std::vector<u64> &to);
+
+    const std::vector<u64> &fromModuli() const { return from_; }
+    const std::vector<u64> &toModuli() const { return to_; }
+
+    /**
+     * Convert coefficient-domain limbs. Input polys must be over the
+     * `from` moduli in order; output polys are over the `to` moduli.
+     */
+    std::vector<Poly> convert(const std::vector<Poly> &in) const;
+
+    /** Number of modular multiplications one conversion performs. */
+    u64 mulCount(size_t n) const
+    {
+        return static_cast<u64>(n) * from_.size() * (1 + to_.size());
+    }
+
+  private:
+    std::vector<u64> from_;
+    std::vector<u64> to_;
+    std::vector<Modulus> fromMods_;
+    std::vector<Modulus> toMods_;
+    /** (Q/q_i)^{-1} mod q_i */
+    std::vector<u64> qhatInv_;
+    /** (Q/q_i) mod p_j, indexed [i][j] */
+    std::vector<std::vector<u64>> qhatModP_;
+};
+
+} // namespace trinity
+
+#endif // TRINITY_POLY_RNS_H

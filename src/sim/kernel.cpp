@@ -1,0 +1,42 @@
+#include "sim/kernel.h"
+
+namespace trinity {
+namespace sim {
+
+const char *
+kernelTypeName(KernelType t)
+{
+    switch (t) {
+      case KernelType::Ntt: return "NTT";
+      case KernelType::Intt: return "iNTT";
+      case KernelType::Bconv: return "BConv";
+      case KernelType::Ip: return "IP";
+      case KernelType::ModMul: return "ModMul";
+      case KernelType::ModAdd: return "ModAdd";
+      case KernelType::Auto: return "Auto";
+      case KernelType::Rotate: return "Rotate";
+      case KernelType::SampleExtract: return "SampleExtract";
+      case KernelType::Decomp: return "Decomp";
+      case KernelType::ModSwitch: return "ModSwitch";
+      case KernelType::LweKs: return "LweKS";
+      case KernelType::Transpose: return "Transpose";
+      case KernelType::HbmXfer: return "HBM";
+      case KernelType::NocXfer: return "NoC";
+    }
+    return "?";
+}
+
+u64
+KernelGraph::totalElements(KernelType t) const
+{
+    u64 sum = 0;
+    for (const auto &k : kernels_) {
+        if (k.type == t) {
+            sum += k.elements;
+        }
+    }
+    return sum;
+}
+
+} // namespace sim
+} // namespace trinity

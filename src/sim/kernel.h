@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Kernel-granularity workload representation for the cycle-level
+ * simulator.
+ *
+ * FHE operations decompose into a finite set of arithmetic kernels
+ * (the paper's first key observation, Section I). A KernelGraph is a
+ * DAG of such kernels; the scheduler maps it onto a Machine.
+ */
+
+#ifndef TRINITY_SIM_KERNEL_H
+#define TRINITY_SIM_KERNEL_H
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace trinity {
+namespace sim {
+
+/** The kernel classes of Table I plus memory/system transfers. */
+enum class KernelType
+{
+    Ntt,           ///< forward NTT
+    Intt,          ///< inverse NTT
+    Bconv,         ///< base conversion MACs
+    Ip,            ///< inner product with evk MACs
+    ModMul,        ///< element-wise modular multiply
+    ModAdd,        ///< element-wise modular add
+    Auto,          ///< automorphism permutation
+    Rotate,        ///< monomial multiply / vector rotate
+    SampleExtract, ///< LWE extraction
+    Decomp,        ///< gadget decomposition
+    ModSwitch,     ///< modulus switch (TFHE)
+    LweKs,         ///< TFHE LWE keyswitch MACs
+    Transpose,     ///< four-step NTT transpose
+    HbmXfer,       ///< off-chip transfer (elements = bytes)
+    NocXfer        ///< inter-cluster layout switch (elements = bytes)
+};
+
+/** Human-readable kernel class name. */
+const char *kernelTypeName(KernelType t);
+
+/** One node of the workload DAG. */
+struct Kernel
+{
+    KernelType type = KernelType::Ntt;
+    /** Total elements processed (e.g. #polys * N). For HbmXfer/NocXfer
+     *  this is bytes. */
+    u64 elements = 0;
+    /** Polynomial length, where meaningful (NTT pass accounting). */
+    u64 polyLen = 0;
+    /** Indices of kernels that must complete first. */
+    std::vector<size_t> deps;
+    /** Stats grouping label (phase name). */
+    std::string tag;
+};
+
+/** Workload DAG with convenience builders. */
+class KernelGraph
+{
+  public:
+    /** Append a kernel; returns its index. */
+    size_t
+    add(Kernel k)
+    {
+        kernels_.push_back(std::move(k));
+        return kernels_.size() - 1;
+    }
+
+    /** Append a kernel depending on a single predecessor (or none). */
+    size_t
+    addAfter(KernelType type, u64 elements, u64 poly_len,
+             std::vector<size_t> deps, std::string tag = "")
+    {
+        Kernel k;
+        k.type = type;
+        k.elements = elements;
+        k.polyLen = poly_len;
+        k.deps = std::move(deps);
+        k.tag = std::move(tag);
+        return add(std::move(k));
+    }
+
+    const std::vector<Kernel> &kernels() const { return kernels_; }
+    size_t size() const { return kernels_.size(); }
+
+    /** Total elements of a given kernel type (workload breakdown). */
+    u64 totalElements(KernelType t) const;
+
+  private:
+    std::vector<Kernel> kernels_;
+};
+
+} // namespace sim
+} // namespace trinity
+
+#endif // TRINITY_SIM_KERNEL_H

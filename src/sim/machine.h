@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Machine model: pools of functional-unit capacity plus the routing of
+ * kernel classes onto pools.
+ *
+ * A Pool aggregates the units of one kind across all clusters (e.g.
+ * "8 NTTU pipelines, 256 elements/cycle each"). Kernel routing carries
+ * a cost multiplier: e.g. on a fixed NTTU-only design, a 1024-point
+ * NTT costs two passes through the 8-stage pipeline (multiplier 2.0),
+ * while the NTTU+CU collaboration streams it in one pass
+ * (multiplier 1.0) — this is exactly the paper's Trinity-TFHE w/o CU
+ * vs w/ CU distinction.
+ */
+
+#ifndef TRINITY_SIM_MACHINE_H
+#define TRINITY_SIM_MACHINE_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/kernel.h"
+
+namespace trinity {
+namespace sim {
+
+/** Aggregated capacity of one unit class across the machine. */
+struct Pool
+{
+    std::string name;
+    /** Aggregate throughput, elements (or bytes) per cycle. */
+    double elemsPerCycle = 0;
+    /** Streaming efficiency in (0, 1]: fill/drain, handoff bubbles. */
+    double efficiency = 1.0;
+    /** Pipeline latency charged once per kernel (cycles). */
+    double latency = 0;
+};
+
+/** Routing entry: pool plus a workload multiplier. */
+struct Route
+{
+    std::string pool;
+    /** Cost multiplier applied to the kernel's element count. */
+    double costFactor = 1.0;
+};
+
+/** A complete accelerator configuration. */
+struct Machine
+{
+    std::string name;
+    double freqGhz = 1.0;
+    size_t clusters = 4;
+    std::map<std::string, Pool> pools;
+    std::map<KernelType, Route> routes;
+
+    /** Route for a kernel type; fatal if the machine cannot run it. */
+    const Route &route(KernelType t) const;
+    const Pool &pool(const std::string &name) const;
+
+    /** Busy cycles this kernel occupies on its pool. */
+    double busyCycles(const Kernel &k) const;
+
+    /** Convert cycles to seconds at the machine frequency. */
+    double
+    seconds(double cycles) const
+    {
+        return cycles / (freqGhz * 1e9);
+    }
+};
+
+/** Scheduling result. */
+struct SimResult
+{
+    double makespanCycles = 0;
+    /** Busy cycles per pool (work / capacity, without efficiency). */
+    std::map<std::string, double> busy;
+
+    /** Utilization of a pool over the makespan. */
+    double
+    utilization(const std::string &pool) const
+    {
+        auto it = busy.find(pool);
+        if (it == busy.end() || makespanCycles <= 0) {
+            return 0;
+        }
+        return it->second / makespanCycles;
+    }
+};
+
+/**
+ * Event-driven list scheduler: issues kernels in topological order,
+ * serializing kernels that share a pool and honoring dependency
+ * edges. Kernels on different pools overlap freely — this is what
+ * lets the NTT/MAC balance (Fig. 2) show up as idle time on fixed
+ * designs and full overlap on Trinity.
+ */
+SimResult schedule(const KernelGraph &graph, const Machine &machine);
+
+/**
+ * Throughput bound: busy cycles per pool if the graph is replayed
+ * back-to-back with perfect batching (dependency-free). The largest
+ * entry is the steady-state cost per graph instance.
+ */
+std::map<std::string, double> poolBusy(const KernelGraph &graph,
+                                       const Machine &machine);
+
+/** Bottleneck busy cycles (max over pools). */
+double bottleneckCycles(const KernelGraph &graph, const Machine &machine);
+
+} // namespace sim
+} // namespace trinity
+
+#endif // TRINITY_SIM_MACHINE_H

@@ -1,0 +1,126 @@
+#include "tfhe/gates.h"
+
+#include "common/logging.h"
+
+namespace trinity {
+
+TfheGateBootstrapper::TfheGateBootstrapper(const TfheParams &params,
+                                           u64 seed)
+    : ctx_(std::make_shared<TfheContext>(params, seed)),
+      boot_(std::make_unique<TfheBootstrapper>(ctx_)),
+      tv_(params.bigN, params.q)
+{
+    lwe_sk_ = ctx_->makeLweKey();
+    glwe_sk_ = ctx_->makeGlweKey();
+    bsk_ = boot_->makeBootstrapKey(lwe_sk_, glwe_sk_);
+    ksk_ = boot_->makeKeySwitchKey(glwe_sk_, lwe_sk_);
+    mu_ = params.q / 8;
+    tv_ = boot_->signTestVector(mu_);
+}
+
+LweCiphertext
+TfheGateBootstrapper::encryptBit(bool bit)
+{
+    u64 m = bit ? mu_ : ctx_->modulus().neg(mu_);
+    return ctx_->lweEncrypt(m, lwe_sk_);
+}
+
+LweCiphertext
+TfheGateBootstrapper::encryptBitTrivial(bool bit) const
+{
+    LweCiphertext ct;
+    ct.a.assign(ctx_->params().nLwe, 0);
+    ct.b = bit ? mu_ : ctx_->modulus().neg(mu_);
+    return ct;
+}
+
+bool
+TfheGateBootstrapper::decryptBit(const LweCiphertext &ct) const
+{
+    u64 phase = ctx_->lwePhase(ct, lwe_sk_);
+    return centeredRep(phase, ctx_->q()) > 0;
+}
+
+LweCiphertext
+TfheGateBootstrapper::linear(const LweCiphertext &x,
+                             const LweCiphertext &y, i64 cx, i64 cy,
+                             u64 bias) const
+{
+    const Modulus &m = ctx_->modulus();
+    u64 rx = toResidue(cx, ctx_->q());
+    u64 ry = toResidue(cy, ctx_->q());
+    LweCiphertext out;
+    out.a.resize(x.a.size());
+    for (size_t i = 0; i < x.a.size(); ++i) {
+        out.a[i] = m.add(m.mul(rx, x.a[i]), m.mul(ry, y.a[i]));
+    }
+    out.b = m.add(m.add(m.mul(rx, x.b), m.mul(ry, y.b)), bias);
+    return out;
+}
+
+LweCiphertext
+TfheGateBootstrapper::bootstrapSign(const LweCiphertext &ct) const
+{
+    LweCiphertext fresh = boot_->pbs(ct, tv_, bsk_, ksk_);
+    // The sign bootstrap lands at +-q/8 exactly; nothing to adjust.
+    return fresh;
+}
+
+LweCiphertext
+TfheGateBootstrapper::gateNand(const LweCiphertext &x,
+                               const LweCiphertext &y) const
+{
+    // phase = q/8 - x - y : positive unless both inputs are true.
+    return bootstrapSign(linear(x, y, -1, -1, mu_));
+}
+
+LweCiphertext
+TfheGateBootstrapper::gateAnd(const LweCiphertext &x,
+                              const LweCiphertext &y) const
+{
+    // phase = x + y - q/8 : positive only when both are true.
+    return bootstrapSign(linear(x, y, 1, 1, ctx_->modulus().neg(mu_)));
+}
+
+LweCiphertext
+TfheGateBootstrapper::gateOr(const LweCiphertext &x,
+                             const LweCiphertext &y) const
+{
+    // phase = x + y + q/8 : negative only when both are false.
+    return bootstrapSign(linear(x, y, 1, 1, mu_));
+}
+
+LweCiphertext
+TfheGateBootstrapper::gateXor(const LweCiphertext &x,
+                              const LweCiphertext &y) const
+{
+    // phase = 2(x + y) + q/4 : the doubling folds (1,1) and (0,0)
+    // onto -q/4 and the mixed cases onto +q/4.
+    u64 quarter = ctx_->q() / 4;
+    return bootstrapSign(linear(x, y, 2, 2, quarter));
+}
+
+LweCiphertext
+TfheGateBootstrapper::gateNot(const LweCiphertext &x) const
+{
+    const Modulus &m = ctx_->modulus();
+    LweCiphertext out;
+    out.a.resize(x.a.size());
+    for (size_t i = 0; i < x.a.size(); ++i) {
+        out.a[i] = m.neg(x.a[i]);
+    }
+    out.b = m.neg(x.b);
+    return out;
+}
+
+LweCiphertext
+TfheGateBootstrapper::gateMux(const LweCiphertext &sel,
+                              const LweCiphertext &a,
+                              const LweCiphertext &b) const
+{
+    LweCiphertext t = gateAnd(sel, a);
+    LweCiphertext f = gateAnd(gateNot(sel), b);
+    return gateOr(t, f);
+}
+
+} // namespace trinity

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Gate bootstrapping: homomorphic boolean gates on LWE-encrypted bits —
+ * the API level at which TFHE applications (the NN-x benchmarks,
+ * HE3DB's filter predicates) are written.
+ *
+ * Bits encode as mu = +-q/8; every binary gate is one linear
+ * combination followed by a sign-extracting PBS.
+ */
+
+#ifndef TRINITY_TFHE_GATES_H
+#define TRINITY_TFHE_GATES_H
+
+#include "tfhe/pbs.h"
+
+namespace trinity {
+
+/** Owns the full key set and exposes encrypted boolean algebra. */
+class TfheGateBootstrapper
+{
+  public:
+    /** Generate all keys for the given parameter set. */
+    TfheGateBootstrapper(const TfheParams &params, u64 seed);
+
+    TfheContext &context() { return *ctx_; }
+    const TfheParams &params() const { return ctx_->params(); }
+
+    /** Encrypt one bit. */
+    LweCiphertext encryptBit(bool bit);
+
+    /** Noise-free trivial encryption of a constant bit (a = 0). */
+    LweCiphertext encryptBitTrivial(bool bit) const;
+
+    /** Decrypt one bit. */
+    bool decryptBit(const LweCiphertext &ct) const;
+
+    LweCiphertext gateNand(const LweCiphertext &x,
+                           const LweCiphertext &y) const;
+    LweCiphertext gateAnd(const LweCiphertext &x,
+                          const LweCiphertext &y) const;
+    LweCiphertext gateOr(const LweCiphertext &x,
+                         const LweCiphertext &y) const;
+    LweCiphertext gateXor(const LweCiphertext &x,
+                          const LweCiphertext &y) const;
+    /** NOT is linear — no bootstrap. */
+    LweCiphertext gateNot(const LweCiphertext &x) const;
+    /** MUX(sel, a, b) = sel ? a : b (three bootstraps). */
+    LweCiphertext gateMux(const LweCiphertext &sel,
+                          const LweCiphertext &a,
+                          const LweCiphertext &b) const;
+
+    /** Raw PBS access (for benchmarks and the NN workloads). */
+    LweCiphertext bootstrapSign(const LweCiphertext &ct) const;
+
+    const TfheBootstrapKey &bootstrapKey() const { return bsk_; }
+    const TfheKeySwitchKey &keySwitchKey() const { return ksk_; }
+    const LweSecretKey &lweKey() const { return lwe_sk_; }
+    const TfheBootstrapper &bootstrapper() const { return *boot_; }
+
+  private:
+    std::shared_ptr<TfheContext> ctx_;
+    std::unique_ptr<TfheBootstrapper> boot_;
+    LweSecretKey lwe_sk_;
+    GlweSecretKey glwe_sk_;
+    TfheBootstrapKey bsk_;
+    TfheKeySwitchKey ksk_;
+    u64 mu_;      ///< q/8 encoding amplitude
+    Poly tv_;     ///< sign test vector
+
+    LweCiphertext linear(const LweCiphertext &x, const LweCiphertext &y,
+                         i64 cx, i64 cy, u64 bias) const;
+};
+
+} // namespace trinity
+
+#endif // TRINITY_TFHE_GATES_H

@@ -1,0 +1,96 @@
+#include "tfhe/integer.h"
+
+#include "common/logging.h"
+
+namespace trinity {
+
+TfheUint
+TfheIntEvaluator::encrypt(u64 v, size_t width)
+{
+    TfheUint x;
+    x.bits.reserve(width);
+    for (size_t i = 0; i < width; ++i) {
+        x.bits.push_back(gb_.encryptBit((v >> i) & 1));
+    }
+    return x;
+}
+
+u64
+TfheIntEvaluator::decrypt(const TfheUint &x) const
+{
+    u64 v = 0;
+    for (size_t i = 0; i < x.width(); ++i) {
+        if (gb_.decryptBit(x.bits[i])) {
+            v |= 1ULL << i;
+        }
+    }
+    return v;
+}
+
+LweCiphertext
+TfheIntEvaluator::lessThan(const TfheUint &a, const TfheUint &b) const
+{
+    trinity_assert(a.width() == b.width(), "width mismatch");
+    // LSB-to-MSB ripple: lt = (~a_i & b_i) | (eq_i & lt_prev).
+    LweCiphertext lt = gb_.gateAnd(gb_.gateNot(a.bits[0]), b.bits[0]);
+    for (size_t i = 1; i < a.width(); ++i) {
+        auto bigger = gb_.gateAnd(gb_.gateNot(a.bits[i]), b.bits[i]);
+        auto eq = gb_.gateNot(gb_.gateXor(a.bits[i], b.bits[i]));
+        lt = gb_.gateOr(bigger, gb_.gateAnd(eq, lt));
+    }
+    return lt;
+}
+
+LweCiphertext
+TfheIntEvaluator::equal(const TfheUint &a, const TfheUint &b) const
+{
+    trinity_assert(a.width() == b.width(), "width mismatch");
+    LweCiphertext eq = gb_.gateNot(gb_.gateXor(a.bits[0], b.bits[0]));
+    for (size_t i = 1; i < a.width(); ++i) {
+        eq = gb_.gateAnd(
+            eq, gb_.gateNot(gb_.gateXor(a.bits[i], b.bits[i])));
+    }
+    return eq;
+}
+
+TfheUint
+TfheIntEvaluator::add(const TfheUint &a, const TfheUint &b) const
+{
+    trinity_assert(a.width() == b.width(), "width mismatch");
+    TfheUint out;
+    out.bits.reserve(a.width());
+    // Full adder: sum = a ^ b ^ c; carry = (a & b) | (c & (a ^ b)).
+    LweCiphertext carry = gb_.encryptBitTrivial(false);
+    for (size_t i = 0; i < a.width(); ++i) {
+        auto axb = gb_.gateXor(a.bits[i], b.bits[i]);
+        out.bits.push_back(gb_.gateXor(axb, carry));
+        auto gen = gb_.gateAnd(a.bits[i], b.bits[i]);
+        auto prop = gb_.gateAnd(carry, axb);
+        carry = gb_.gateOr(gen, prop);
+    }
+    return out;
+}
+
+TfheUint
+TfheIntEvaluator::select(const LweCiphertext &sel, const TfheUint &a,
+                         const TfheUint &b) const
+{
+    trinity_assert(a.width() == b.width(), "width mismatch");
+    TfheUint out;
+    out.bits.reserve(a.width());
+    for (size_t i = 0; i < a.width(); ++i) {
+        out.bits.push_back(gb_.gateMux(sel, a.bits[i], b.bits[i]));
+    }
+    return out;
+}
+
+LweCiphertext
+TfheIntEvaluator::inRange(const TfheUint &x, const TfheUint &lo,
+                          const TfheUint &hi) const
+{
+    auto below_lo = lessThan(x, lo);
+    auto below_hi = lessThan(x, hi);
+    return gb_.gateAnd(gb_.gateNot(below_lo), below_hi);
+}
+
+} // namespace trinity

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Encrypted integers on top of gate bootstrapping — the substrate the
+ * HE3DB filter (Table X) is built from: radix-encoded values with
+ * homomorphic comparison, equality, addition, and selection. Every
+ * non-linear step is one PBS, which is exactly the workload shape the
+ * he3db model charges (kPbsPerRow).
+ */
+
+#ifndef TRINITY_TFHE_INTEGER_H
+#define TRINITY_TFHE_INTEGER_H
+
+#include "tfhe/gates.h"
+
+namespace trinity {
+
+/** Bitwise-encrypted unsigned integer (LSB first). */
+struct TfheUint
+{
+    std::vector<LweCiphertext> bits;
+
+    size_t width() const { return bits.size(); }
+};
+
+/** Homomorphic integer ALU over a gate bootstrapper. */
+class TfheIntEvaluator
+{
+  public:
+    explicit TfheIntEvaluator(TfheGateBootstrapper &gb) : gb_(gb) {}
+
+    /** Encrypt @p v as @p width bits. */
+    TfheUint encrypt(u64 v, size_t width);
+
+    /** Decrypt back to an integer. */
+    u64 decrypt(const TfheUint &x) const;
+
+    /** [[a < b]] (unsigned ripple comparator, 4 PBS per bit). */
+    LweCiphertext lessThan(const TfheUint &a, const TfheUint &b) const;
+
+    /** [[a == b]]. */
+    LweCiphertext equal(const TfheUint &a, const TfheUint &b) const;
+
+    /** a + b (mod 2^width), ripple-carry: 5 PBS per bit. */
+    TfheUint add(const TfheUint &a, const TfheUint &b) const;
+
+    /** sel ? a : b, bitwise MUX. */
+    TfheUint select(const LweCiphertext &sel, const TfheUint &a,
+                    const TfheUint &b) const;
+
+    /**
+     * The HE3DB-style range predicate lo <= x < hi.
+     * Cost: two comparators — the Table X filter primitive.
+     */
+    LweCiphertext inRange(const TfheUint &x, const TfheUint &lo,
+                          const TfheUint &hi) const;
+
+  private:
+    TfheGateBootstrapper &gb_;
+};
+
+} // namespace trinity
+
+#endif // TRINITY_TFHE_INTEGER_H

@@ -1,0 +1,74 @@
+#include "tfhe/params.h"
+
+#include "common/primes.h"
+
+namespace trinity {
+
+TfheParams
+TfheParams::make(TfheParams p)
+{
+    p.q = nearestNttPrime(1ULL << 32, 2 * p.bigN);
+    return p;
+}
+
+TfheParams
+TfheParams::setI()
+{
+    TfheParams p;
+    p.name = "Set-I";
+    p.bigN = 1024;
+    p.k = 1;
+    p.nLwe = 500;
+    p.lb = 2;
+    p.logBg = 11;
+    p.lk = 5;
+    p.logBks = 4;
+    return make(p);
+}
+
+TfheParams
+TfheParams::setII()
+{
+    TfheParams p;
+    p.name = "Set-II";
+    p.bigN = 1024;
+    p.k = 1;
+    p.nLwe = 630;
+    p.lb = 3;
+    p.logBg = 8;
+    p.lk = 5;
+    p.logBks = 4;
+    return make(p);
+}
+
+TfheParams
+TfheParams::setIII()
+{
+    TfheParams p;
+    p.name = "Set-III";
+    p.bigN = 2048;
+    p.k = 1;
+    p.nLwe = 592;
+    p.lb = 3;
+    p.logBg = 8;
+    p.lk = 5;
+    p.logBks = 4;
+    return make(p);
+}
+
+TfheParams
+TfheParams::testTiny()
+{
+    TfheParams p;
+    p.name = "test-tiny";
+    p.bigN = 256;
+    p.k = 1;
+    p.nLwe = 64;
+    p.lb = 3;
+    p.logBg = 8;
+    p.lk = 5;
+    p.logBks = 4;
+    return make(p);
+}
+
+} // namespace trinity

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * TFHE parameter sets.
+ *
+ * Table IV of the paper:
+ *   Set-I   : N=1024, n_lwe=500, k=1, lb=2, 80-bit security
+ *   Set-II  : N=1024, n_lwe=630, k=1, lb=3, 110-bit
+ *   Set-III : N=2048, n_lwe=592, k=1, lb=3, 128-bit
+ *
+ * Following the paper's FFT->NTT substitution (Section II-B), the
+ * coefficient modulus is the NTT-friendly prime closest to the 2^32
+ * torus modulus: q = nearestNttPrime(2^32, 2N). All arithmetic is then
+ * exact — the advantage Trinity gets over FFT-based designs.
+ */
+
+#ifndef TRINITY_TFHE_PARAMS_H
+#define TRINITY_TFHE_PARAMS_H
+
+#include <cstddef>
+#include <string>
+
+#include "common/types.h"
+
+namespace trinity {
+
+/** TFHE scheme parameters (Table I notation). */
+struct TfheParams
+{
+    std::string name;   ///< label used in benchmark output
+    size_t bigN = 1024; ///< GLWE polynomial size N
+    size_t k = 1;       ///< GLWE dimension
+    size_t nLwe = 500;  ///< LWE dimension n_lwe
+    u32 lb = 2;         ///< decomposition levels of bsk
+    u32 logBg = 11;     ///< log2 of the bsk decomposition base
+    u32 lk = 5;         ///< decomposition levels of ksk
+    u32 logBks = 4;     ///< log2 of the ksk decomposition base
+    u64 q = 0;          ///< prime modulus (filled by make())
+    double sigmaLwe = 3.2;  ///< LWE noise stddev (absolute)
+    double sigmaGlwe = 3.2; ///< GLWE noise stddev (absolute)
+
+    /** Decomposed rows per external product: (k+1) * lb. */
+    size_t extRows() const { return (k + 1) * lb; }
+
+    /** Table IV Set-I (80-bit). */
+    static TfheParams setI();
+    /** Table IV Set-II (110-bit). */
+    static TfheParams setII();
+    /** Table IV Set-III (128-bit). */
+    static TfheParams setIII();
+    /** Reduced set for fast unit tests. */
+    static TfheParams testTiny();
+
+  private:
+    /** Fill q from the substitution rule and return. */
+    static TfheParams make(TfheParams p);
+};
+
+} // namespace trinity
+
+#endif // TRINITY_TFHE_PARAMS_H

@@ -1,0 +1,194 @@
+#include "tfhe/pbs.h"
+
+#include "common/logging.h"
+
+namespace trinity {
+
+TfheBootstrapper::TfheBootstrapper(std::shared_ptr<TfheContext> ctx)
+    : ctx_(std::move(ctx))
+{
+}
+
+TfheBootstrapKey
+TfheBootstrapper::makeBootstrapKey(const LweSecretKey &lwe_sk,
+                                   const GlweSecretKey &glwe_sk)
+{
+    TfheBootstrapKey out;
+    out.bsk.reserve(lwe_sk.s.size());
+    for (i64 bit : lwe_sk.s) {
+        GgswCiphertext g = ctx_->ggswEncrypt(bit, glwe_sk);
+        ctx_->ggswToEval(g);
+        out.bsk.push_back(std::move(g));
+    }
+    return out;
+}
+
+TfheKeySwitchKey
+TfheBootstrapper::makeKeySwitchKey(const GlweSecretKey &from,
+                                   const LweSecretKey &to)
+{
+    const auto &p = ctx_->params();
+    LweSecretKey wide = from.extractLweKey();
+    TfheKeySwitchKey ksk;
+    ksk.logB = p.logBks;
+    ksk.levels = p.lk;
+    ksk.rows.resize(wide.s.size());
+    const Modulus &m = ctx_->modulus();
+    for (size_t i = 0; i < wide.s.size(); ++i) {
+        ksk.rows[i].reserve(p.lk);
+        for (u32 j = 0; j < p.lk; ++j) {
+            u128 denom = u128(1) << (p.logBks * (j + 1));
+            u64 g = static_cast<u64>((u128(p.q) + denom / 2) / denom);
+            u64 msg = wide.s[i] ? g : 0;
+            (void)m;
+            ksk.rows[i].push_back(ctx_->lweEncrypt(msg, to));
+        }
+    }
+    return ksk;
+}
+
+u64
+TfheBootstrapper::modSwitch(u64 x) const
+{
+    const auto &p = ctx_->params();
+    u64 two_n = 2 * p.bigN;
+    // round(2N * x / q) mod 2N
+    u128 num = u128(x) * two_n + p.q / 2;
+    return static_cast<u64>(num / p.q) % two_n;
+}
+
+GlweCiphertext
+TfheBootstrapper::blindRotate(const LweCiphertext &ct, const Poly &tv,
+                              const TfheBootstrapKey &bsk) const
+{
+    const auto &p = ctx_->params();
+    u64 two_n = 2 * p.bigN;
+    trinity_assert(ct.a.size() == bsk.bsk.size(),
+                   "bsk/ciphertext dimension mismatch");
+    u64 b_tilde = modSwitch(ct.b);
+    // ACC_0 = Rotate(tv, -b~)  (Algorithm 2 line 2).
+    GlweCiphertext acc =
+        ctx_->glweMulMonomial(ctx_->glweTrivial(tv), two_n - b_tilde);
+    for (size_t i = 0; i < ct.a.size(); ++i) {
+        u64 a_tilde = modSwitch(ct.a[i]);
+        if (a_tilde == 0) {
+            continue;
+        }
+        // ACC = CMux(bsk_i, ACC, X^{a~_i} * ACC): selects the rotated
+        // accumulator when s_i = 1 (lines 5-11).
+        GlweCiphertext rotated = ctx_->glweMulMonomial(acc, a_tilde);
+        acc = ctx_->cmux(bsk.bsk[i], acc, rotated);
+    }
+    return acc;
+}
+
+LweCiphertext
+TfheBootstrapper::sampleExtract(const GlweCiphertext &acc,
+                                size_t idx) const
+{
+    const auto &p = ctx_->params();
+    size_t n = p.bigN;
+    const Modulus &m = ctx_->modulus();
+    trinity_assert(idx < n, "extract index out of range");
+    LweCiphertext out;
+    out.a.resize(p.k * n);
+    for (size_t j = 0; j < p.k; ++j) {
+        const Poly &aj = acc.a[j];
+        trinity_assert(aj.domain() == Domain::Coeff,
+                       "sample extract needs coefficient domain");
+        for (size_t i = 0; i < n; ++i) {
+            // a'_{jN+i} = A_j[idx-i], negacyclic wrap brings a sign.
+            u64 v;
+            if (i <= idx) {
+                v = aj[idx - i];
+            } else {
+                v = m.neg(aj[n + idx - i]);
+            }
+            out.a[j * n + i] = v;
+        }
+    }
+    out.b = acc.b[idx];
+    return out;
+}
+
+LweCiphertext
+TfheBootstrapper::keySwitch(const LweCiphertext &wide,
+                            const TfheKeySwitchKey &ksk) const
+{
+    const auto &p = ctx_->params();
+    const Modulus &m = ctx_->modulus();
+    trinity_assert(wide.a.size() == ksk.rows.size(),
+                   "ksk dimension mismatch");
+    LweCiphertext out;
+    out.a.assign(p.nLwe, 0);
+    out.b = wide.b;
+    // c'' = (0,...,0,b') - sum_i sum_j d_ij * ksk[i][j]
+    u32 lk = ksk.levels;
+    u32 log_b = ksk.logB;
+    u64 base = 1ULL << log_b;
+    u64 half = base >> 1;
+    std::vector<i64> digits(lk);
+    for (size_t i = 0; i < wide.a.size(); ++i) {
+        u64 x = wide.a[i];
+        if (x == 0) {
+            continue;
+        }
+        // Balanced base-B decomposition of x (lk levels).
+        u128 scale = u128(1) << (log_b * lk);
+        u128 y = (u128(x) * scale + p.q / 2) / p.q;
+        u64 carry = 0;
+        for (u32 l = lk; l-- > 0;) {
+            u64 r = static_cast<u64>(y & (base - 1)) + carry;
+            y >>= log_b;
+            if (r >= half) {
+                digits[l] = static_cast<i64>(r) - static_cast<i64>(base);
+                carry = 1;
+            } else {
+                digits[l] = static_cast<i64>(r);
+                carry = 0;
+            }
+        }
+        for (u32 j = 0; j < lk; ++j) {
+            if (digits[j] == 0) {
+                continue;
+            }
+            u64 d = toResidue(digits[j], p.q);
+            const LweCiphertext &row = ksk.rows[i][j];
+            for (size_t t = 0; t < p.nLwe; ++t) {
+                out.a[t] = m.sub(out.a[t], m.mul(d, row.a[t]));
+            }
+            out.b = m.sub(out.b, m.mul(d, row.b));
+        }
+    }
+    return out;
+}
+
+LweCiphertext
+TfheBootstrapper::pbs(const LweCiphertext &in, const Poly &tv,
+                      const TfheBootstrapKey &bsk,
+                      const TfheKeySwitchKey &ksk) const
+{
+    GlweCiphertext acc = blindRotate(in, tv, bsk);
+    LweCiphertext wide = sampleExtract(acc, 0);
+    return keySwitch(wide, ksk);
+}
+
+Poly
+TfheBootstrapper::makeTestVector(
+    const std::function<u64(size_t)> &f) const
+{
+    const auto &p = ctx_->params();
+    Poly tv(p.bigN, p.q);
+    for (size_t i = 0; i < p.bigN; ++i) {
+        tv[i] = f(i);
+    }
+    return tv;
+}
+
+Poly
+TfheBootstrapper::signTestVector(u64 amplitude) const
+{
+    return makeTestVector([amplitude](size_t) { return amplitude; });
+}
+
+} // namespace trinity

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * TFHE Programmable Bootstrapping — Algorithm 2 of the paper:
+ * ModSwitch, Blind Rotation (n_lwe CMux/external-product iterations),
+ * SampleExtract, and the TFHE KeySwitch back to the small LWE key.
+ */
+
+#ifndef TRINITY_TFHE_PBS_H
+#define TRINITY_TFHE_PBS_H
+
+#include <functional>
+
+#include "tfhe/core.h"
+
+namespace trinity {
+
+/** Bootstrapping key: one GGSW per LWE key bit, NTT domain. */
+struct TfheBootstrapKey
+{
+    std::vector<GgswCiphertext> bsk;
+};
+
+/** KeySwitch key: kN x lk LWE encryptions of s_glwe[i] * gks_j. */
+struct TfheKeySwitchKey
+{
+    std::vector<std::vector<LweCiphertext>> rows;
+    u32 logB = 0;
+    u32 levels = 0;
+};
+
+/** Runs Algorithm 2 and generates its key material. */
+class TfheBootstrapper
+{
+  public:
+    explicit TfheBootstrapper(std::shared_ptr<TfheContext> ctx);
+
+    /** bsk: GGSW encryptions of each LWE key bit under the GLWE key. */
+    TfheBootstrapKey makeBootstrapKey(const LweSecretKey &lwe_sk,
+                                      const GlweSecretKey &glwe_sk);
+
+    /** ksk: extracted-key to LWE-key switching material. */
+    TfheKeySwitchKey makeKeySwitchKey(const GlweSecretKey &from,
+                                      const LweSecretKey &to);
+
+    /** ModSwitch: round x from Z_q to Z_{2N}. */
+    u64 modSwitch(u64 x) const;
+
+    /**
+     * Blind Rotation: returns a GLWE holding tv * X^{-phase~} where
+     * phase~ is the mod-switched phase of @p ct.
+     */
+    GlweCiphertext blindRotate(const LweCiphertext &ct, const Poly &tv,
+                               const TfheBootstrapKey &bsk) const;
+
+    /** SampleExtract: LWE of coefficient @p idx under the wide key. */
+    LweCiphertext sampleExtract(const GlweCiphertext &acc,
+                                size_t idx) const;
+
+    /** TFHE KeySwitch (Algorithm 2 lines 16-17). */
+    LweCiphertext keySwitch(const LweCiphertext &wide,
+                            const TfheKeySwitchKey &ksk) const;
+
+    /** Full PBS: blind rotate + extract + keyswitch. */
+    LweCiphertext pbs(const LweCiphertext &in, const Poly &tv,
+                      const TfheBootstrapKey &bsk,
+                      const TfheKeySwitchKey &ksk) const;
+
+    /** Test vector with tv[i] = f(i), i in [0, N). */
+    Poly makeTestVector(const std::function<u64(size_t)> &f) const;
+
+    /** Constant test vector (sign bootstrap): tv[i] = amplitude. */
+    Poly signTestVector(u64 amplitude) const;
+
+  private:
+    std::shared_ptr<TfheContext> ctx_;
+};
+
+} // namespace trinity
+
+#endif // TRINITY_TFHE_PBS_H

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Application-level workload models for the full benchmark suite
+ * (Section V-B): CKKS packed bootstrapping / HELR / ResNet-20, the
+ * TFHE NN-x networks, the scheme-conversion repacking benchmark, and
+ * the HE3DB hybrid query.
+ *
+ * CKKS applications are expressed as operation traces (op kind, level,
+ * count). Exact per-phase constants are reconstructions from the cited
+ * workloads' published structure:
+ *  - Packed bootstrap [27]: ModRaise, 3-stage BSGS CoeffToSlot,
+ *    degree-31 Chebyshev EvalMod with double-angle, 3-stage
+ *    SlotToCoeff; 15 levels consumed.
+ *  - HELR [17]: batch 1024; per iteration a sigmoid-polynomial
+ *    evaluation, gradient inner products via rotate-and-sum, and an
+ *    amortized quarter bootstrap.
+ *  - ResNet-20 [25]: multiplexed-convolution layers dominated by
+ *    rotations plus ~25 bootstrap invocations.
+ */
+
+#ifndef TRINITY_WORKLOAD_APPS_H
+#define TRINITY_WORKLOAD_APPS_H
+
+#include <string>
+#include <vector>
+
+#include "sim/machine.h"
+#include "tfhe/params.h"
+#include "workload/ckks_ops.h"
+
+namespace trinity {
+namespace workload {
+
+/** One entry of a CKKS operation trace. */
+struct AppOp
+{
+    enum class Kind { HMult, HRotate, PMult, HAdd, Rescale };
+    Kind kind;
+    size_t level; ///< chain level the op executes at
+    double count;
+};
+
+/** A CKKS application = a trace plus its parameter shape. */
+struct CkksApp
+{
+    std::string name;
+    CkksShape shape; ///< n / maxLevel / dnum (level varies per op)
+    std::vector<AppOp> ops;
+};
+
+/** The three Table VI applications. */
+CkksApp packedBootstrap();
+CkksApp helr();      ///< 32 iterations, batch 1024
+CkksApp resnet20();  ///< CIFAR-10 inference
+
+/** Result of composing an application onto a machine. */
+struct AppResult
+{
+    double cycles = 0;
+    std::map<std::string, double> poolBusy;
+
+    double
+    utilization(const std::string &pool) const
+    {
+        auto it = poolBusy.find(pool);
+        return it == poolBusy.end() || cycles <= 0
+                   ? 0.0
+                   : it->second / cycles;
+    }
+};
+
+/**
+ * Compose a CKKS application onto a machine: per-op kernel graphs are
+ * replayed `count` times with cross-op overlap; the makespan is the
+ * bottleneck pool's total busy time plus a fixed scheduling-slack
+ * factor (list-scheduler gaps measured on the per-op graphs).
+ */
+AppResult runCkksApp(const sim::Machine &m, const CkksApp &app);
+
+/** Latency in milliseconds. */
+double ckksAppMs(const sim::Machine &m, const CkksApp &app);
+
+/** NN-x (Table VIII): depth layers of 92 neurons, one PBS each,
+ *  executed latency-bound (single inference, no batching). */
+double nnLatencyMs(const sim::Machine &m, const TfheParams &p,
+                   size_t depth);
+
+/**
+ * Scheme-conversion repacking benchmark (Table IX): the full
+ * PackLWEs tree + field trace as one dependency-aware kernel graph.
+ * @param n ring degree (paper: 2^14)
+ * @param level chain level (paper: L = 8)
+ * @param nslot number of LWEs to repack
+ */
+sim::KernelGraph conversionGraph(size_t n, size_t level, size_t dnum,
+                                 size_t nslot);
+
+/** Conversion latency in milliseconds on a machine. */
+double conversionMs(const sim::Machine &m, size_t n, size_t level,
+                    size_t nslot);
+
+/** HE3DB TPC-H Q6 (Table X) on Trinity, seconds. */
+double he3dbTrinitySeconds(size_t rows);
+
+/** HE3DB on the split SHARP+Morphling system, seconds. */
+double he3dbSharpMorphlingSeconds(size_t rows);
+
+} // namespace workload
+} // namespace trinity
+
+#endif // TRINITY_WORKLOAD_APPS_H

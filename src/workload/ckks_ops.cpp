@@ -1,0 +1,168 @@
+#include "workload/ckks_ops.h"
+
+#include "common/bitops.h"
+
+namespace trinity {
+namespace workload {
+
+using sim::KernelGraph;
+using sim::KernelType;
+
+KernelGraph
+keySwitchGraph(const CkksShape &s)
+{
+    KernelGraph g;
+    size_t n = s.n;
+    size_t nq = s.level + 1;
+    size_t alpha = s.alpha();
+    size_t beta = s.beta();
+    size_t next = s.extLimbs();
+
+    // Input iNTT: the switched polynomial enters in the evaluation
+    // domain (HMult tensor output) and must be decomposed in coeffs.
+    size_t intt_in = g.addAfter(KernelType::Intt,
+                                static_cast<u64>(nq) * n, n, {}, "ks");
+    std::vector<size_t> ip_ids;
+    for (size_t j = 0; j < beta; ++j) {
+        // ModUp BConv: alpha source limbs lifted to the rest of the
+        // extended basis: N * alpha * (next - alpha) MACs.
+        size_t bconv = g.addAfter(
+            KernelType::Bconv,
+            static_cast<u64>(n) * alpha * (next - alpha), n, {intt_in},
+            "ks.modup");
+        // Forward NTT of every extended-basis limb of this digit.
+        size_t ntt = g.addAfter(KernelType::Ntt,
+                                static_cast<u64>(next) * n, n, {bconv},
+                                "ks.ntt");
+        // Inner product against both evk components; work counts
+        // *input* elements (each broadcast into two accumulators in a
+        // systolic pass; element-wise engines pay cost factor 2).
+        size_t ip = g.addAfter(KernelType::Ip,
+                               static_cast<u64>(next) * n, n, {ntt},
+                               "ks.ip");
+        ip_ids.push_back(ip);
+    }
+    // Accumulate + iNTT of both accumulators.
+    size_t intt_out = g.addAfter(KernelType::Intt,
+                                 static_cast<u64>(2) * next * n, n,
+                                 ip_ids, "ks");
+    // ModDown: BConv of the special part + subtract + scale by P^-1.
+    size_t down = g.addAfter(KernelType::Bconv,
+                             static_cast<u64>(2) * n * alpha * nq, n,
+                             {intt_out}, "ks.moddown");
+    g.addAfter(KernelType::ModMul, static_cast<u64>(2) * nq * n * 2, n,
+               {down}, "ks");
+    return g;
+}
+
+KernelGraph
+hmultGraph(const CkksShape &s)
+{
+    KernelGraph g;
+    size_t n = s.n;
+    size_t nq = s.level + 1;
+    // Tensor product: d0, d1 (two partials), d2 -> 4 limb-wise mults.
+    size_t tensor = g.addAfter(KernelType::ModMul,
+                               static_cast<u64>(4) * nq * n, n, {},
+                               "hmult.tensor");
+    g.addAfter(KernelType::ModAdd, static_cast<u64>(nq) * n, n, {tensor},
+               "hmult");
+    // Relinearize d2 through the keyswitch.
+    KernelGraph ks = keySwitchGraph(s);
+    size_t base = g.size();
+    for (auto k : ks.kernels()) {
+        for (auto &d : k.deps) {
+            d += base;
+        }
+        if (k.deps.empty()) {
+            k.deps.push_back(tensor);
+        }
+        g.add(std::move(k));
+    }
+    g.addAfter(KernelType::ModAdd, static_cast<u64>(2) * nq * n, n,
+               {g.size() - 1}, "hmult.acc");
+    return g;
+}
+
+KernelGraph
+hrotateGraph(const CkksShape &s)
+{
+    KernelGraph g;
+    size_t n = s.n;
+    size_t nq = s.level + 1;
+    size_t aut = g.addAfter(KernelType::Auto,
+                            static_cast<u64>(2) * nq * n, n, {},
+                            "hrot.auto");
+    KernelGraph ks = keySwitchGraph(s);
+    size_t base = g.size();
+    for (auto k : ks.kernels()) {
+        for (auto &d : k.deps) {
+            d += base;
+        }
+        if (k.deps.empty()) {
+            k.deps.push_back(aut);
+        }
+        g.add(std::move(k));
+    }
+    g.addAfter(KernelType::ModAdd, static_cast<u64>(nq) * n, n,
+               {g.size() - 1}, "hrot.acc");
+    return g;
+}
+
+KernelGraph
+pmultGraph(const CkksShape &s)
+{
+    KernelGraph g;
+    g.addAfter(KernelType::ModMul,
+               static_cast<u64>(2) * (s.level + 1) * s.n, s.n, {},
+               "pmult");
+    return g;
+}
+
+KernelGraph
+haddGraph(const CkksShape &s)
+{
+    KernelGraph g;
+    g.addAfter(KernelType::ModAdd,
+               static_cast<u64>(2) * (s.level + 1) * s.n, s.n, {},
+               "hadd");
+    return g;
+}
+
+KernelGraph
+rescaleGraph(const CkksShape &s)
+{
+    KernelGraph g;
+    size_t n = s.n;
+    size_t nq = s.level + 1;
+    size_t intt = g.addAfter(KernelType::Intt,
+                             static_cast<u64>(2) * nq * n, n, {},
+                             "rescale");
+    size_t mul = g.addAfter(KernelType::ModMul,
+                            static_cast<u64>(2) * (nq - 1) * n * 2, n,
+                            {intt}, "rescale");
+    g.addAfter(KernelType::Ntt, static_cast<u64>(2) * (nq - 1) * n, n,
+               {mul}, "rescale");
+    return g;
+}
+
+MulBreakdown
+keySwitchBreakdown(const CkksShape &s)
+{
+    KernelGraph g = keySwitchGraph(s);
+    double logn = static_cast<double>(log2Exact(s.n));
+    MulBreakdown b;
+    // One NTT of length N costs (N/2) log2 N butterfly multiplies.
+    double ntt_elems =
+        static_cast<double>(g.totalElements(KernelType::Ntt) +
+                            g.totalElements(KernelType::Intt));
+    b.nttMuls = ntt_elems / 2.0 * logn;
+    // IP input elements each feed two evk-component multiplies.
+    b.macMuls =
+        static_cast<double>(g.totalElements(KernelType::Bconv)) +
+        2.0 * static_cast<double>(g.totalElements(KernelType::Ip));
+    return b;
+}
+
+} // namespace workload
+} // namespace trinity

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Kernel-graph generators for CKKS operations (Table II), with element
+ * counts derived from the same algebra the functional library
+ * implements — Algorithm 1 for the hybrid keyswitch in particular.
+ */
+
+#ifndef TRINITY_WORKLOAD_CKKS_OPS_H
+#define TRINITY_WORKLOAD_CKKS_OPS_H
+
+#include "sim/kernel.h"
+
+namespace trinity {
+namespace workload {
+
+/** Static shape of a CKKS operation instance. */
+struct CkksShape
+{
+    size_t n = 1ULL << 16; ///< ring degree
+    size_t level = 35;     ///< current level l
+    size_t maxLevel = 35;  ///< L
+    size_t dnum = 3;
+
+    size_t alpha() const { return (maxLevel + 1 + dnum - 1) / dnum; }
+    size_t beta() const { return (level + 1 + alpha() - 1) / alpha(); }
+    /** Limbs in the extended basis q_0..q_l, p_0..p_{alpha-1}. */
+    size_t extLimbs() const { return level + 1 + alpha(); }
+};
+
+/** Algorithm 1 (hybrid keyswitch) as a kernel DAG. */
+sim::KernelGraph keySwitchGraph(const CkksShape &s);
+
+/** HMult = tensor product + keyswitch + accumulate. */
+sim::KernelGraph hmultGraph(const CkksShape &s);
+
+/** HRotate = automorphism + keyswitch + accumulate. */
+sim::KernelGraph hrotateGraph(const CkksShape &s);
+
+/** PMult = 2(l+1) limb-wise modular multiplies. */
+sim::KernelGraph pmultGraph(const CkksShape &s);
+
+/** HAdd. */
+sim::KernelGraph haddGraph(const CkksShape &s);
+
+/** Rescale: iNTT, exact divide, NTT back. */
+sim::KernelGraph rescaleGraph(const CkksShape &s);
+
+/** Modular-multiplication counts split into NTT vs MAC work (Fig. 2). */
+struct MulBreakdown
+{
+    double nttMuls = 0;
+    double macMuls = 0;
+
+    double
+    nttShare() const
+    {
+        return nttMuls / (nttMuls + macMuls);
+    }
+};
+
+/** Fig. 2 left bar: CKKS KeySwitch breakdown. */
+MulBreakdown keySwitchBreakdown(const CkksShape &s);
+
+} // namespace workload
+} // namespace trinity
+
+#endif // TRINITY_WORKLOAD_CKKS_OPS_H

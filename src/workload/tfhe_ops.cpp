@@ -1,0 +1,86 @@
+#include "workload/tfhe_ops.h"
+
+#include "common/bitops.h"
+
+namespace trinity {
+namespace workload {
+
+using sim::KernelGraph;
+using sim::KernelType;
+
+KernelGraph
+pbsGraph(const TfheParams &p)
+{
+    KernelGraph g;
+    u64 n = p.bigN;
+    u64 rows = p.extRows();       // (k+1) * lb
+    u64 comps = p.k + 1;
+
+    // ModSwitch of the whole input ciphertext.
+    size_t prev = g.addAfter(KernelType::ModSwitch, p.nLwe + 1, n, {},
+                             "pbs.modswitch");
+    // Initial rotation of the test vector.
+    prev = g.addAfter(KernelType::Rotate, comps * n, n, {prev},
+                      "pbs.rotate");
+    // Blind rotation: n_lwe dependency-chained external products.
+    for (size_t i = 0; i < p.nLwe; ++i) {
+        size_t rot = g.addAfter(KernelType::Rotate, comps * n, n,
+                                {prev}, "pbs.rotate");
+        size_t dec = g.addAfter(KernelType::Decomp, comps * n, n, {rot},
+                                "pbs.decomp");
+        size_t ntt = g.addAfter(KernelType::Ntt, rows * n, n, {dec},
+                                "pbs.ntt");
+        // MAC work counts *input* elements: the systolic pass
+        // broadcasts each decomposed element into the (k+1) output
+        // accumulators in the same cycle.
+        size_t mac = g.addAfter(KernelType::Ip, rows * n, n, {ntt},
+                                "pbs.mac");
+        size_t intt = g.addAfter(KernelType::Intt, comps * n, n, {mac},
+                                 "pbs.intt");
+        prev = g.addAfter(KernelType::ModAdd, comps * n, n, {intt},
+                          "pbs.acc");
+    }
+    // SampleExtract + TFHE KeySwitch (Algorithm 2 lines 14-17).
+    size_t ext = g.addAfter(KernelType::SampleExtract, p.k * n, n,
+                            {prev}, "pbs.extract");
+    g.addAfter(KernelType::LweKs,
+               static_cast<u64>(p.k) * n * p.lk * (p.nLwe + 1) / 8, n,
+               {ext}, "pbs.keyswitch");
+    return g;
+}
+
+double
+pbsThroughputOps(const sim::Machine &m, const TfheParams &p)
+{
+    KernelGraph g = pbsGraph(p);
+    double cycles = sim::bottleneckCycles(g, m);
+    return m.freqGhz * 1e9 / cycles;
+}
+
+double
+pbsLatencyCycles(const sim::Machine &m, const TfheParams &p)
+{
+    KernelGraph g = pbsGraph(p);
+    return sim::schedule(g, m).makespanCycles;
+}
+
+MulBreakdown
+pbsBreakdown(const TfheParams &p)
+{
+    KernelGraph g = pbsGraph(p);
+    double logn = static_cast<double>(log2Exact(p.bigN));
+    MulBreakdown b;
+    double ntt_elems =
+        static_cast<double>(g.totalElements(KernelType::Ntt) +
+                            g.totalElements(KernelType::Intt));
+    b.nttMuls = ntt_elems / 2.0 * logn;
+    // True multiply count: each MAC input element feeds k+1
+    // accumulating multiplies.
+    b.macMuls =
+        static_cast<double>(g.totalElements(KernelType::Ip)) * (p.k + 1) +
+        static_cast<double>(g.totalElements(KernelType::LweKs));
+    return b;
+}
+
+} // namespace workload
+} // namespace trinity

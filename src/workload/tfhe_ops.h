@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Kernel-graph generator for TFHE PBS (Algorithm 2) plus the derived
+ * throughput / latency metrics and the Fig. 2 breakdown.
+ */
+
+#ifndef TRINITY_WORKLOAD_TFHE_OPS_H
+#define TRINITY_WORKLOAD_TFHE_OPS_H
+
+#include "sim/machine.h"
+#include "tfhe/params.h"
+#include "workload/ckks_ops.h"
+
+namespace trinity {
+namespace workload {
+
+/**
+ * Full PBS kernel DAG: ModSwitch, n_lwe blind-rotation iterations
+ * (Rotate, Decompose, (k+1)lb NTTs, MAC, (k+1) iNTTs, accumulate),
+ * SampleExtract, and the TFHE KeySwitch.
+ */
+sim::KernelGraph pbsGraph(const TfheParams &p);
+
+/**
+ * Steady-state PBS throughput in operations per second, assuming the
+ * paper's batched execution (Table VII): the bottleneck pool's busy
+ * cycles per PBS set the rate.
+ */
+double pbsThroughputOps(const sim::Machine &m, const TfheParams &p);
+
+/** Single-PBS latency in cycles (dependency-chained schedule). */
+double pbsLatencyCycles(const sim::Machine &m, const TfheParams &p);
+
+/** Fig. 2 right bars: NTT vs MAC multiply share of one PBS. */
+MulBreakdown pbsBreakdown(const TfheParams &p);
+
+} // namespace workload
+} // namespace trinity
+
+#endif // TRINITY_WORKLOAD_TFHE_OPS_H

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Accelerator-model tests: configuration sanity, the area/power model
+ * against Table XI, NTT-utilization model shapes (Fig. 1 / Fig. 9),
+ * and cluster-scaling behaviour (Fig. 15 / 16).
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/area.h"
+#include "accel/configs.h"
+#include "accel/ntt_util.h"
+
+namespace trinity {
+namespace accel {
+namespace {
+
+TEST(Configs, TrinityHasAllCkksKernelRoutes)
+{
+    auto m = trinityCkks();
+    for (auto t : {sim::KernelType::Ntt, sim::KernelType::Intt,
+                   sim::KernelType::Bconv, sim::KernelType::Ip,
+                   sim::KernelType::ModMul, sim::KernelType::ModAdd,
+                   sim::KernelType::Auto, sim::KernelType::Rotate,
+                   sim::KernelType::SampleExtract}) {
+        EXPECT_NO_FATAL_FAILURE(m.route(t));
+    }
+}
+
+TEST(Configs, MorphlingCannotRunCkksAutomorphism)
+{
+    // Morphling is TFHE-only: no AutoU -> CKKS HRotate cannot map.
+    auto m = morphling();
+    EXPECT_DEATH(m.route(sim::KernelType::Auto), "");
+}
+
+TEST(Configs, TrinityNttCapacityScalesWithClusters)
+{
+    auto m2 = trinityCkks(2);
+    auto m4 = trinityCkks(4);
+    auto m8 = trinityCkks(8);
+    EXPECT_DOUBLE_EQ(m4.pool("NTTU").elemsPerCycle,
+                     2 * m2.pool("NTTU").elemsPerCycle);
+    EXPECT_DOUBLE_EQ(m8.pool("NTTU").elemsPerCycle,
+                     2 * m4.pool("NTTU").elemsPerCycle);
+}
+
+TEST(Configs, WithoutCuPaysTwoNttPasses)
+{
+    auto wo = trinityTfheWithoutCu();
+    auto w = trinityTfheWithCu();
+    EXPECT_DOUBLE_EQ(wo.route(sim::KernelType::Ntt).costFactor, 2.0);
+    EXPECT_DOUBLE_EQ(w.route(sim::KernelType::Ntt).costFactor, 1.0);
+}
+
+TEST(AreaModel, MatchesTableXiClusterTotal)
+{
+    AreaModel m(4);
+    EXPECT_NEAR(m.clusterArea(), 16.28, 0.01);
+    EXPECT_NEAR(m.clusterPower(), 35.94, 0.01);
+}
+
+TEST(AreaModel, MatchesTableXiChipTotal)
+{
+    AreaModel m(4);
+    EXPECT_NEAR(m.totalArea(), 157.26, 0.01);
+    EXPECT_NEAR(m.totalPower(), 229.36, 0.01);
+}
+
+TEST(AreaModel, SmallerThanSharpPlusMorphling)
+{
+    // The headline area claim: Trinity is ~15% smaller than the sum
+    // of SHARP and Morphling.
+    AreaModel m(4);
+    double combined = AreaModel::sharpAreaMm2() +
+                      AreaModel::morphlingAreaMm2();
+    double reduction = 1.0 - m.totalArea() / combined;
+    EXPECT_GT(reduction, 0.10);
+    EXPECT_LT(reduction, 0.20);
+}
+
+TEST(AreaModel, ClusterScalingMatchesFig16Trend)
+{
+    AreaModel a2(2), a4(4), a8(8);
+    // 2 clusters: ~28% area reduction vs the default (Section VI-E).
+    double red = 1.0 - a2.totalArea() / a4.totalArea();
+    EXPECT_NEAR(red, 0.28, 0.06);
+    // 8 clusters: ~2x area of the default.
+    double inc = a8.totalArea() / a4.totalArea();
+    EXPECT_NEAR(inc, 2.0, 0.25);
+    // Monotone in cluster count.
+    EXPECT_LT(a2.totalArea(), a4.totalArea());
+    EXPECT_LT(a4.totalArea(), a8.totalArea());
+    EXPECT_LT(a2.totalPower(), a4.totalPower());
+    EXPECT_LT(a4.totalPower(), a8.totalPower());
+}
+
+TEST(NttUtil, F1LikeIncreasesWithLength)
+{
+    // Fig. 1: F1-like peaks at N = 2^16 and decays as N shrinks.
+    double prev = 0;
+    for (size_t lg = 8; lg <= 16; ++lg) {
+        double u = f1LikeNttUtil(1ULL << lg);
+        EXPECT_GE(u, prev) << "N=2^" << lg;
+        EXPECT_LE(u, 1.0);
+        prev = u;
+    }
+    EXPECT_LT(f1LikeNttUtil(1 << 8), 0.35);
+    EXPECT_GT(f1LikeNttUtil(1 << 16), 0.9);
+}
+
+TEST(NttUtil, FabLikeDecreasesWithLength)
+{
+    // Fig. 1: FAB-like peaks at short lengths and decays upward.
+    double prev = 1.0;
+    for (size_t lg = 8; lg <= 16; ++lg) {
+        double u = fabLikeNttUtil(1ULL << lg);
+        EXPECT_LE(u, prev) << "N=2^" << lg;
+        prev = u;
+    }
+    EXPECT_GT(fabLikeNttUtil(1 << 8), 0.85);
+    EXPECT_LT(fabLikeNttUtil(1 << 16), 0.4);
+}
+
+TEST(NttUtil, TrinityStaysHighAcrossAllLengths)
+{
+    // Fig. 9: the configurable mapping keeps utilization >= ~0.8
+    // everywhere and beats F1-like on average by ~1.2x.
+    double trinity_sum = 0, f1_sum = 0;
+    for (size_t lg = 8; lg <= 16; ++lg) {
+        double u = trinityNttUtil(1ULL << lg);
+        EXPECT_GT(u, 0.75) << "N=2^" << lg;
+        EXPECT_LE(u, 1.0);
+        trinity_sum += u;
+        f1_sum += f1LikeNttUtil(1ULL << lg);
+    }
+    double gain = trinity_sum / f1_sum;
+    EXPECT_GT(gain, 1.1);
+    EXPECT_LT(gain, 1.6);
+}
+
+} // namespace
+} // namespace accel
+} // namespace trinity

@@ -1,0 +1,354 @@
+/**
+ * @file
+ * End-to-end CKKS tests: encode/decode, encrypt/decrypt, every Table II
+ * operation, and the hybrid keyswitch (Algorithm 1) both directly and
+ * through HMult / HRotate.
+ */
+
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "ckks/evaluator.h"
+
+namespace trinity {
+namespace {
+
+struct CkksFixture : public ::testing::Test
+{
+    void
+    SetUp() override
+    {
+        ctx = std::make_shared<CkksContext>(CkksParams::testSmall());
+        keygen = std::make_unique<CkksKeyGenerator>(ctx, 777);
+        encoder = std::make_unique<CkksEncoder>(ctx);
+        encryptor = std::make_unique<CkksEncryptor>(
+            ctx, keygen->makePublicKey(), 778);
+        evaluator = std::make_unique<CkksEvaluator>(ctx);
+    }
+
+    std::vector<cd>
+    randomSlots(size_t count, u64 seed)
+    {
+        Rng rng(seed);
+        std::vector<cd> v(count);
+        for (auto &x : v) {
+            x = cd(rng.uniformReal() * 2 - 1, rng.uniformReal() * 2 - 1);
+        }
+        return v;
+    }
+
+    void
+    expectNear(const std::vector<cd> &got, const std::vector<cd> &want,
+               double tol)
+    {
+        ASSERT_GE(got.size(), want.size());
+        for (size_t i = 0; i < want.size(); ++i) {
+            EXPECT_NEAR(got[i].real(), want[i].real(), tol)
+                << "slot " << i;
+            EXPECT_NEAR(got[i].imag(), want[i].imag(), tol)
+                << "slot " << i;
+        }
+    }
+
+    std::shared_ptr<CkksContext> ctx;
+    std::unique_ptr<CkksKeyGenerator> keygen;
+    std::unique_ptr<CkksEncoder> encoder;
+    std::unique_ptr<CkksEncryptor> encryptor;
+    std::unique_ptr<CkksEvaluator> evaluator;
+};
+
+TEST_F(CkksFixture, EncodeDecodeRoundtrip)
+{
+    auto z = randomSlots(encoder->slots(), 1001);
+    auto pt = encoder->encode(z, ctx->params().maxLevel);
+    auto back = encoder->decode(pt);
+    expectNear(back, z, 1e-6);
+}
+
+TEST_F(CkksFixture, EncryptDecrypt)
+{
+    auto z = randomSlots(encoder->slots(), 1002);
+    auto pt = encoder->encode(z, ctx->params().maxLevel);
+    auto ct = encryptor->encrypt(pt);
+    auto dec = encryptor->decrypt(ct, keygen->secretKey());
+    auto back = encoder->decode(dec);
+    expectNear(back, z, 1e-5);
+}
+
+TEST_F(CkksFixture, HAdd)
+{
+    size_t level = ctx->params().maxLevel;
+    auto z1 = randomSlots(8, 1003);
+    auto z2 = randomSlots(8, 1004);
+    auto ct1 = encryptor->encrypt(encoder->encode(z1, level));
+    auto ct2 = encryptor->encrypt(encoder->encode(z2, level));
+    auto sum = evaluator->add(ct1, ct2);
+    auto back =
+        encoder->decode(encryptor->decrypt(sum, keygen->secretKey()));
+    for (size_t i = 0; i < 8; ++i) {
+        EXPECT_NEAR(back[i].real(), (z1[i] + z2[i]).real(), 1e-5);
+        EXPECT_NEAR(back[i].imag(), (z1[i] + z2[i]).imag(), 1e-5);
+    }
+}
+
+TEST_F(CkksFixture, HSubAndNegate)
+{
+    size_t level = ctx->params().maxLevel;
+    auto z1 = randomSlots(8, 1005);
+    auto z2 = randomSlots(8, 1006);
+    auto ct1 = encryptor->encrypt(encoder->encode(z1, level));
+    auto ct2 = encryptor->encrypt(encoder->encode(z2, level));
+    auto diff = evaluator->sub(ct1, ct2);
+    auto back =
+        encoder->decode(encryptor->decrypt(diff, keygen->secretKey()));
+    for (size_t i = 0; i < 8; ++i) {
+        EXPECT_NEAR(back[i].real(), (z1[i] - z2[i]).real(), 1e-5);
+    }
+    auto neg = evaluator->negate(ct1);
+    auto nb =
+        encoder->decode(encryptor->decrypt(neg, keygen->secretKey()));
+    for (size_t i = 0; i < 8; ++i) {
+        EXPECT_NEAR(nb[i].real(), -z1[i].real(), 1e-5);
+    }
+}
+
+TEST_F(CkksFixture, PAddAndPMult)
+{
+    size_t level = ctx->params().maxLevel;
+    auto z = randomSlots(8, 1007);
+    auto w = randomSlots(8, 1008);
+    auto ct = encryptor->encrypt(encoder->encode(z, level));
+    auto pt = encoder->encode(w, level);
+
+    auto padd = evaluator->addPlain(ct, pt);
+    auto back =
+        encoder->decode(encryptor->decrypt(padd, keygen->secretKey()));
+    for (size_t i = 0; i < 8; ++i) {
+        EXPECT_NEAR(back[i].real(), (z[i] + w[i]).real(), 1e-5);
+    }
+
+    auto pmul = evaluator->mulPlain(ct, pt);
+    evaluator->rescaleInPlace(pmul);
+    auto mb =
+        encoder->decode(encryptor->decrypt(pmul, keygen->secretKey()));
+    for (size_t i = 0; i < 8; ++i) {
+        EXPECT_NEAR(mb[i].real(), (z[i] * w[i]).real(), 1e-4);
+        EXPECT_NEAR(mb[i].imag(), (z[i] * w[i]).imag(), 1e-4);
+    }
+}
+
+TEST_F(CkksFixture, HMultWithRelinearization)
+{
+    size_t level = ctx->params().maxLevel;
+    auto relin = keygen->makeRelinKey();
+    auto z1 = randomSlots(8, 1009);
+    auto z2 = randomSlots(8, 1010);
+    auto ct1 = encryptor->encrypt(encoder->encode(z1, level));
+    auto ct2 = encryptor->encrypt(encoder->encode(z2, level));
+    auto prod = evaluator->multiply(ct1, ct2, relin);
+    evaluator->rescaleInPlace(prod);
+    EXPECT_EQ(prod.level, level - 1);
+    auto back =
+        encoder->decode(encryptor->decrypt(prod, keygen->secretKey()));
+    for (size_t i = 0; i < 8; ++i) {
+        EXPECT_NEAR(back[i].real(), (z1[i] * z2[i]).real(), 1e-3);
+        EXPECT_NEAR(back[i].imag(), (z1[i] * z2[i]).imag(), 1e-3);
+    }
+}
+
+TEST_F(CkksFixture, MultiplicationDepthChain)
+{
+    // Use the whole modulus chain: ((z^2)^2) at depth 2, then once more
+    // at depth 3.
+    size_t level = ctx->params().maxLevel;
+    auto relin = keygen->makeRelinKey();
+    std::vector<cd> z = {cd(0.5, 0), cd(-0.7, 0), cd(1.1, 0),
+                         cd(0.3, 0)};
+    auto ct = encryptor->encrypt(encoder->encode(z, level));
+    auto cur = ct;
+    std::vector<cd> expect = z;
+    for (int depth = 0; depth < 3; ++depth) {
+        cur = evaluator->multiply(cur, cur, relin);
+        evaluator->rescaleInPlace(cur);
+        for (auto &x : expect) {
+            x = x * x;
+        }
+    }
+    EXPECT_EQ(cur.level, level - 3);
+    auto back =
+        encoder->decode(encryptor->decrypt(cur, keygen->secretKey()));
+    for (size_t i = 0; i < z.size(); ++i) {
+        EXPECT_NEAR(back[i].real(), expect[i].real(), 5e-2);
+    }
+}
+
+TEST_F(CkksFixture, KeySwitchDirect)
+{
+    // keySwitch(d, evk_{s->s'}) must satisfy ct0 + ct1*s ~ d*s'.
+    // Use the relin key (s' = s^2) and d = a fresh small polynomial.
+    size_t level = ctx->params().maxLevel;
+    auto relin = keygen->makeRelinKey();
+    size_t n = ctx->n();
+    Rng rng(1011);
+    std::vector<i64> d_coeffs(n);
+    for (auto &c : d_coeffs) {
+        c = static_cast<i64>(rng.uniform(1 << 20)) - (1 << 19);
+    }
+    RnsPoly d = RnsPoly::fromSigned(d_coeffs, n, ctx->qTo(level));
+    auto [ct0, ct1] = evaluator->keySwitch(d, relin, level);
+
+    // Compute ct0 + ct1*s and d*s^2 exactly over the RNS basis.
+    auto moduli = ctx->qTo(level);
+    RnsPoly s = keygen->secretKey().embed(moduli);
+    s.toEval();
+    RnsPoly lhs = ct1;
+    lhs.toEval();
+    lhs.mulPointwiseInPlace(s);
+    RnsPoly c0e = ct0;
+    c0e.toEval();
+    lhs.addInPlace(c0e);
+
+    RnsPoly rhs = d;
+    rhs.toEval();
+    rhs.mulPointwiseInPlace(s);
+    rhs.mulPointwiseInPlace(s);
+
+    lhs.subInPlace(rhs);
+    lhs.toCoeff();
+    // The difference is the keyswitch noise: small relative to q_0.
+    u64 err = lhs.limb(0).infNorm();
+    double rel = static_cast<double>(err) /
+                 static_cast<double>(ctx->qChain()[0]);
+    EXPECT_LT(rel, 1e-3) << "keyswitch noise too large: " << err;
+}
+
+TEST_F(CkksFixture, HRotateShiftsSlots)
+{
+    size_t level = ctx->params().maxLevel;
+    size_t n_slots = encoder->slots();
+    auto z = randomSlots(n_slots, 1012);
+    auto ct = encryptor->encrypt(encoder->encode(z, level));
+    for (i64 steps : {1, 3}) {
+        auto key = keygen->makeRotationKey(steps);
+        auto rot = evaluator->rotate(ct, steps, key);
+        auto back = encoder->decode(
+            encryptor->decrypt(rot, keygen->secretKey()));
+        // Left rotation: slot i now holds z[(i + steps) mod n].
+        for (size_t i = 0; i < 16; ++i) {
+            cd expect = z[(i + static_cast<size_t>(steps)) % n_slots];
+            EXPECT_NEAR(back[i].real(), expect.real(), 1e-4)
+                << "steps=" << steps << " slot=" << i;
+            EXPECT_NEAR(back[i].imag(), expect.imag(), 1e-4);
+        }
+    }
+}
+
+TEST_F(CkksFixture, RotatePolyMultipliesByMonomial)
+{
+    // The paper's Rotate: (a(X), b(X)) -> (a*X^r, b*X^r). Decryption of
+    // the rotated ciphertext is m(X)*X^r.
+    size_t level = ctx->params().maxLevel;
+    size_t n = ctx->n();
+    Rng rng(1013);
+    // Message coefficients must dominate the pk-encryption noise
+    // (~sqrt(2N)*sigma ~ a few hundred at N=1024).
+    std::vector<i64> m_coeffs(n);
+    for (auto &c : m_coeffs) {
+        c = static_cast<i64>(rng.uniform(1000000)) - 500000;
+    }
+    CkksPlaintext pt;
+    pt.poly = RnsPoly::fromSigned(m_coeffs, n, ctx->qTo(level));
+    pt.level = level;
+    pt.scale = 1.0;
+    auto ct = encryptor->encrypt(pt);
+    u64 r = 5;
+    auto rot = evaluator->rotatePoly(ct, r);
+    auto dec = encryptor->decrypt(rot, keygen->secretKey());
+    // Expected: coefficients shifted negacyclically by r. Check a few
+    // positions (decryption noise is small absolute error).
+    u64 q0 = ctx->qChain()[0];
+    for (size_t i = 0; i < 20; ++i) {
+        size_t src = (i + n - r) % n;
+        i64 sign = (i < r) ? -1 : 1;
+        i64 expect = sign * m_coeffs[src];
+        i64 got = centeredRep(dec.poly.limb(0)[i], q0);
+        EXPECT_NEAR(static_cast<double>(got),
+                    static_cast<double>(expect), 2000.0)
+            << "coeff " << i;
+    }
+}
+
+TEST_F(CkksFixture, DropToLevelPreservesMessage)
+{
+    size_t level = ctx->params().maxLevel;
+    auto z = randomSlots(8, 1014);
+    auto ct = encryptor->encrypt(encoder->encode(z, level));
+    evaluator->dropToLevel(ct, 1);
+    EXPECT_EQ(ct.level, 1u);
+    EXPECT_EQ(ct.numLimbs(), 2u);
+    auto back =
+        encoder->decode(encryptor->decrypt(ct, keygen->secretKey()));
+    for (size_t i = 0; i < 8; ++i) {
+        EXPECT_NEAR(back[i].real(), z[i].real(), 1e-5);
+    }
+}
+
+TEST_F(CkksFixture, AddRejectsMismatchedLevels)
+{
+    size_t level = ctx->params().maxLevel;
+    auto z = randomSlots(4, 1015);
+    auto ct1 = encryptor->encrypt(encoder->encode(z, level));
+    auto ct2 = encryptor->encrypt(encoder->encode(z, level));
+    evaluator->dropToLevel(ct2, level - 1);
+    EXPECT_DEATH(evaluator->add(ct1, ct2), "");
+}
+
+TEST_F(CkksFixture, RescaleTracksScaleExactly)
+{
+    size_t level = ctx->params().maxLevel;
+    auto z = randomSlots(4, 1016);
+    auto ct = encryptor->encrypt(encoder->encode(z, level));
+    double before = ct.scale;
+    auto prod = evaluator->multiply(ct, ct, keygen->makeRelinKey());
+    EXPECT_DOUBLE_EQ(prod.scale, before * before);
+    evaluator->rescaleInPlace(prod);
+    u64 ql = ctx->qChain()[level];
+    EXPECT_DOUBLE_EQ(prod.scale,
+                     before * before / static_cast<double>(ql));
+}
+
+TEST(CkksMedium, DeeperChainWithDnum3)
+{
+    // Medium parameters exercise beta > 1 digits in the keyswitch.
+    auto ctx = std::make_shared<CkksContext>(CkksParams::testMedium());
+    CkksKeyGenerator keygen(ctx, 999);
+    CkksEncoder encoder(ctx);
+    CkksEncryptor enc(ctx, keygen.makePublicKey(), 1000);
+    CkksEvaluator eval(ctx);
+    auto relin = keygen.makeRelinKey();
+
+    size_t level = ctx->params().maxLevel;
+    std::vector<cd> z = {cd(0.9, 0.1), cd(-0.4, 0.2), cd(0.25, -0.6)};
+    auto ct = enc.encrypt(encoder.encode(z, level));
+    auto sq = eval.multiply(ct, ct, relin);
+    eval.rescaleInPlace(sq);
+    auto cube = eval.multiply(sq, [&] {
+        auto t = ct;
+        eval.dropToLevel(t, sq.level);
+        // align scales: mulPlain by 1 at matching scale is overkill;
+        // instead verify scales are compatible by construction.
+        return t;
+    }(), relin);
+    eval.rescaleInPlace(cube);
+    auto back = encoder.decode(enc.decrypt(cube, keygen.secretKey()));
+    for (size_t i = 0; i < z.size(); ++i) {
+        cd expect = z[i] * z[i] * z[i];
+        EXPECT_NEAR(back[i].real(), expect.real(), 5e-2);
+        EXPECT_NEAR(back[i].imag(), expect.imag(), 5e-2);
+    }
+}
+
+} // namespace
+} // namespace trinity

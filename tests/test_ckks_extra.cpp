@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Tests for the extended CKKS evaluator operations: square, scalar
+ * add/multiply, and conjugation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ckks/evaluator.h"
+
+namespace trinity {
+namespace {
+
+struct CkksExtraFixture : public ::testing::Test
+{
+    void
+    SetUp() override
+    {
+        ctx = std::make_shared<CkksContext>(CkksParams::testSmall());
+        keygen = std::make_unique<CkksKeyGenerator>(ctx, 888);
+        encoder = std::make_unique<CkksEncoder>(ctx);
+        enc = std::make_unique<CkksEncryptor>(
+            ctx, keygen->makePublicKey(), 889);
+        eval = std::make_unique<CkksEvaluator>(ctx);
+    }
+
+    std::shared_ptr<CkksContext> ctx;
+    std::unique_ptr<CkksKeyGenerator> keygen;
+    std::unique_ptr<CkksEncoder> encoder;
+    std::unique_ptr<CkksEncryptor> enc;
+    std::unique_ptr<CkksEvaluator> eval;
+};
+
+TEST_F(CkksExtraFixture, SquareMatchesMultiply)
+{
+    auto relin = keygen->makeRelinKey();
+    std::vector<cd> z = {cd(0.8, 0.3), cd(-1.2, 0.1), cd(0.5, -0.9)};
+    size_t level = ctx->params().maxLevel;
+    auto ct = enc->encrypt(encoder->encode(z, level));
+    auto sq = eval->square(ct, relin);
+    eval->rescaleInPlace(sq);
+    auto mul = eval->multiply(ct, ct, relin);
+    eval->rescaleInPlace(mul);
+    auto zs = encoder->decode(enc->decrypt(sq, keygen->secretKey()));
+    auto zm = encoder->decode(enc->decrypt(mul, keygen->secretKey()));
+    for (size_t i = 0; i < z.size(); ++i) {
+        cd expect = z[i] * z[i];
+        EXPECT_NEAR(zs[i].real(), expect.real(), 2e-3);
+        EXPECT_NEAR(zs[i].imag(), expect.imag(), 2e-3);
+        EXPECT_NEAR(zs[i].real(), zm[i].real(), 2e-3);
+    }
+}
+
+TEST_F(CkksExtraFixture, AddScalarShiftsEverySlot)
+{
+    std::vector<cd> z = {cd(0.25, 0), cd(-1.5, 0), cd(3.0, 0)};
+    size_t level = ctx->params().maxLevel;
+    auto ct = enc->encrypt(encoder->encode(z, level));
+    auto shifted = eval->addScalar(ct, 2.5);
+    auto out =
+        encoder->decode(enc->decrypt(shifted, keygen->secretKey()));
+    for (size_t i = 0; i < z.size(); ++i) {
+        EXPECT_NEAR(out[i].real(), z[i].real() + 2.5, 1e-4);
+        EXPECT_NEAR(out[i].imag(), 0.0, 1e-4);
+    }
+    // Untouched slots also gain the constant.
+    EXPECT_NEAR(out[10].real(), 2.5, 1e-4);
+}
+
+TEST_F(CkksExtraFixture, MulScalarInt)
+{
+    std::vector<cd> z = {cd(0.5, -0.25), cd(1.25, 0.75)};
+    size_t level = ctx->params().maxLevel;
+    auto ct = enc->encrypt(encoder->encode(z, level));
+    auto tripled = eval->mulScalarInt(ct, -3);
+    auto out =
+        encoder->decode(enc->decrypt(tripled, keygen->secretKey()));
+    for (size_t i = 0; i < z.size(); ++i) {
+        EXPECT_NEAR(out[i].real(), -3 * z[i].real(), 1e-4);
+        EXPECT_NEAR(out[i].imag(), -3 * z[i].imag(), 1e-4);
+    }
+}
+
+TEST_F(CkksExtraFixture, ConjugateFlipsImaginaryParts)
+{
+    auto conj_key = keygen->makeGaloisKey(2 * ctx->n() - 1);
+    std::vector<cd> z = {cd(0.4, 0.9), cd(-0.7, -0.2), cd(0.1, 0.6)};
+    size_t level = ctx->params().maxLevel;
+    auto ct = enc->encrypt(encoder->encode(z, level));
+    auto cj = eval->conjugate(ct, conj_key);
+    auto out = encoder->decode(enc->decrypt(cj, keygen->secretKey()));
+    for (size_t i = 0; i < z.size(); ++i) {
+        EXPECT_NEAR(out[i].real(), z[i].real(), 1e-4);
+        EXPECT_NEAR(out[i].imag(), -z[i].imag(), 1e-4);
+    }
+}
+
+TEST_F(CkksExtraFixture, SquareChainUsesWholeLadder)
+{
+    // z^(2^3) via repeated squaring down the modulus chain.
+    auto relin = keygen->makeRelinKey();
+    std::vector<cd> z = {cd(0.9, 0), cd(-0.8, 0)};
+    size_t level = ctx->params().maxLevel;
+    auto ct = enc->encrypt(encoder->encode(z, level));
+    std::vector<cd> expect = z;
+    for (int i = 0; i < 3; ++i) {
+        ct = eval->square(ct, relin);
+        eval->rescaleInPlace(ct);
+        for (auto &x : expect) {
+            x *= x;
+        }
+    }
+    auto out = encoder->decode(enc->decrypt(ct, keygen->secretKey()));
+    for (size_t i = 0; i < z.size(); ++i) {
+        EXPECT_NEAR(out[i].real(), expect[i].real(), 5e-2);
+    }
+}
+
+} // namespace
+} // namespace trinity

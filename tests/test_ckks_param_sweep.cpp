@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Parameterized CKKS property sweep: homomorphic correctness of the
+ * core ring operations across ring degrees and dnum choices
+ * (TEST_P / INSTANTIATE_TEST_SUITE_P property-style coverage).
+ */
+
+#include <gtest/gtest.h>
+
+#include "ckks/evaluator.h"
+
+namespace trinity {
+namespace {
+
+struct SweepParam
+{
+    size_t logn;
+    size_t max_level;
+    size_t dnum;
+};
+
+class CkksSweep : public ::testing::TestWithParam<SweepParam>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        auto p = GetParam();
+        CkksParams cp;
+        cp.n = 1ULL << p.logn;
+        cp.maxLevel = p.max_level;
+        cp.dnum = p.dnum;
+        ctx = std::make_shared<CkksContext>(cp);
+        keygen = std::make_unique<CkksKeyGenerator>(ctx, 4040);
+        encoder = std::make_unique<CkksEncoder>(ctx);
+        enc = std::make_unique<CkksEncryptor>(
+            ctx, keygen->makePublicKey(), 4041);
+        eval = std::make_unique<CkksEvaluator>(ctx);
+    }
+
+    std::shared_ptr<CkksContext> ctx;
+    std::unique_ptr<CkksKeyGenerator> keygen;
+    std::unique_ptr<CkksEncoder> encoder;
+    std::unique_ptr<CkksEncryptor> enc;
+    std::unique_ptr<CkksEvaluator> eval;
+};
+
+TEST_P(CkksSweep, HomomorphicMultiplyAddRotate)
+{
+    auto relin = keygen->makeRelinKey();
+    auto rot = keygen->makeRotationKey(1);
+    size_t level = ctx->params().maxLevel;
+    size_t n_check = 6;
+    Rng rng(GetParam().logn);
+    std::vector<cd> x(encoder->slots()), y(encoder->slots());
+    for (size_t i = 0; i < x.size(); ++i) {
+        x[i] = cd(rng.uniformReal() - 0.5, rng.uniformReal() - 0.5);
+        y[i] = cd(rng.uniformReal() - 0.5, rng.uniformReal() - 0.5);
+    }
+    auto ct_x = enc->encrypt(encoder->encode(x, level));
+    auto ct_y = enc->encrypt(encoder->encode(y, level));
+
+    // (x * y) + x, then rotate left by 1.
+    auto prod = eval->multiply(ct_x, ct_y, relin);
+    eval->rescaleInPlace(prod);
+    auto ct_x_low = ct_x;
+    eval->dropToLevel(ct_x_low, prod.level);
+    auto sum = eval->add(prod, ct_x_low);
+    auto rotated = eval->rotate(sum, 1, rot);
+    auto out =
+        encoder->decode(enc->decrypt(rotated, keygen->secretKey()));
+    for (size_t i = 0; i < n_check; ++i) {
+        size_t src = (i + 1) % encoder->slots();
+        cd expect = x[src] * y[src] + x[src];
+        EXPECT_NEAR(out[i].real(), expect.real(), 5e-3)
+            << "slot " << i;
+        EXPECT_NEAR(out[i].imag(), expect.imag(), 5e-3);
+    }
+}
+
+TEST_P(CkksSweep, KeySwitchNoiseStaysBounded)
+{
+    auto relin = keygen->makeRelinKey();
+    size_t level = ctx->params().maxLevel;
+    size_t n = ctx->n();
+    Rng rng(99);
+    std::vector<i64> d_coeffs(n);
+    for (auto &c : d_coeffs) {
+        c = static_cast<i64>(rng.uniform(1 << 16)) - (1 << 15);
+    }
+    RnsPoly d = RnsPoly::fromSigned(d_coeffs, n, ctx->qTo(level));
+    auto [c0, c1] = eval->keySwitch(d, relin, level);
+    auto moduli = ctx->qTo(level);
+    RnsPoly s = keygen->secretKey().embed(moduli);
+    s.toEval();
+    RnsPoly lhs = c1;
+    lhs.toEval();
+    lhs.mulPointwiseInPlace(s);
+    RnsPoly c0e = c0;
+    c0e.toEval();
+    lhs.addInPlace(c0e);
+    RnsPoly rhs = d;
+    rhs.toEval();
+    rhs.mulPointwiseInPlace(s);
+    rhs.mulPointwiseInPlace(s);
+    lhs.subInPlace(rhs);
+    lhs.toCoeff();
+    double rel = static_cast<double>(lhs.limb(0).infNorm()) /
+                 static_cast<double>(ctx->qChain()[0]);
+    EXPECT_LT(rel, 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CkksSweep,
+    ::testing::Values(SweepParam{10, 2, 1}, SweepParam{10, 3, 3},
+                      SweepParam{11, 4, 2}, SweepParam{12, 5, 3},
+                      SweepParam{13, 6, 2}),
+    [](const ::testing::TestParamInfo<SweepParam> &info) {
+        return "n2e" + std::to_string(info.param.logn) + "_L" +
+               std::to_string(info.param.max_level) + "_dnum" +
+               std::to_string(info.param.dnum);
+    });
+
+} // namespace
+} // namespace trinity

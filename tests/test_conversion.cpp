@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Scheme conversion tests (Algorithms 3-5): sample extraction,
+ * ring embedding, PackLWEs, field trace, and full roundtrips
+ * CKKS -> TFHE -> CKKS.
+ */
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "conv/conversion.h"
+
+namespace trinity {
+namespace {
+
+struct ConvFixture : public ::testing::Test
+{
+    void
+    SetUp() override
+    {
+        CkksParams p;
+        p.n = 1 << 10;
+        p.maxLevel = 2;
+        p.dnum = 1;
+        ctx = std::make_shared<CkksContext>(p);
+        keygen = std::make_unique<CkksKeyGenerator>(ctx, 2024);
+        encryptor = std::make_unique<CkksEncryptor>(
+            ctx, keygen->makePublicKey(), 2025);
+        evaluator = std::make_unique<CkksEvaluator>(ctx);
+        q0 = ctx->qChain()[0];
+    }
+
+    /** Encrypt an integer-coefficient message at level 0. */
+    CkksCiphertext
+    encryptCoeffs(const std::vector<i64> &coeffs)
+    {
+        CkksPlaintext pt;
+        pt.poly = RnsPoly::fromSigned(coeffs, ctx->n(), ctx->qTo(0));
+        pt.level = 0;
+        pt.scale = 1.0;
+        return encryptor->encrypt(pt);
+    }
+
+    std::shared_ptr<CkksContext> ctx;
+    std::unique_ptr<CkksKeyGenerator> keygen;
+    std::unique_ptr<CkksEncryptor> encryptor;
+    std::unique_ptr<CkksEvaluator> evaluator;
+    u64 q0 = 0;
+};
+
+TEST_F(ConvFixture, ConvLweEncryptDecrypt)
+{
+    Rng rng(81);
+    for (u64 m : {q0 / 16, q0 / 4, q0 - q0 / 8}) {
+        auto ct = convLweEncrypt(m, keygen->secretKey(), q0, rng);
+        i64 err = centeredRep(Modulus(q0).sub(
+                                  convLwePhase(ct, keygen->secretKey()),
+                                  m),
+                              q0);
+        EXPECT_LT(std::abs(err), 64);
+    }
+}
+
+TEST_F(ConvFixture, SampleExtractPullsCoefficients)
+{
+    // Algorithm 3: each extracted LWE decrypts to message coefficient i.
+    size_t n = ctx->n();
+    std::vector<i64> m(n);
+    Rng rng(82);
+    for (auto &c : m) {
+        c = static_cast<i64>(rng.uniform(1u << 24)) - (1 << 23);
+    }
+    auto ct = encryptCoeffs(m);
+    size_t nslot = 8;
+    auto lwes = ckksToTfhe(ct, nslot);
+    ASSERT_EQ(lwes.size(), nslot);
+    for (size_t i = 0; i < nslot; ++i) {
+        u64 phase = convLwePhase(lwes[i], keygen->secretKey());
+        i64 got = centeredRep(phase, q0);
+        EXPECT_NEAR(static_cast<double>(got),
+                    static_cast<double>(m[i]), 4000.0)
+            << "slot " << i;
+    }
+}
+
+TEST_F(ConvFixture, RingEmbedPutsMessageInCoefficientZero)
+{
+    Rng rng(83);
+    u64 mu = q0 / 8;
+    LwePacker packer(ctx, *keygen);
+    auto lwe = convLweEncrypt(mu, keygen->secretKey(), q0, rng);
+    auto rlwe = packer.ringEmbed(lwe);
+    auto dec = encryptor->decrypt(rlwe, keygen->secretKey());
+    i64 got = centeredRep(dec.poly.limb(0)[0], q0);
+    i64 expect = centeredRep(mu, q0);
+    EXPECT_NEAR(static_cast<double>(got), static_cast<double>(expect),
+                1000.0);
+}
+
+TEST_F(ConvFixture, TfheToCkksPacksAtStridePositions)
+{
+    // Algorithm 5 end-to-end: coefficient j*N/nslot must hold N*mu_j.
+    Rng rng(84);
+    LwePacker packer(ctx, *keygen);
+    size_t n = ctx->n();
+    size_t nslot = 4;
+    std::vector<i64> mus = {static_cast<i64>(q0 / 16),
+                            -static_cast<i64>(q0 / 32),
+                            static_cast<i64>(q0 / 64), 12345678};
+    std::vector<ConvLwe> lwes;
+    for (i64 mu : mus) {
+        lwes.push_back(convLweEncrypt(toResidue(mu, q0),
+                                      keygen->secretKey(), q0, rng));
+    }
+    auto packed = packer.tfheToCkks(lwes);
+    auto dec = encryptor->decrypt(packed, keygen->secretKey());
+    Modulus m(q0);
+    for (size_t j = 0; j < nslot; ++j) {
+        u64 got = dec.poly.limb(0)[j * (n / nslot)];
+        // Expected: N * mu_j mod q.
+        u64 expect = m.mul(toResidue(mus[j], q0),
+                           m.reduce(static_cast<u64>(n)));
+        i64 err = centeredRep(m.sub(got, expect), q0);
+        // Noise amplified by ~N across the packing tree.
+        EXPECT_LT(std::abs(err), static_cast<i64>(q0 / 256))
+            << "slot " << j;
+    }
+}
+
+TEST_F(ConvFixture, FieldTraceClearsNonStrideCoefficients)
+{
+    // Pack a single LWE with nslot=1: the field trace must clear all
+    // coefficients except multiples of N (i.e. only coefficient 0).
+    Rng rng(85);
+    LwePacker packer(ctx, *keygen);
+    u64 mu = q0 / 8;
+    auto lwe = convLweEncrypt(mu, keygen->secretKey(), q0, rng);
+    auto packed = packer.tfheToCkks({lwe});
+    auto dec = encryptor->decrypt(packed, keygen->secretKey());
+    Modulus m(q0);
+    size_t n = ctx->n();
+    u64 expect = m.mul(mu, m.reduce(static_cast<u64>(n)));
+    i64 err0 = centeredRep(m.sub(dec.poly.limb(0)[0], expect), q0);
+    EXPECT_LT(std::abs(err0), static_cast<i64>(q0 / 256));
+    // Every other coefficient is (close to) zero.
+    for (size_t i = 1; i < n; i += n / 16) {
+        i64 leak = centeredRep(dec.poly.limb(0)[i], q0);
+        EXPECT_LT(std::abs(leak), static_cast<i64>(q0 / 256))
+            << "coeff " << i;
+    }
+}
+
+TEST_F(ConvFixture, FullRoundtripCkksTfheCkks)
+{
+    // CKKS -> (SampleExtract) -> LWEs -> (PackLWEs) -> CKKS.
+    Rng rng(86);
+    LwePacker packer(ctx, *keygen);
+    size_t n = ctx->n();
+    size_t nslot = 8;
+    std::vector<i64> msg(n, 0);
+    for (size_t i = 0; i < nslot; ++i) {
+        msg[i] = static_cast<i64>(q0 / 16 / (i + 1));
+    }
+    auto ct = encryptCoeffs(msg);
+    auto lwes = ckksToTfhe(ct, nslot);
+    auto packed = packer.tfheToCkks(lwes);
+    auto dec = encryptor->decrypt(packed, keygen->secretKey());
+    Modulus m(q0);
+    for (size_t j = 0; j < nslot; ++j) {
+        u64 got = dec.poly.limb(0)[j * (n / nslot)];
+        u64 expect = m.mul(toResidue(msg[j], q0),
+                           m.reduce(static_cast<u64>(n)));
+        i64 err = centeredRep(m.sub(got, expect), q0);
+        EXPECT_LT(std::abs(err), static_cast<i64>(q0 / 128))
+            << "slot " << j;
+    }
+}
+
+TEST_F(ConvFixture, HRotateCountFormula)
+{
+    // Table IX cost driver: nslot-1 packing rotations plus
+    // log2(N/nslot) trace rotations.
+    EXPECT_EQ(LwePacker::hRotateCount(1 << 14, 2), 1u + 13u);
+    EXPECT_EQ(LwePacker::hRotateCount(1 << 14, 8), 7u + 11u);
+    EXPECT_EQ(LwePacker::hRotateCount(1 << 14, 32), 31u + 9u);
+    EXPECT_EQ(LwePacker::hRotateCount(1 << 10, 1), 10u);
+}
+
+} // namespace
+} // namespace trinity

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * FFT tests: roundtrip accuracy, negacyclic convolution vs exact
+ * integer reference, FFT-vs-NTT error (the paper's motivation for the
+ * NTT substitution in TFHE), and SpecialFft canonical-embedding
+ * properties.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/primes.h"
+#include "common/rng.h"
+#include "poly/fft.h"
+#include "poly/ntt.h"
+
+namespace trinity {
+namespace {
+
+TEST(Fft, Roundtrip)
+{
+    Rng rng(41);
+    for (size_t n : {8ull, 256ull, 4096ull}) {
+        std::vector<cd> a(n);
+        for (auto &x : a) {
+            x = cd(rng.uniformReal() - 0.5, rng.uniformReal() - 0.5);
+        }
+        auto orig = a;
+        fft(a, false);
+        fft(a, true);
+        for (size_t i = 0; i < n; ++i) {
+            EXPECT_NEAR(a[i].real(), orig[i].real(), 1e-9);
+            EXPECT_NEAR(a[i].imag(), orig[i].imag(), 1e-9);
+        }
+    }
+}
+
+TEST(Fft, ParsevalHolds)
+{
+    Rng rng(42);
+    size_t n = 1024;
+    std::vector<cd> a(n);
+    double time_energy = 0;
+    for (auto &x : a) {
+        x = cd(rng.uniformReal() - 0.5, rng.uniformReal() - 0.5);
+        time_energy += std::norm(x);
+    }
+    fft(a, false);
+    double freq_energy = 0;
+    for (auto &x : a) {
+        freq_energy += std::norm(x);
+    }
+    EXPECT_NEAR(freq_energy / static_cast<double>(n), time_energy,
+                1e-6 * time_energy);
+}
+
+/** Naive signed negacyclic product. */
+std::vector<i64>
+naiveNegacyclicSigned(const std::vector<i64> &a, const std::vector<i64> &b)
+{
+    size_t n = a.size();
+    std::vector<i64> c(n, 0);
+    for (size_t i = 0; i < n; ++i) {
+        for (size_t j = 0; j < n; ++j) {
+            i64 p = a[i] * b[j];
+            size_t k = i + j;
+            if (k < n) {
+                c[k] += p;
+            } else {
+                c[k - n] -= p;
+            }
+        }
+    }
+    return c;
+}
+
+TEST(Fft, NegacyclicConvolutionExactForSmallInputs)
+{
+    Rng rng(43);
+    size_t n = 64;
+    std::vector<i64> a(n), b(n);
+    for (size_t i = 0; i < n; ++i) {
+        a[i] = static_cast<i64>(rng.uniform(1 << 10)) - (1 << 9);
+        b[i] = static_cast<i64>(rng.uniform(1 << 10)) - (1 << 9);
+    }
+    auto expect = naiveNegacyclicSigned(a, b);
+    auto got = negacyclicConvolutionFft(a, b);
+    EXPECT_EQ(got, expect);
+}
+
+TEST(Fft, ApproximationErrorGrowsWithMagnitude_NttStaysExact)
+{
+    // The core motivation for Trinity's FFT->NTT substitution
+    // (Section II-B / VII): double-precision FFT accumulates rounding
+    // error for TFHE-scale operand magnitudes, while NTT is exact.
+    Rng rng(44);
+    size_t n = 1024;
+    // TFHE-scale: decomposed digits (~2^22) times bsk words (~2^32).
+    std::vector<i64> a(n), b(n);
+    for (size_t i = 0; i < n; ++i) {
+        a[i] = static_cast<i64>(rng.uniform(1ULL << 22)) - (1LL << 21);
+        b[i] = static_cast<i64>(rng.uniform(1ULL << 31)) - (1LL << 30);
+    }
+    auto got = negacyclicConvolutionFft(a, b);
+
+    // Exact result via NTT over a large prime (all values well within
+    // the centered range).
+    u64 q = findNttPrimes(59, 2 * n, 1)[0];
+    Modulus m(q);
+    NttTable t(n, m);
+    std::vector<u64> ra(n), rb(n);
+    for (size_t i = 0; i < n; ++i) {
+        ra[i] = toResidue(a[i], q);
+        rb[i] = toResidue(b[i], q);
+    }
+    t.forward(ra);
+    t.forward(rb);
+    for (size_t i = 0; i < n; ++i) {
+        ra[i] = m.mul(ra[i], rb[i]);
+    }
+    t.inverse(ra);
+
+    i64 max_err = 0;
+    for (size_t i = 0; i < n; ++i) {
+        i64 exact = centeredRep(ra[i], q);
+        max_err = std::max<i64>(max_err, std::llabs(exact - got[i]));
+    }
+    // The FFT result must show nonzero rounding error at this scale;
+    // the NTT path is exact by construction.
+    EXPECT_GT(max_err, 0) << "expected FFT rounding error at 2^53+ scale";
+}
+
+TEST(SpecialFft, Roundtrip)
+{
+    for (size_t slots : {4ull, 64ull, 1024ull}) {
+        SpecialFft sf(slots);
+        Rng rng(45);
+        std::vector<cd> z(slots);
+        for (auto &x : z) {
+            x = cd(rng.uniformReal() * 2 - 1, rng.uniformReal() * 2 - 1);
+        }
+        auto orig = z;
+        sf.inverse(z);
+        sf.forward(z);
+        for (size_t i = 0; i < slots; ++i) {
+            EXPECT_NEAR(z[i].real(), orig[i].real(), 1e-9);
+            EXPECT_NEAR(z[i].imag(), orig[i].imag(), 1e-9);
+        }
+    }
+}
+
+TEST(SpecialFft, EmbeddingIsMultiplicative)
+{
+    // The canonical embedding maps polynomial multiplication to
+    // slot-wise multiplication: decode(a *_negacyclic b) ==
+    // decode(a) .* decode(b). Verify on real coefficient vectors built
+    // from the inverse embedding (this is what makes CKKS SIMD work).
+    size_t slots = 64;
+    size_t n = 2 * slots;
+    SpecialFft sf(slots);
+    Rng rng(46);
+    std::vector<cd> z1(slots), z2(slots);
+    for (size_t i = 0; i < slots; ++i) {
+        z1[i] = cd(rng.uniformReal() - 0.5, rng.uniformReal() - 0.5);
+        z2[i] = cd(rng.uniformReal() - 0.5, rng.uniformReal() - 0.5);
+    }
+    // Encode both to coefficient vectors (real polynomials of deg < n).
+    auto encode = [&](const std::vector<cd> &z) {
+        auto v = z;
+        sf.inverse(v);
+        std::vector<double> poly(n);
+        for (size_t j = 0; j < slots; ++j) {
+            poly[j] = v[j].real();
+            poly[j + slots] = v[j].imag();
+        }
+        return poly;
+    };
+    auto p1 = encode(z1);
+    auto p2 = encode(z2);
+    // Negacyclic product in double precision.
+    std::vector<double> prod(n, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+        for (size_t j = 0; j < n; ++j) {
+            double v = p1[i] * p2[j];
+            size_t k = i + j;
+            if (k < n) {
+                prod[k] += v;
+            } else {
+                prod[k - n] -= v;
+            }
+        }
+    }
+    // Decode the product.
+    std::vector<cd> w(slots);
+    for (size_t j = 0; j < slots; ++j) {
+        w[j] = cd(prod[j], prod[j + slots]);
+    }
+    sf.forward(w);
+    for (size_t j = 0; j < slots; ++j) {
+        cd expect = z1[j] * z2[j];
+        EXPECT_NEAR(w[j].real(), expect.real(), 1e-6);
+        EXPECT_NEAR(w[j].imag(), expect.imag(), 1e-6);
+    }
+}
+
+} // namespace
+} // namespace trinity

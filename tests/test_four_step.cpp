@@ -1,0 +1,104 @@
+/**
+ * @file
+ * The four-step decomposition (NTTU phase-1 + CU phase-2 + OF-Twist +
+ * transpose) must match the monolithic transform for every factor
+ * split, including the asymmetric splits Trinity uses for
+ * N in (2M, 2M^2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/primes.h"
+#include "common/rng.h"
+#include "poly/four_step.h"
+
+namespace trinity {
+namespace {
+
+class FourStepTest
+    : public ::testing::TestWithParam<std::pair<size_t, size_t>>
+{
+};
+
+TEST_P(FourStepTest, CyclicMatchesMonolithic)
+{
+    auto [n1, n2] = GetParam();
+    size_t n = n1 * n2;
+    u64 q = findNttPrimes(40, 2 * n, 1)[0];
+    Modulus m(q);
+    FourStepNtt fs(n1, n2, m);
+    NttTable ref(n, m);
+    Rng rng(31);
+    auto a = rng.uniformVec(n, q);
+    auto b = a;
+    fs.forwardCyclic(a);
+    ref.forwardCyclic(b.data());
+    EXPECT_EQ(a, b) << "n1=" << n1 << " n2=" << n2;
+}
+
+TEST_P(FourStepTest, NegacyclicMatchesMonolithic)
+{
+    auto [n1, n2] = GetParam();
+    size_t n = n1 * n2;
+    u64 q = findNttPrimes(40, 2 * n, 1)[0];
+    Modulus m(q);
+    FourStepNtt fs(n1, n2, m);
+    NttTable ref(n, m);
+    Rng rng(32);
+    auto a = rng.uniformVec(n, q);
+    auto b = a;
+    fs.forward(a);
+    ref.forward(b.data());
+    NttTable::bitrevPermute(b.data(), n);
+    EXPECT_EQ(a, b);
+}
+
+TEST_P(FourStepTest, Roundtrip)
+{
+    auto [n1, n2] = GetParam();
+    size_t n = n1 * n2;
+    u64 q = findNttPrimes(40, 2 * n, 1)[0];
+    FourStepNtt fs(n1, n2, Modulus(q));
+    Rng rng(33);
+    auto a = rng.uniformVec(n, q);
+    auto orig = a;
+    fs.forward(a);
+    fs.inverse(a);
+    EXPECT_EQ(a, orig);
+    fs.forwardCyclic(a);
+    fs.inverseCyclic(a);
+    EXPECT_EQ(a, orig);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FourStepTest,
+    ::testing::Values(std::make_pair<size_t, size_t>(4, 4),
+                      std::make_pair<size_t, size_t>(16, 16),
+                      std::make_pair<size_t, size_t>(256, 4),
+                      std::make_pair<size_t, size_t>(4, 256),
+                      std::make_pair<size_t, size_t>(256, 16),
+                      std::make_pair<size_t, size_t>(64, 64),
+                      std::make_pair<size_t, size_t>(256, 256)));
+
+TEST(FourStep, TrinityNttuPlusCuSplit)
+{
+    // The Trinity configuration: 256-point NTTU phase-1 with the
+    // phase-2 residue handled by CU butterfly columns. N = 4096 is the
+    // TFHE Set-III polynomial length (phase-2 length 16).
+    size_t n1 = 256, n2 = 16;
+    size_t n = n1 * n2;
+    u64 q = findNttPrimes(36, 2 * n, 1)[0];
+    Modulus m(q);
+    FourStepNtt fs(n1, n2, m);
+    NttTable ref(n, m);
+    Rng rng(34);
+    auto a = rng.uniformVec(n, q);
+    auto b = a;
+    fs.forward(a);
+    ref.forward(b.data());
+    NttTable::bitrevPermute(b.data(), n);
+    EXPECT_EQ(a, b);
+}
+
+} // namespace
+} // namespace trinity

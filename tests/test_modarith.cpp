@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Unit and property tests for the modular arithmetic layer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/modarith.h"
+#include "common/rng.h"
+
+namespace trinity {
+namespace {
+
+TEST(Modulus, BasicOps)
+{
+    Modulus m(17);
+    EXPECT_EQ(m.add(9, 9), 1u);
+    EXPECT_EQ(m.sub(3, 9), 11u);
+    EXPECT_EQ(m.neg(5), 12u);
+    EXPECT_EQ(m.neg(0), 0u);
+    EXPECT_EQ(m.mul(5, 7), 1u);
+    EXPECT_EQ(m.pow(3, 16), 1u); // Fermat
+    EXPECT_EQ(m.mul(m.inv(5), 5), 1u);
+}
+
+TEST(Modulus, RejectsOutOfRange)
+{
+    EXPECT_DEATH({ Modulus m(1); (void)m; }, "");
+    EXPECT_DEATH({ Modulus m(1ULL << 62); (void)m; }, "");
+}
+
+TEST(Modulus, Reduce128MatchesNaive)
+{
+    Rng rng(1);
+    std::vector<u64> qs = {3, 17, 65537, (1ULL << 31) - 1,
+                           0x3fffffffffffffffULL, // 2^62 - 1
+                           1099511627689ULL};
+    for (u64 q : qs) {
+        Modulus m(q);
+        for (int i = 0; i < 200; ++i) {
+            u64 a = rng.next();
+            u64 b = rng.next();
+            u128 prod = static_cast<u128>(a) * b;
+            EXPECT_EQ(m.reduce128(prod),
+                      static_cast<u64>(prod % q))
+                << "q=" << q;
+        }
+    }
+}
+
+TEST(Modulus, MulAgainstNaive)
+{
+    Rng rng(2);
+    Modulus m(0x0FFFFFFFFFFFFFC5ULL); // large 60-bit prime-ish value
+    for (int i = 0; i < 500; ++i) {
+        u64 a = rng.uniform(m.value());
+        u64 b = rng.uniform(m.value());
+        u128 expect = static_cast<u128>(a) * b % m.value();
+        EXPECT_EQ(m.mul(a, b), static_cast<u64>(expect));
+    }
+}
+
+TEST(Modulus, ShoupMatchesBarrett)
+{
+    Rng rng(3);
+    for (u64 q : {65537ULL, 1099511627689ULL, (1ULL << 45) + 59}) {
+        Modulus m(q);
+        for (int i = 0; i < 300; ++i) {
+            u64 a = rng.uniform(q);
+            u64 w = rng.uniform(q);
+            u64 pre = m.shoupPrecompute(w);
+            EXPECT_EQ(m.mulShoup(a, w, pre), m.mul(a, w));
+        }
+    }
+}
+
+TEST(Modulus, PowProperties)
+{
+    Modulus m(1000003);
+    Rng rng(4);
+    for (int i = 0; i < 50; ++i) {
+        u64 a = rng.uniform(m.value() - 1) + 1;
+        u64 e1 = rng.uniform(1000);
+        u64 e2 = rng.uniform(1000);
+        // a^(e1+e2) == a^e1 * a^e2
+        EXPECT_EQ(m.pow(a, e1 + e2), m.mul(m.pow(a, e1), m.pow(a, e2)));
+    }
+}
+
+TEST(Modulus, InverseRandomized)
+{
+    // 2^61 - 1 is a Mersenne prime, so Fermat inversion applies.
+    Modulus mp((1ULL << 61) - 1);
+    Rng rng(5);
+    for (int i = 0; i < 100; ++i) {
+        u64 a = rng.uniform(mp.value() - 1) + 1;
+        EXPECT_EQ(mp.mul(a, mp.inv(a)), 1u);
+    }
+}
+
+TEST(CenteredRep, RoundTrip)
+{
+    u64 q = 97;
+    for (u64 a = 0; a < q; ++a) {
+        i64 c = centeredRep(a, q);
+        EXPECT_LE(c, static_cast<i64>(q / 2));
+        EXPECT_GT(c, -static_cast<i64>(q) / 2 - 1);
+        EXPECT_EQ(toResidue(c, q), a);
+    }
+}
+
+} // namespace
+} // namespace trinity

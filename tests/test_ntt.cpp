@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Tests for the reference negacyclic NTT: roundtrip, linearity, the
+ * convolution theorem against a naive O(N^2) negacyclic product, and
+ * cyclic transforms against a direct DFT.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/primes.h"
+#include "common/rng.h"
+#include "poly/ntt.h"
+
+namespace trinity {
+namespace {
+
+/** Naive negacyclic product c = a*b mod (X^n + 1, q). */
+std::vector<u64>
+naiveNegacyclic(const std::vector<u64> &a, const std::vector<u64> &b,
+                const Modulus &m)
+{
+    size_t n = a.size();
+    std::vector<u64> c(n, 0);
+    for (size_t i = 0; i < n; ++i) {
+        for (size_t j = 0; j < n; ++j) {
+            u64 prod = m.mul(a[i], b[j]);
+            size_t k = i + j;
+            if (k < n) {
+                c[k] = m.add(c[k], prod);
+            } else {
+                c[k - n] = m.sub(c[k - n], prod);
+            }
+        }
+    }
+    return c;
+}
+
+/** Direct cyclic DFT X[k] = sum a_i w^{ik}, natural order. */
+std::vector<u64>
+directCyclicDft(const std::vector<u64> &a, const Modulus &m, u64 omega)
+{
+    size_t n = a.size();
+    std::vector<u64> x(n, 0);
+    for (size_t k = 0; k < n; ++k) {
+        u64 acc = 0;
+        for (size_t i = 0; i < n; ++i) {
+            acc = m.add(acc, m.mul(a[i], m.pow(omega, (i * k) % n)));
+        }
+        x[k] = acc;
+    }
+    return x;
+}
+
+class NttParamTest
+    : public ::testing::TestWithParam<std::tuple<size_t, u32>>
+{
+};
+
+TEST_P(NttParamTest, ForwardInverseRoundtrip)
+{
+    auto [n, bits] = GetParam();
+    u64 q = findNttPrimes(bits, 2 * n, 1)[0];
+    NttTable table(n, Modulus(q));
+    Rng rng(11);
+    auto a = rng.uniformVec(n, q);
+    auto orig = a;
+    table.forward(a);
+    EXPECT_NE(a, orig); // transform must do something
+    table.inverse(a);
+    EXPECT_EQ(a, orig);
+}
+
+TEST_P(NttParamTest, Linearity)
+{
+    auto [n, bits] = GetParam();
+    u64 q = findNttPrimes(bits, 2 * n, 1)[0];
+    Modulus m(q);
+    NttTable table(n, m);
+    Rng rng(12);
+    auto a = rng.uniformVec(n, q);
+    auto b = rng.uniformVec(n, q);
+    u64 c = rng.uniform(q);
+    // NTT(c*a + b) == c*NTT(a) + NTT(b)
+    std::vector<u64> lhs(n);
+    for (size_t i = 0; i < n; ++i) {
+        lhs[i] = m.add(m.mul(c, a[i]), b[i]);
+    }
+    table.forward(lhs);
+    table.forward(a);
+    table.forward(b);
+    for (size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(lhs[i], m.add(m.mul(c, a[i]), b[i]));
+    }
+}
+
+TEST_P(NttParamTest, ConvolutionTheorem)
+{
+    auto [n, bits] = GetParam();
+    if (n > 512) {
+        GTEST_SKIP() << "naive reference too slow";
+    }
+    u64 q = findNttPrimes(bits, 2 * n, 1)[0];
+    Modulus m(q);
+    NttTable table(n, m);
+    Rng rng(13);
+    auto a = rng.uniformVec(n, q);
+    auto b = rng.uniformVec(n, q);
+    auto expect = naiveNegacyclic(a, b, m);
+    table.forward(a);
+    table.forward(b);
+    for (size_t i = 0; i < n; ++i) {
+        a[i] = m.mul(a[i], b[i]);
+    }
+    table.inverse(a);
+    EXPECT_EQ(a, expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, NttParamTest,
+    ::testing::Combine(::testing::Values<size_t>(8, 64, 256, 1024, 4096),
+                       ::testing::Values<u32>(20, 36, 50, 59)));
+
+TEST(Ntt, CyclicMatchesDirectDft)
+{
+    size_t n = 64;
+    u64 q = findNttPrimes(30, 2 * n, 1)[0];
+    Modulus m(q);
+    NttTable table(n, m);
+    u64 omega = m.mul(table.psi(), table.psi());
+    Rng rng(14);
+    auto a = rng.uniformVec(n, q);
+    auto expect = directCyclicDft(a, m, omega);
+    table.forwardCyclic(a.data());
+    EXPECT_EQ(a, expect);
+}
+
+TEST(Ntt, CyclicRoundtrip)
+{
+    size_t n = 512;
+    u64 q = findNttPrimes(36, 2 * n, 1)[0];
+    NttTable table(n, Modulus(q));
+    Rng rng(15);
+    auto a = rng.uniformVec(n, q);
+    auto orig = a;
+    table.forwardCyclic(a.data());
+    table.inverseCyclic(a.data());
+    EXPECT_EQ(a, orig);
+}
+
+TEST(Ntt, MonomialShiftTheorem)
+{
+    // NTT(X * a) must equal NTT(a) scaled by the evaluation points:
+    // eval at psi^(2k+1) multiplies slot k by psi^(2k+1). Verify using
+    // natural-order outputs.
+    size_t n = 128;
+    u64 q = findNttPrimes(30, 2 * n, 1)[0];
+    Modulus m(q);
+    NttTable table(n, m);
+    Rng rng(16);
+    auto a = rng.uniformVec(n, q);
+    // b = X * a (negacyclic shift by one)
+    std::vector<u64> b(n);
+    b[0] = m.neg(a[n - 1]);
+    for (size_t i = 1; i < n; ++i) {
+        b[i] = a[i - 1];
+    }
+    table.forward(a);
+    table.forward(b);
+    NttTable::bitrevPermute(a.data(), n);
+    NttTable::bitrevPermute(b.data(), n);
+    for (size_t k = 0; k < n; ++k) {
+        u64 root = m.pow(table.psi(), 2 * k + 1);
+        EXPECT_EQ(b[k], m.mul(a[k], root));
+    }
+}
+
+TEST(Ntt, TableCacheReturnsSameInstance)
+{
+    auto t1 = NttTableCache::get(256, findNttPrimes(30, 512, 1)[0]);
+    auto t2 = NttTableCache::get(256, t1->modulus().value());
+    EXPECT_EQ(t1.get(), t2.get());
+}
+
+TEST(Ntt, RejectsNonNttFriendlyModulus)
+{
+    EXPECT_DEATH({ NttTable t(256, Modulus(65539)); (void)t; }, "");
+}
+
+} // namespace
+} // namespace trinity

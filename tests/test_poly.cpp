@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Poly kernel tests: ring axioms, automorphism group behaviour, and
+ * monomial rotation — the Auto and Rotate kernels of Table I.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/primes.h"
+#include "poly/poly.h"
+
+namespace trinity {
+namespace {
+
+struct PolyFixture : public ::testing::Test
+{
+    size_t n = 256;
+    u64 q = findNttPrimes(36, 512, 1)[0];
+    Rng rng{51};
+};
+
+TEST_F(PolyFixture, AddSubRoundtrip)
+{
+    Poly a = Poly::uniform(n, q, rng);
+    Poly b = Poly::uniform(n, q, rng);
+    Poly c = a + b;
+    c.subInPlace(b);
+    EXPECT_EQ(c.coeffs(), a.coeffs());
+}
+
+TEST_F(PolyFixture, MulIsCommutativeAndDistributive)
+{
+    Poly a = Poly::uniform(n, q, rng);
+    Poly b = Poly::uniform(n, q, rng);
+    Poly c = Poly::uniform(n, q, rng);
+    EXPECT_EQ((a * b).coeffs(), (b * a).coeffs());
+    Poly lhs = a * (b + c);
+    Poly rhs = (a * b) + (a * c);
+    EXPECT_EQ(lhs.coeffs(), rhs.coeffs());
+}
+
+TEST_F(PolyFixture, MulByOneIsIdentity)
+{
+    Poly a = Poly::uniform(n, q, rng);
+    Poly one(n, q);
+    one[0] = 1;
+    EXPECT_EQ((a * one).coeffs(), a.coeffs());
+}
+
+TEST_F(PolyFixture, XToTheNIsMinusOne)
+{
+    // X^(n/2) * X^(n/2) = X^n = -1 in the negacyclic ring.
+    Poly xh(n, q);
+    xh[n / 2] = 1;
+    Poly sq = xh * xh;
+    Poly minus_one(n, q);
+    minus_one[0] = Modulus(q).neg(1);
+    EXPECT_EQ(sq.coeffs(), minus_one.coeffs());
+}
+
+TEST_F(PolyFixture, AutomorphismIsRingHomomorphism)
+{
+    Poly a = Poly::uniform(n, q, rng);
+    Poly b = Poly::uniform(n, q, rng);
+    u64 g = 5;
+    // sigma(a*b) == sigma(a)*sigma(b)
+    Poly lhs = (a * b).automorphism(g);
+    Poly rhs = a.automorphism(g) * b.automorphism(g);
+    EXPECT_EQ(lhs.coeffs(), rhs.coeffs());
+    // sigma(a+b) == sigma(a)+sigma(b)
+    Poly l2 = (a + b).automorphism(g);
+    Poly r2 = a.automorphism(g) + b.automorphism(g);
+    EXPECT_EQ(l2.coeffs(), r2.coeffs());
+}
+
+TEST_F(PolyFixture, AutomorphismComposition)
+{
+    Poly a = Poly::uniform(n, q, rng);
+    // sigma_5(sigma_5(a)) == sigma_25(a)
+    Poly lhs = a.automorphism(5).automorphism(5);
+    Poly rhs = a.automorphism(25 % (2 * n));
+    EXPECT_EQ(lhs.coeffs(), rhs.coeffs());
+}
+
+TEST_F(PolyFixture, AutomorphismInverse)
+{
+    Poly a = Poly::uniform(n, q, rng);
+    // g * g_inv = 1 mod 2n -> sigma_g then sigma_{g_inv} is identity.
+    u64 two_n = 2 * n;
+    u64 g = 5;
+    u64 g_inv = 1;
+    // brute force the inverse of 5 mod 2n
+    for (u64 cand = 1; cand < two_n; cand += 2) {
+        if ((g * cand) % two_n == 1) {
+            g_inv = cand;
+            break;
+        }
+    }
+    Poly back = a.automorphism(g).automorphism(g_inv);
+    EXPECT_EQ(back.coeffs(), a.coeffs());
+}
+
+TEST_F(PolyFixture, MonomialMulMatchesPolyMul)
+{
+    Poly a = Poly::uniform(n, q, rng);
+    for (u64 t : {u64(1), u64(7), u64(n - 1), u64(n + 3),
+                  u64(2 * n - 1)}) {
+        Poly mono(n, q);
+        Poly expect;
+        if (t < n) {
+            mono[t] = 1;
+            expect = a * mono;
+        } else {
+            mono[t - n] = Modulus(q).neg(1); // X^(n+k) = -X^k
+            expect = a * mono;
+        }
+        Poly got = a.mulMonomial(t);
+        EXPECT_EQ(got.coeffs(), expect.coeffs()) << "t=" << t;
+    }
+}
+
+TEST_F(PolyFixture, MonomialFullCircle)
+{
+    Poly a = Poly::uniform(n, q, rng);
+    // X^(2n) == 1.
+    Poly r = a.mulMonomial(n).mulMonomial(n);
+    EXPECT_EQ(r.coeffs(), a.coeffs());
+}
+
+TEST_F(PolyFixture, InfNorm)
+{
+    Poly a(n, q);
+    a[3] = 5;
+    a[7] = q - 2; // centered: -2
+    EXPECT_EQ(a.infNorm(), 5u);
+}
+
+TEST_F(PolyFixture, DomainMismatchDies)
+{
+    Poly a = Poly::uniform(n, q, rng);
+    Poly b = Poly::uniform(n, q, rng);
+    a.toEval();
+    EXPECT_DEATH(a.addInPlace(b), "");
+}
+
+} // namespace
+} // namespace trinity

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Tests for NTT-friendly prime generation and primitive roots.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/primes.h"
+
+namespace trinity {
+namespace {
+
+TEST(IsPrime, SmallValues)
+{
+    EXPECT_FALSE(isPrime(0));
+    EXPECT_FALSE(isPrime(1));
+    EXPECT_TRUE(isPrime(2));
+    EXPECT_TRUE(isPrime(3));
+    EXPECT_FALSE(isPrime(4));
+    EXPECT_TRUE(isPrime(65537));
+    EXPECT_FALSE(isPrime(65536));
+    EXPECT_TRUE(isPrime((1ULL << 61) - 1));  // Mersenne prime M61
+    EXPECT_FALSE(isPrime((1ULL << 60) - 1));
+    // Carmichael numbers must not fool the test.
+    EXPECT_FALSE(isPrime(561));
+    EXPECT_FALSE(isPrime(41041));
+    EXPECT_FALSE(isPrime(825265));
+}
+
+TEST(FindNttPrimes, CongruenceAndPrimality)
+{
+    // Candidate density is 2^(bits-1)/2N, so keep bits comfortably
+    // above log2(2N) for three primes to exist.
+    for (u32 bits : {30u, 36u, 45u, 59u}) {
+        for (u64 two_n : {1ULL << 11, 1ULL << 15, 1ULL << 17}) {
+            auto primes = findNttPrimes(bits, two_n, 3);
+            ASSERT_EQ(primes.size(), 3u);
+            for (u64 p : primes) {
+                EXPECT_TRUE(isPrime(p));
+                EXPECT_EQ(p % two_n, 1u);
+                EXPECT_EQ(Modulus(p).bits(), bits);
+            }
+            // Distinct.
+            EXPECT_NE(primes[0], primes[1]);
+            EXPECT_NE(primes[1], primes[2]);
+        }
+    }
+}
+
+TEST(FindNttPrimes, SkipList)
+{
+    u64 two_n = 1ULL << 12;
+    auto first = findNttPrimes(30, two_n, 1);
+    auto second = findNttPrimes(30, two_n, 1, first);
+    EXPECT_NE(first[0], second[0]);
+}
+
+TEST(NearestNttPrime, TfheSubstitutionRule)
+{
+    // The paper's FFT->NTT substitution: prime closest to the
+    // power-of-two torus modulus with p = 1 mod 2N.
+    for (u64 two_n : {1ULL << 11, 1ULL << 12}) {
+        u64 target = 1ULL << 32;
+        u64 p = nearestNttPrime(target, two_n);
+        EXPECT_TRUE(isPrime(p));
+        EXPECT_EQ(p % two_n, 1u);
+        // Should be within a tiny relative distance of 2^32.
+        double rel = std::abs(static_cast<double>(p) -
+                              static_cast<double>(target)) /
+                     static_cast<double>(target);
+        EXPECT_LT(rel, 1e-4);
+    }
+}
+
+TEST(PrimitiveRoot, OrderIsExactly2N)
+{
+    for (u64 two_n : {1ULL << 9, 1ULL << 13}) {
+        u64 p = findNttPrimes(40, two_n, 1)[0];
+        Modulus mod(p);
+        u64 psi = findPrimitiveRoot(two_n, mod);
+        EXPECT_EQ(mod.pow(psi, two_n), 1u);
+        EXPECT_EQ(mod.pow(psi, two_n / 2), p - 1); // psi^N = -1
+    }
+}
+
+} // namespace
+} // namespace trinity

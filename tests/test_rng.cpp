@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Sanity tests for the deterministic RNG and samplers.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace trinity {
+namespace {
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42), c(43);
+    bool diverged = false;
+    for (int i = 0; i < 100; ++i) {
+        u64 va = a.next();
+        EXPECT_EQ(va, b.next());
+        if (va != c.next()) {
+            diverged = true;
+        }
+    }
+    EXPECT_TRUE(diverged);
+}
+
+TEST(Rng, UniformInRange)
+{
+    Rng rng(7);
+    for (u64 q : {2ULL, 3ULL, 1000ULL, (1ULL << 50) + 1}) {
+        for (int i = 0; i < 200; ++i) {
+            EXPECT_LT(rng.uniform(q), q);
+        }
+    }
+}
+
+TEST(Rng, UniformMeanConcentrates)
+{
+    Rng rng(8);
+    u64 q = 1000;
+    double sum = 0;
+    int iters = 20000;
+    for (int i = 0; i < iters; ++i) {
+        sum += static_cast<double>(rng.uniform(q));
+    }
+    double mean = sum / iters;
+    EXPECT_NEAR(mean, (q - 1) / 2.0, 10.0);
+}
+
+TEST(Rng, TernaryBalanced)
+{
+    Rng rng(9);
+    int counts[3] = {0, 0, 0};
+    int iters = 30000;
+    for (int i = 0; i < iters; ++i) {
+        i64 t = rng.ternary();
+        ASSERT_GE(t, -1);
+        ASSERT_LE(t, 1);
+        counts[t + 1]++;
+    }
+    for (int c : counts) {
+        EXPECT_NEAR(c, iters / 3.0, iters * 0.02);
+    }
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(10);
+    double sigma = 3.2;
+    double sum = 0, sq = 0;
+    int iters = 50000;
+    for (int i = 0; i < iters; ++i) {
+        double g = static_cast<double>(rng.gaussian(sigma));
+        sum += g;
+        sq += g * g;
+    }
+    double mean = sum / iters;
+    double var = sq / iters - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 0.1);
+    EXPECT_NEAR(std::sqrt(var), sigma, 0.2);
+}
+
+} // namespace
+} // namespace trinity

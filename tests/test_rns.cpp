@@ -1,0 +1,157 @@
+/**
+ * @file
+ * RNS / BConv tests. The key property: fast base conversion of a value
+ * x < Q yields x + u*Q in the target base with 0 <= u < #limbs — the
+ * HPS approximation that hybrid keyswitch absorbs as noise.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/primes.h"
+#include "common/rng.h"
+#include "poly/rns.h"
+
+namespace trinity {
+namespace {
+
+TEST(RnsPoly, LimbwiseOpsMatchPerLimb)
+{
+    size_t n = 64;
+    auto qs = findNttPrimes(30, 2 * n, 3);
+    Rng rng(61);
+    RnsPoly a(n, qs), b(n, qs);
+    for (size_t j = 0; j < qs.size(); ++j) {
+        a.limb(j) = Poly::uniform(n, qs[j], rng);
+        b.limb(j) = Poly::uniform(n, qs[j], rng);
+    }
+    RnsPoly c = a + b;
+    for (size_t j = 0; j < qs.size(); ++j) {
+        Poly expect = a.limb(j) + b.limb(j);
+        EXPECT_EQ(c.limb(j).coeffs(), expect.coeffs());
+    }
+}
+
+TEST(RnsPoly, FromSignedConsistentAcrossLimbs)
+{
+    size_t n = 32;
+    auto qs = findNttPrimes(30, 2 * n, 2);
+    std::vector<i64> coeffs = {5, -3, 0, 7, -1};
+    RnsPoly p = RnsPoly::fromSigned(coeffs, n, qs);
+    for (size_t j = 0; j < qs.size(); ++j) {
+        EXPECT_EQ(centeredRep(p.limb(j)[0], qs[j]), 5);
+        EXPECT_EQ(centeredRep(p.limb(j)[1], qs[j]), -3);
+        EXPECT_EQ(centeredRep(p.limb(j)[3], qs[j]), 7);
+        EXPECT_EQ(centeredRep(p.limb(j)[4], qs[j]), -1);
+    }
+}
+
+/** CRT-reconstruct a coefficient from <=4 30-bit limbs into u128. */
+u128
+crtReconstruct(const std::vector<u64> &residues,
+               const std::vector<u64> &mods)
+{
+    // Garner's algorithm over u128 (valid while prod(mods) < 2^127).
+    u128 x = residues[0];
+    u128 prod = mods[0];
+    for (size_t i = 1; i < mods.size(); ++i) {
+        Modulus mi(mods[i]);
+        u64 prod_mod = static_cast<u64>(prod % mods[i]);
+        u64 diff =
+            mi.sub(residues[i], static_cast<u64>(x % mods[i]));
+        u64 t = mi.mul(diff, mi.inv(prod_mod));
+        x += prod * t;
+        prod *= mods[i];
+    }
+    return x;
+}
+
+TEST(BaseConverter, ApproximateLiftWithinBound)
+{
+    size_t n = 32;
+    u64 two_n = 2 * n;
+    auto from = findNttPrimes(30, two_n, 3);
+    auto to = findNttPrimes(29, two_n, 2);
+    BaseConverter bc(from, to);
+
+    Rng rng(62);
+    std::vector<Poly> in;
+    for (u64 q : from) {
+        in.push_back(Poly::uniform(n, q, rng));
+    }
+    // The limbs above are independent random residues — i.e. a random
+    // x in [0, Q). Reconstruct x to check the lift.
+    u128 big_q = 1;
+    for (u64 q : from) {
+        big_q *= q;
+    }
+    auto out = bc.convert(in);
+    ASSERT_EQ(out.size(), to.size());
+    for (size_t c = 0; c < n; ++c) {
+        std::vector<u64> res;
+        for (size_t i = 0; i < from.size(); ++i) {
+            res.push_back(in[i][c]);
+        }
+        u128 x = crtReconstruct(res, from);
+        // y must equal x + u*Q (mod p_j) for a single u < #from limbs,
+        // consistent across all output limbs.
+        bool found = false;
+        for (u64 u = 0; u <= from.size() && !found; ++u) {
+            bool all = true;
+            for (size_t j = 0; j < to.size(); ++j) {
+                u128 expect = (x + u * big_q) % to[j];
+                if (out[j][c] != static_cast<u64>(expect)) {
+                    all = false;
+                    break;
+                }
+            }
+            found = all;
+        }
+        EXPECT_TRUE(found) << "coefficient " << c;
+    }
+}
+
+TEST(BaseConverter, SingleLimbConversionIsExact)
+{
+    // With a single source limb, qhat = 1 and the conversion is exact
+    // for the unsigned representative x in [0, q0).
+    size_t n = 16;
+    u64 two_n = 2 * n;
+    auto from = findNttPrimes(30, two_n, 1);
+    auto to = findNttPrimes(36, two_n, 2);
+    BaseConverter bc(from, to);
+    Rng rng(63);
+    std::vector<Poly> in = {Poly::uniform(n, from[0], rng)};
+    auto out = bc.convert(in);
+    for (size_t c = 0; c < n; ++c) {
+        for (size_t j = 0; j < to.size(); ++j) {
+            // to[j] > from[0], so x mod p_j == x.
+            EXPECT_EQ(out[j][c], in[0][c]);
+        }
+    }
+}
+
+TEST(BaseConverter, MulCountMatchesKernelFormula)
+{
+    // BConv cost model used by the simulator: alpha*(1 + l) * N.
+    size_t n = 128;
+    auto from = findNttPrimes(30, 2 * n, 4);
+    auto to = findNttPrimes(29, 2 * n, 6);
+    BaseConverter bc(from, to);
+    EXPECT_EQ(bc.mulCount(n), 128u * 4 * (1 + 6));
+}
+
+TEST(RnsPoly, DropLastLimbShortensChain)
+{
+    size_t n = 32;
+    auto qs = findNttPrimes(30, 2 * n, 3);
+    RnsPoly p(n, qs);
+    EXPECT_EQ(p.numLimbs(), 3u);
+    p.dropLastLimb();
+    EXPECT_EQ(p.numLimbs(), 2u);
+    auto mods = p.moduli();
+    EXPECT_EQ(mods[0], qs[0]);
+    EXPECT_EQ(mods[1], qs[1]);
+}
+
+} // namespace
+} // namespace trinity

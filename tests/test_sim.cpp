@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Simulator-core tests: kernel graph accounting, scheduler dependency
+ * and resource-serialization invariants, utilization bounds.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/machine.h"
+
+namespace trinity {
+namespace sim {
+namespace {
+
+Machine
+toyMachine()
+{
+    Machine m;
+    m.name = "toy";
+    m.freqGhz = 1.0;
+    m.pools["A"] = Pool{"A", 100.0, 1.0, 0};
+    m.pools["B"] = Pool{"B", 50.0, 1.0, 0};
+    m.routes[KernelType::Ntt] = Route{"A", 1.0};
+    m.routes[KernelType::Ip] = Route{"B", 1.0};
+    m.routes[KernelType::ModAdd] = Route{"B", 2.0};
+    return m;
+}
+
+TEST(KernelGraph, TotalElements)
+{
+    KernelGraph g;
+    g.addAfter(KernelType::Ntt, 1000, 256, {});
+    g.addAfter(KernelType::Ntt, 500, 256, {});
+    g.addAfter(KernelType::Ip, 300, 256, {});
+    EXPECT_EQ(g.totalElements(KernelType::Ntt), 1500u);
+    EXPECT_EQ(g.totalElements(KernelType::Ip), 300u);
+    EXPECT_EQ(g.totalElements(KernelType::Bconv), 0u);
+}
+
+TEST(Scheduler, IndependentKernelsOnDifferentPoolsOverlap)
+{
+    KernelGraph g;
+    g.addAfter(KernelType::Ntt, 1000, 256, {}); // 10 cycles on A
+    g.addAfter(KernelType::Ip, 500, 256, {});   // 10 cycles on B
+    auto r = schedule(g, toyMachine());
+    EXPECT_DOUBLE_EQ(r.makespanCycles, 10.0);
+}
+
+TEST(Scheduler, SamePoolSerializes)
+{
+    KernelGraph g;
+    g.addAfter(KernelType::Ntt, 1000, 256, {});
+    g.addAfter(KernelType::Ntt, 1000, 256, {});
+    auto r = schedule(g, toyMachine());
+    EXPECT_DOUBLE_EQ(r.makespanCycles, 20.0);
+}
+
+TEST(Scheduler, DependenciesChain)
+{
+    KernelGraph g;
+    size_t a = g.addAfter(KernelType::Ntt, 1000, 256, {});
+    size_t b = g.addAfter(KernelType::Ip, 500, 256, {a});
+    g.addAfter(KernelType::Ntt, 1000, 256, {b});
+    auto r = schedule(g, toyMachine());
+    EXPECT_DOUBLE_EQ(r.makespanCycles, 30.0);
+}
+
+TEST(Scheduler, CostFactorApplies)
+{
+    KernelGraph g;
+    g.addAfter(KernelType::ModAdd, 500, 256, {}); // cf 2.0 -> 20 cyc
+    auto r = schedule(g, toyMachine());
+    EXPECT_DOUBLE_EQ(r.makespanCycles, 20.0);
+}
+
+TEST(Scheduler, PipelineLatencyChargedPerKernel)
+{
+    Machine m = toyMachine();
+    m.pools["A"].latency = 5;
+    KernelGraph g;
+    size_t a = g.addAfter(KernelType::Ntt, 100, 256, {}); // 1 + 5
+    g.addAfter(KernelType::Ntt, 100, 256, {a});           // 1 + 5
+    auto r = schedule(g, m);
+    EXPECT_DOUBLE_EQ(r.makespanCycles, 12.0);
+}
+
+TEST(Scheduler, EfficiencyStretchesTimeButNotUtilWork)
+{
+    Machine m = toyMachine();
+    m.pools["A"].efficiency = 0.5;
+    KernelGraph g;
+    g.addAfter(KernelType::Ntt, 1000, 256, {}); // 20 cycles at eff 0.5
+    auto r = schedule(g, m);
+    EXPECT_DOUBLE_EQ(r.makespanCycles, 20.0);
+    // Useful work is still 10 capacity-cycles -> utilization 0.5.
+    EXPECT_DOUBLE_EQ(r.utilization("A"), 0.5);
+}
+
+TEST(Scheduler, UtilizationNeverExceedsOne)
+{
+    KernelGraph g;
+    for (int i = 0; i < 20; ++i) {
+        g.addAfter(KernelType::Ntt, 777, 256, {});
+        g.addAfter(KernelType::Ip, 333, 256, {});
+    }
+    auto r = schedule(g, toyMachine());
+    EXPECT_LE(r.utilization("A"), 1.0 + 1e-9);
+    EXPECT_LE(r.utilization("B"), 1.0 + 1e-9);
+}
+
+TEST(Scheduler, BottleneckMatchesHandComputation)
+{
+    KernelGraph g;
+    g.addAfter(KernelType::Ntt, 1000, 256, {}); // A: 10
+    g.addAfter(KernelType::Ip, 1000, 256, {});  // B: 20
+    EXPECT_DOUBLE_EQ(bottleneckCycles(g, toyMachine()), 20.0);
+}
+
+TEST(Machine, UnroutedKernelDies)
+{
+    KernelGraph g;
+    g.addAfter(KernelType::Auto, 10, 256, {});
+    EXPECT_DEATH(schedule(g, toyMachine()), "");
+}
+
+TEST(Machine, SecondsConversion)
+{
+    Machine m = toyMachine();
+    m.freqGhz = 2.0;
+    EXPECT_DOUBLE_EQ(m.seconds(2e9), 1.0);
+}
+
+} // namespace
+} // namespace sim
+} // namespace trinity

@@ -1,0 +1,357 @@
+/**
+ * @file
+ * TFHE tests: LWE/GLWE/GGSW encryption, gadget decomposition,
+ * external product, CMux, blind rotation, sample extract, keyswitch,
+ * full PBS (Algorithm 2), and the boolean gate layer.
+ */
+
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "tfhe/gates.h"
+
+namespace trinity {
+namespace {
+
+struct TfheFixture : public ::testing::Test
+{
+    void
+    SetUp() override
+    {
+        ctx = std::make_shared<TfheContext>(TfheParams::testTiny(), 4242);
+        lwe_sk = ctx->makeLweKey();
+        glwe_sk = ctx->makeGlweKey();
+    }
+
+    i64
+    centeredPhase(const LweCiphertext &ct)
+    {
+        return centeredRep(ctx->lwePhase(ct, lwe_sk), ctx->q());
+    }
+
+    std::shared_ptr<TfheContext> ctx;
+    LweSecretKey lwe_sk;
+    GlweSecretKey glwe_sk;
+};
+
+TEST_F(TfheFixture, ParamsUseNttFriendlyPrimeNearTwoPow32)
+{
+    for (const auto &p :
+         {TfheParams::setI(), TfheParams::setII(), TfheParams::setIII()}) {
+        EXPECT_EQ(p.q % (2 * p.bigN), 1u) << p.name;
+        double rel = std::abs(static_cast<double>(p.q) - std::pow(2, 32)) /
+                     std::pow(2, 32);
+        EXPECT_LT(rel, 1e-4) << p.name;
+    }
+}
+
+TEST_F(TfheFixture, LweEncryptDecrypt)
+{
+    u64 q = ctx->q();
+    for (u64 m : {q / 8, q / 4, q - q / 8, u64(0)}) {
+        auto ct = ctx->lweEncrypt(m, lwe_sk);
+        i64 err = centeredRep(ctx->modulus().sub(
+                                  ctx->lwePhase(ct, lwe_sk), m),
+                              q);
+        EXPECT_LT(std::abs(err), 64) << "m=" << m;
+    }
+}
+
+TEST_F(TfheFixture, GlweEncryptDecrypt)
+{
+    const auto &p = ctx->params();
+    Rng rng(71);
+    Poly m(p.bigN, p.q);
+    for (size_t i = 0; i < p.bigN; ++i) {
+        m[i] = (rng.next() & 1) ? p.q / 8 : 0;
+    }
+    auto ct = ctx->glweEncrypt(m, glwe_sk);
+    Poly phase = ctx->glwePhase(ct, glwe_sk);
+    phase.subInPlace(m);
+    EXPECT_LT(phase.infNorm(), 64u);
+}
+
+TEST_F(TfheFixture, TrivialGlweIsNoiseFree)
+{
+    Poly m(ctx->params().bigN, ctx->q());
+    m[0] = 12345;
+    m[7] = 999;
+    auto ct = ctx->glweTrivial(m);
+    Poly phase = ctx->glwePhase(ct, glwe_sk);
+    phase.subInPlace(m);
+    EXPECT_EQ(phase.infNorm(), 0u);
+}
+
+TEST_F(TfheFixture, GadgetDecompositionReconstructs)
+{
+    const auto &p = ctx->params();
+    const Modulus &m = ctx->modulus();
+    Rng rng(72);
+    std::vector<i64> digits(p.lb);
+    u64 bg_half = 1ULL << (p.logBg - 1);
+    for (int trial = 0; trial < 200; ++trial) {
+        u64 x = rng.uniform(p.q);
+        ctx->decomposeScalar(x, digits.data());
+        u64 approx = 0;
+        for (u32 l = 0; l < p.lb; ++l) {
+            EXPECT_LT(std::abs(digits[l]),
+                      static_cast<i64>(bg_half) + 1);
+            approx = m.add(approx,
+                           m.mul(toResidue(digits[l], p.q),
+                                 ctx->gadget(l)));
+        }
+        // |x - approx| <= ~q / Bg^lb (plus gadget rounding).
+        i64 err = centeredRep(m.sub(x, approx), p.q);
+        double bound =
+            static_cast<double>(p.q) /
+                std::pow(2.0, static_cast<double>(p.logBg) * p.lb) +
+            p.lb;
+        EXPECT_LE(std::abs(err), 2 * bound + 2) << "x=" << x;
+    }
+}
+
+TEST_F(TfheFixture, ExternalProductByOnePreservesMessage)
+{
+    const auto &p = ctx->params();
+    // GGSW(1) (x) GLWE(m) must decrypt to ~m.
+    Poly m(p.bigN, p.q);
+    m[0] = p.q / 4;
+    m[3] = p.q / 8;
+    auto glwe = ctx->glweEncrypt(m, glwe_sk);
+    auto ggsw = ctx->ggswEncrypt(1, glwe_sk);
+    ctx->ggswToEval(ggsw);
+    auto prod = ctx->externalProduct(ggsw, glwe);
+    Poly phase = ctx->glwePhase(prod, glwe_sk);
+    phase.subInPlace(m);
+    EXPECT_LT(phase.infNorm(), 1u << 18); // well below q/16 margin
+}
+
+TEST_F(TfheFixture, ExternalProductByZeroKillsMessage)
+{
+    const auto &p = ctx->params();
+    Poly m(p.bigN, p.q);
+    m[0] = p.q / 4;
+    auto glwe = ctx->glweEncrypt(m, glwe_sk);
+    auto ggsw = ctx->ggswEncrypt(0, glwe_sk);
+    ctx->ggswToEval(ggsw);
+    auto prod = ctx->externalProduct(ggsw, glwe);
+    Poly phase = ctx->glwePhase(prod, glwe_sk);
+    EXPECT_LT(phase.infNorm(), 1u << 18);
+}
+
+TEST_F(TfheFixture, CmuxSelects)
+{
+    const auto &p = ctx->params();
+    Poly m0(p.bigN, p.q), m1(p.bigN, p.q);
+    m0[0] = p.q / 4;
+    m1[0] = ctx->modulus().neg(p.q / 4);
+    auto ct0 = ctx->glweEncrypt(m0, glwe_sk);
+    auto ct1 = ctx->glweEncrypt(m1, glwe_sk);
+    for (i64 bit : {0, 1}) {
+        auto sel = ctx->ggswEncrypt(bit, glwe_sk);
+        ctx->ggswToEval(sel);
+        auto out = ctx->cmux(sel, ct0, ct1);
+        Poly phase = ctx->glwePhase(out, glwe_sk);
+        i64 got = centeredRep(phase[0], p.q);
+        i64 expect = bit ? -static_cast<i64>(p.q / 4)
+                         : static_cast<i64>(p.q / 4);
+        EXPECT_NEAR(static_cast<double>(got),
+                    static_cast<double>(expect), 1 << 18)
+            << "bit=" << bit;
+    }
+}
+
+struct PbsFixture : public ::testing::Test
+{
+    void
+    SetUp() override
+    {
+        ctx = std::make_shared<TfheContext>(TfheParams::testTiny(), 888);
+        boot = std::make_unique<TfheBootstrapper>(ctx);
+        lwe_sk = ctx->makeLweKey();
+        glwe_sk = ctx->makeGlweKey();
+        bsk = boot->makeBootstrapKey(lwe_sk, glwe_sk);
+        ksk = boot->makeKeySwitchKey(glwe_sk, lwe_sk);
+    }
+
+    std::shared_ptr<TfheContext> ctx;
+    std::unique_ptr<TfheBootstrapper> boot;
+    LweSecretKey lwe_sk;
+    GlweSecretKey glwe_sk;
+    TfheBootstrapKey bsk;
+    TfheKeySwitchKey ksk;
+};
+
+TEST_F(PbsFixture, SampleExtractMatchesCoefficient)
+{
+    const auto &p = ctx->params();
+    Rng rng(73);
+    Poly m(p.bigN, p.q);
+    for (size_t i = 0; i < p.bigN; ++i) {
+        m[i] = rng.uniform(p.q);
+    }
+    auto glwe = ctx->glweEncrypt(m, glwe_sk);
+    LweSecretKey wide = glwe_sk.extractLweKey();
+    for (size_t idx : {size_t(0), size_t(1), p.bigN / 2, p.bigN - 1}) {
+        auto lwe = boot->sampleExtract(glwe, idx);
+        u64 phase = ctx->lwePhase(lwe, wide);
+        i64 err = centeredRep(ctx->modulus().sub(phase, m[idx]), p.q);
+        EXPECT_LT(std::abs(err), 64) << "idx=" << idx;
+    }
+}
+
+TEST_F(PbsFixture, KeySwitchPreservesPhase)
+{
+    const auto &p = ctx->params();
+    LweSecretKey wide = glwe_sk.extractLweKey();
+    u64 msg = p.q / 4;
+    // Encrypt under the wide key by extracting from a GLWE.
+    Poly m(p.bigN, p.q);
+    m[0] = msg;
+    auto glwe = ctx->glweEncrypt(m, glwe_sk);
+    auto wide_ct = boot->sampleExtract(glwe, 0);
+    auto small = boot->keySwitch(wide_ct, ksk);
+    EXPECT_EQ(small.a.size(), p.nLwe);
+    i64 err = centeredRep(
+        ctx->modulus().sub(ctx->lwePhase(small, lwe_sk), msg), p.q);
+    EXPECT_LT(std::abs(err), 1 << 20); // decomposition noise bound
+}
+
+TEST_F(PbsFixture, BlindRotateProducesRotatedTestVector)
+{
+    const auto &p = ctx->params();
+    // Noise-free input encodes phase exactly: use s=0 ciphertext
+    // (a = 0, b = phase) so we can predict the rotation amount.
+    u64 phase = p.q / 3;
+    LweCiphertext ct;
+    ct.a.assign(p.nLwe, 0);
+    ct.b = phase;
+    // Identity-ish test vector tv[i] = i (arbitrary marker values).
+    Poly tv(p.bigN, p.q);
+    for (size_t i = 0; i < p.bigN; ++i) {
+        tv[i] = i * 1000;
+    }
+    auto acc = boot->blindRotate(ct, tv, bsk);
+    Poly got = ctx->glwePhase(acc, glwe_sk);
+    // Expected: tv * X^{-b~}.
+    u64 b_tilde = boot->modSwitch(phase);
+    Poly expect = tv.mulMonomial(2 * p.bigN - b_tilde);
+    got.subInPlace(expect);
+    EXPECT_LT(got.infNorm(), 1u << 18);
+}
+
+TEST_F(PbsFixture, PbsSignExtraction)
+{
+    const auto &p = ctx->params();
+    u64 mu = p.q / 8;
+    Poly tv = boot->signTestVector(mu);
+    for (bool bit : {false, true}) {
+        u64 m = bit ? mu : ctx->modulus().neg(mu);
+        auto ct = ctx->lweEncrypt(m, lwe_sk);
+        auto fresh = boot->pbs(ct, tv, bsk, ksk);
+        i64 phase = centeredRep(ctx->lwePhase(fresh, lwe_sk), p.q);
+        if (bit) {
+            EXPECT_GT(phase, static_cast<i64>(mu / 2));
+        } else {
+            EXPECT_LT(phase, -static_cast<i64>(mu / 2));
+        }
+    }
+}
+
+TEST_F(PbsFixture, PbsProgrammableLut)
+{
+    // Program tv so the output distinguishes 4 phase quadrants... the
+    // negacyclic constraint allows an arbitrary function on [0, N)
+    // (phases in the "positive" half).
+    const auto &p = ctx->params();
+    u64 marker1 = p.q / 16, marker2 = p.q / 5;
+    Poly tv(p.bigN, p.q);
+    for (size_t i = 0; i < p.bigN; ++i) {
+        tv[i] = (i < p.bigN / 2) ? marker1 : marker2;
+    }
+    // Input phase q/8 -> index ~N/4 -> marker1.
+    auto ct1 = ctx->lweEncrypt(p.q / 8, lwe_sk);
+    auto out1 = boot->pbs(ct1, tv, bsk, ksk);
+    i64 ph1 = centeredRep(ctx->lwePhase(out1, lwe_sk), p.q);
+    EXPECT_NEAR(static_cast<double>(ph1),
+                static_cast<double>(marker1), 1 << 21);
+    // Input phase 3q/8 -> index ~3N/4 -> marker2.
+    auto ct2 = ctx->lweEncrypt(3 * (p.q / 8), lwe_sk);
+    auto out2 = boot->pbs(ct2, tv, bsk, ksk);
+    i64 ph2 = centeredRep(ctx->lwePhase(out2, lwe_sk), p.q);
+    EXPECT_NEAR(static_cast<double>(ph2),
+                static_cast<double>(marker2), 1 << 21);
+}
+
+struct GateFixture : public ::testing::Test
+{
+    void
+    SetUp() override
+    {
+        gb = std::make_unique<TfheGateBootstrapper>(
+            TfheParams::testTiny(), 31337);
+    }
+
+    std::unique_ptr<TfheGateBootstrapper> gb;
+};
+
+TEST_F(GateFixture, TruthTables)
+{
+    for (int x = 0; x <= 1; ++x) {
+        for (int y = 0; y <= 1; ++y) {
+            auto cx = gb->encryptBit(x);
+            auto cy = gb->encryptBit(y);
+            EXPECT_EQ(gb->decryptBit(gb->gateNand(cx, cy)), !(x && y))
+                << "NAND " << x << "," << y;
+            EXPECT_EQ(gb->decryptBit(gb->gateAnd(cx, cy)),
+                      static_cast<bool>(x && y))
+                << "AND " << x << "," << y;
+            EXPECT_EQ(gb->decryptBit(gb->gateOr(cx, cy)),
+                      static_cast<bool>(x || y))
+                << "OR " << x << "," << y;
+            EXPECT_EQ(gb->decryptBit(gb->gateXor(cx, cy)),
+                      static_cast<bool>(x ^ y))
+                << "XOR " << x << "," << y;
+        }
+    }
+}
+
+TEST_F(GateFixture, NotAndMux)
+{
+    auto c0 = gb->encryptBit(false);
+    auto c1 = gb->encryptBit(true);
+    EXPECT_TRUE(gb->decryptBit(gb->gateNot(c0)));
+    EXPECT_FALSE(gb->decryptBit(gb->gateNot(c1)));
+    EXPECT_TRUE(gb->decryptBit(gb->gateMux(c1, c1, c0)));
+    EXPECT_FALSE(gb->decryptBit(gb->gateMux(c0, c1, c0)));
+    EXPECT_FALSE(gb->decryptBit(gb->gateMux(c1, c0, c1)));
+}
+
+TEST_F(GateFixture, DeepGateChainStaysCorrect)
+{
+    // Chain 16 NANDs; bootstrap must refresh noise at every step.
+    auto acc = gb->encryptBit(true);
+    bool expect = true;
+    for (int i = 0; i < 16; ++i) {
+        bool bit = (i % 3) != 0;
+        auto c = gb->encryptBit(bit);
+        acc = gb->gateNand(acc, c);
+        expect = !(expect && bit);
+    }
+    EXPECT_EQ(gb->decryptBit(acc), expect);
+}
+
+TEST(TfheSetI, PbsAtPaperParameters)
+{
+    // One full-parameter PBS (Table IV Set-I) as an integration check.
+    TfheGateBootstrapper gb(TfheParams::setI(), 515151);
+    auto c1 = gb.encryptBit(true);
+    auto c0 = gb.encryptBit(false);
+    EXPECT_FALSE(gb.decryptBit(gb.gateNand(c1, c1)));
+    EXPECT_TRUE(gb.decryptBit(gb.gateNand(c1, c0)));
+}
+
+} // namespace
+} // namespace trinity
