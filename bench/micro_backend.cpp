@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Batched-kernel throughput per execution engine — the baseline for
+ * the perf trajectory of every future backend (SIMD, GPU, simulated
+ * accelerator). Measures the two kernels Trinity spends its area on:
+ * the batched NTT and the BConv matrix product, under the serial
+ * reference and the thread pool at several worker counts.
+ *
+ * Usage: bench_micro_backend [N [limbs [reps]]]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "backend/registry.h"
+#include "backend/serial_backend.h"
+#include "backend/thread_pool_backend.h"
+#include "bench/bench_util.h"
+#include "common/primes.h"
+#include "common/rng.h"
+#include "poly/rns.h"
+
+using namespace trinity;
+
+namespace {
+
+struct Workload
+{
+    size_t n;
+    size_t limbs;
+    size_t reps;
+    std::vector<u64> qs;
+    std::vector<u64> ps;
+    RnsPoly poly;
+    std::unique_ptr<BaseConverter> bconv;
+};
+
+double
+timeNtt(Workload &w)
+{
+    // In-place fwd+inv round trip: iNTT(NTT(x)) == x bit-exactly, so
+    // no copy pollutes the timed region with engine-independent cost.
+    bench::Timer t;
+    for (size_t r = 0; r < w.reps; ++r) {
+        w.poly.toEval();
+        w.poly.toCoeff();
+    }
+    return t.elapsedMs();
+}
+
+double
+timeBconv(Workload &w)
+{
+    bench::Timer t;
+    for (size_t r = 0; r < w.reps; ++r) {
+        RnsPoly y = w.bconv->convert(w.poly);
+        (void)y;
+    }
+    return t.elapsedMs();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 4096;
+    size_t limbs = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 16;
+    size_t reps = argc > 3 ? std::strtoul(argv[3], nullptr, 10) : 20;
+
+    Workload w;
+    w.n = n;
+    w.limbs = limbs;
+    w.reps = reps;
+    w.qs = findNttPrimes(30, 2 * n, limbs);
+    w.ps = findNttPrimes(29, 2 * n, limbs + 1);
+    Rng rng(1234);
+    w.poly = RnsPoly::uniform(n, w.qs, rng);
+    w.bconv = std::make_unique<BaseConverter>(w.qs, w.ps);
+
+    bench::header("micro_backend: batched NTT + BConv throughput");
+    bench::note("N=" + std::to_string(n) +
+                ", limbs=" + std::to_string(limbs) +
+                ", reps=" + std::to_string(reps) + ", hw threads=" +
+                std::to_string(std::thread::hardware_concurrency()));
+
+    // One warm run builds NTT tables and converter constants so no
+    // configuration pays setup cost inside the timed region.
+    {
+        RnsPoly x = w.poly;
+        x.toEval();
+        x.toCoeff();
+        (void)w.bconv->convert(w.poly);
+    }
+
+    struct Config
+    {
+        const char *label;
+        size_t threads; ///< 0 = serial backend
+    };
+    const Config configs[] = {
+        {"serial", 0},          {"threads-1", 1}, {"threads-2", 2},
+        {"threads-4", 4},       {"threads-8", 8},
+    };
+
+    double serial_ntt = 0;
+    double serial_bconv = 0;
+    for (const Config &cfg : configs) {
+        if (cfg.threads == 0) {
+            BackendRegistry::instance().use(
+                std::make_unique<SerialBackend>());
+        } else {
+            BackendRegistry::instance().use(
+                std::make_unique<ThreadPoolBackend>(cfg.threads));
+        }
+        double ntt_ms = timeNtt(w);
+        double bconv_ms = timeBconv(w);
+        if (cfg.threads == 0) {
+            serial_ntt = ntt_ms;
+            serial_bconv = bconv_ms;
+        }
+        // 2 transforms (fwd+inv) per limb per rep.
+        double ntts = 2.0 * static_cast<double>(limbs) * reps;
+        bench::row(cfg.label, "ntt.batch", ntts / (ntt_ms / 1000.0),
+                   "ntt/s", "measured");
+        bench::row(cfg.label, "ntt.speedup",
+                   ntt_ms > 0 ? serial_ntt / ntt_ms : 0, "x",
+                   "measured");
+        bench::row(cfg.label, "bconv.batch",
+                   static_cast<double>(reps) / (bconv_ms / 1000.0),
+                   "conv/s", "measured");
+        bench::row(cfg.label, "bconv.speedup",
+                   bconv_ms > 0 ? serial_bconv / bconv_ms : 0, "x",
+                   "measured");
+    }
+    BackendRegistry::instance().select("serial");
+    return 0;
+}

@@ -1,0 +1,142 @@
+#include "backend/poly_backend.h"
+
+#include <vector>
+
+#include "common/logging.h"
+
+namespace trinity {
+
+void
+PolyBackend::nttForwardBatch(const NttJob *jobs, size_t count)
+{
+    parallelFor(count, [&](size_t i) {
+        jobs[i].table->forward(jobs[i].data);
+    });
+}
+
+void
+PolyBackend::nttInverseBatch(const NttJob *jobs, size_t count)
+{
+    parallelFor(count, [&](size_t i) {
+        jobs[i].table->inverse(jobs[i].data);
+    });
+}
+
+void
+PolyBackend::pointwiseMulBatch(const EltwiseJob *jobs, size_t count)
+{
+    parallelFor(count, [&](size_t i) {
+        const EltwiseJob &j = jobs[i];
+        for (size_t c = 0; c < j.n; ++c) {
+            j.dst[c] = j.mod->mul(j.a[c], j.b[c]);
+        }
+    });
+}
+
+void
+PolyBackend::addBatch(const EltwiseJob *jobs, size_t count)
+{
+    parallelFor(count, [&](size_t i) {
+        const EltwiseJob &j = jobs[i];
+        for (size_t c = 0; c < j.n; ++c) {
+            j.dst[c] = j.mod->add(j.a[c], j.b[c]);
+        }
+    });
+}
+
+void
+PolyBackend::subBatch(const EltwiseJob *jobs, size_t count)
+{
+    parallelFor(count, [&](size_t i) {
+        const EltwiseJob &j = jobs[i];
+        for (size_t c = 0; c < j.n; ++c) {
+            j.dst[c] = j.mod->sub(j.a[c], j.b[c]);
+        }
+    });
+}
+
+void
+PolyBackend::negBatch(const EltwiseJob *jobs, size_t count)
+{
+    parallelFor(count, [&](size_t i) {
+        const EltwiseJob &j = jobs[i];
+        for (size_t c = 0; c < j.n; ++c) {
+            j.dst[c] = j.mod->neg(j.a[c]);
+        }
+    });
+}
+
+void
+PolyBackend::mulAddBatch(const MulAddJob *jobs, size_t count)
+{
+    parallelFor(count, [&](size_t i) {
+        const MulAddJob &j = jobs[i];
+        for (size_t c = 0; c < j.n; ++c) {
+            j.dst[c] = j.mod->mulAdd(j.a[c], j.b[c], j.dst[c]);
+        }
+    });
+}
+
+void
+PolyBackend::scalarMulBatch(const ScalarMulJob *jobs, size_t count)
+{
+    parallelFor(count, [&](size_t i) {
+        const ScalarMulJob &j = jobs[i];
+        u64 pre = j.mod->shoupPrecompute(j.scalar);
+        for (size_t c = 0; c < j.n; ++c) {
+            j.dst[c] = j.mod->mulShoup(j.src[c], j.scalar, pre);
+        }
+    });
+}
+
+void
+PolyBackend::automorphismBatch(const AutoJob *jobs, size_t count)
+{
+    parallelFor(count, [&](size_t i) {
+        const AutoJob &j = jobs[i];
+        size_t two_n = 2 * j.n;
+        for (size_t c = 0; c < j.n; ++c) {
+            u64 e = (static_cast<u64>(c) * j.g) % two_n;
+            if (e < j.n) {
+                j.dst[e] = j.src[c];
+            } else {
+                j.dst[e - j.n] = j.mod->neg(j.src[c]);
+            }
+        }
+    });
+}
+
+void
+PolyBackend::baseConvert(const BConvPlan &plan, const u64 *const *in,
+                         u64 *const *out, size_t n)
+{
+    size_t k = plan.numFrom;
+    size_t l = plan.numTo;
+    // Pass 1 (element-wise): v_i = [x_i * (Q/q_i)^{-1}]_{q_i}.
+    std::vector<u64> v(k * n);
+    parallelFor(k, [&](size_t i) {
+        const Modulus &qi = plan.fromMods[i];
+        u64 w = plan.qhatInv[i];
+        u64 pre = plan.qhatInvPrecon[i];
+        u64 *vi = v.data() + i * n;
+        const u64 *xi = in[i];
+        for (size_t c = 0; c < n; ++c) {
+            vi[c] = qi.mulShoup(xi[c], w, pre);
+        }
+    });
+    // Pass 2 (the matrix product): y_j = sum_i v_i * (Q/q_i) mod p_j.
+    parallelFor(l, [&](size_t j) {
+        const Modulus &pj = plan.toMods[j];
+        u64 *yj = out[j];
+        for (size_t c = 0; c < n; ++c) {
+            u128 acc = 0;
+            for (size_t i = 0; i < k; ++i) {
+                acc += static_cast<u128>(pj.reduce(v[i * n + c])) *
+                       plan.qhatModP[i * l + j];
+            }
+            yj[c] = pj.reduce128(acc);
+        }
+    });
+}
+
+} // namespace trinity

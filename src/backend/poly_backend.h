@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Pluggable polynomial execution engine — the seam between the scheme
+ * layers (CKKS, TFHE, conversion) and whatever actually runs the limb
+ * kernels.
+ *
+ * Trinity's premise (Section III) is that every FHE workload bottoms
+ * out in a small set of batchable polynomial kernels — NTT, ModMul,
+ * ModAdd, Auto, BConv — that an accelerator executes in bulk. The
+ * software stack mirrors that: scheme code emits *batches* of limb
+ * jobs through the PolyBackend interface, and an interchangeable
+ * engine (serial reference, thread pool, and in the future SIMD, GPU,
+ * or a simulated-accelerator timing model) owns the execution.
+ *
+ * A batch is a flat array of plain-old-data job descriptors over raw
+ * limb pointers, so an engine can partition, reorder, or offload jobs
+ * freely. Every job in a batch is independent (distinct destination
+ * buffers); engines may run them in any order and must produce
+ * bit-identical results to the serial reference.
+ */
+
+#ifndef TRINITY_BACKEND_POLY_BACKEND_H
+#define TRINITY_BACKEND_POLY_BACKEND_H
+
+#include <cstddef>
+#include <functional>
+
+#include "common/modarith.h"
+#include "common/types.h"
+#include "poly/ntt.h"
+
+namespace trinity {
+
+/** One in-place NTT over a single limb. */
+struct NttJob
+{
+    u64 *data;            ///< limb coefficients, length table->n()
+    const NttTable *table;
+};
+
+/**
+ * One element-wise limb kernel: dst[i] = a[i] op b[i] (mod *mod).
+ * For unary kernels (negate) @c b is ignored; @c a may alias @c dst.
+ */
+struct EltwiseJob
+{
+    u64 *dst;
+    const u64 *a;
+    const u64 *b;
+    const Modulus *mod;
+    size_t n;
+};
+
+/** One fused multiply-accumulate: dst[i] += a[i] * b[i] (mod *mod). */
+struct MulAddJob
+{
+    u64 *dst;
+    const u64 *a;
+    const u64 *b;
+    const Modulus *mod;
+    size_t n;
+};
+
+/** One scalar multiply: dst[i] = src[i] * scalar (mod *mod). */
+struct ScalarMulJob
+{
+    u64 *dst;
+    const u64 *src;
+    u64 scalar; ///< already reduced mod *mod
+    const Modulus *mod;
+    size_t n;
+};
+
+/**
+ * One Galois automorphism X -> X^g over a limb (coefficient domain).
+ * dst must not alias src.
+ */
+struct AutoJob
+{
+    u64 *dst;
+    const u64 *src;
+    const Modulus *mod;
+    size_t n;
+    u64 g; ///< odd automorphism index
+};
+
+/**
+ * Precomputed constants for one HPS base conversion (the BConv matrix
+ * product Trinity maps onto CU systolic arrays). All pointers borrow
+ * from the owning BaseConverter and stay valid for the call only.
+ */
+struct BConvPlan
+{
+    const Modulus *fromMods; ///< k source moduli
+    size_t numFrom;
+    const Modulus *toMods;   ///< l target moduli
+    size_t numTo;
+    const u64 *qhatInv;        ///< (Q/q_i)^{-1} mod q_i, length k
+    const u64 *qhatInvPrecon;  ///< Shoup preconditioners for qhatInv
+    const u64 *qhatModP;       ///< (Q/q_i) mod p_j, row-major [i*numTo + j]
+};
+
+/**
+ * Abstract polynomial execution engine.
+ *
+ * The batched entry points have default implementations that express
+ * each kernel through parallelFor(), so a concrete engine only has to
+ * supply a scheduling strategy. Engines with their own kernel
+ * implementations (GPU, simulated accelerator) override the batch
+ * methods directly.
+ */
+class PolyBackend
+{
+  public:
+    virtual ~PolyBackend() = default;
+
+    /** Engine name as registered ("serial", "threads", ...). */
+    virtual const char *name() const = 0;
+
+    /** Number of concurrent workers the engine schedules across. */
+    virtual size_t threadCount() const { return 1; }
+
+    /** Forward negacyclic NTT over a batch of limbs. */
+    virtual void nttForwardBatch(const NttJob *jobs, size_t count);
+    /** Inverse negacyclic NTT over a batch of limbs. */
+    virtual void nttInverseBatch(const NttJob *jobs, size_t count);
+
+    /** dst = a ⊙ b per job (the ModMul kernel). */
+    virtual void pointwiseMulBatch(const EltwiseJob *jobs, size_t count);
+    /** dst = a + b per job. */
+    virtual void addBatch(const EltwiseJob *jobs, size_t count);
+    /** dst = a - b per job. */
+    virtual void subBatch(const EltwiseJob *jobs, size_t count);
+    /** dst = -a per job (b ignored). */
+    virtual void negBatch(const EltwiseJob *jobs, size_t count);
+    /** dst += a ⊙ b per job (the keyswitch inner-product kernel). */
+    virtual void mulAddBatch(const MulAddJob *jobs, size_t count);
+    /** dst = src * scalar per job. */
+    virtual void scalarMulBatch(const ScalarMulJob *jobs, size_t count);
+    /** Galois automorphism per job (the AutoU kernel). */
+    virtual void automorphismBatch(const AutoJob *jobs, size_t count);
+
+    /**
+     * HPS base conversion (BConv): k coefficient-domain source limbs
+     * in[0..k) to l target limbs out[0..l), each of length n.
+     */
+    virtual void baseConvert(const BConvPlan &plan, const u64 *const *in,
+                             u64 *const *out, size_t n);
+
+    /**
+     * Escape hatch for fused kernels the named entry points do not
+     * cover (rescale, ModDown scaling, ...): runs fn(0..count) with
+     * the engine's parallelism. fn must only touch disjoint state per
+     * index.
+     */
+    void
+    run(size_t count, const std::function<void(size_t)> &fn)
+    {
+        parallelFor(count, fn);
+    }
+
+  protected:
+    /**
+     * Scheduling primitive: execute fn(i) for every i in [0, count),
+     * in any order, returning only when all calls finished.
+     */
+    virtual void parallelFor(size_t count,
+                             const std::function<void(size_t)> &fn) = 0;
+};
+
+} // namespace trinity
+
+#endif // TRINITY_BACKEND_POLY_BACKEND_H

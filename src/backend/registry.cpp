@@ -1,0 +1,87 @@
+#include "backend/registry.h"
+
+#include <cstdlib>
+
+#include "backend/serial_backend.h"
+#include "backend/thread_pool_backend.h"
+#include "common/logging.h"
+
+namespace trinity {
+
+BackendRegistry::BackendRegistry()
+{
+    registerFactory("serial", [] {
+        return std::unique_ptr<PolyBackend>(new SerialBackend());
+    });
+    registerFactory("threads", [] {
+        return std::unique_ptr<PolyBackend>(new ThreadPoolBackend());
+    });
+}
+
+BackendRegistry &
+BackendRegistry::instance()
+{
+    static BackendRegistry reg;
+    return reg;
+}
+
+void
+BackendRegistry::registerFactory(const std::string &name, Factory factory)
+{
+    for (auto &entry : factories_) {
+        if (entry.first == name) {
+            entry.second = std::move(factory);
+            return;
+        }
+    }
+    factories_.emplace_back(name, std::move(factory));
+}
+
+std::vector<std::string>
+BackendRegistry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(factories_.size());
+    for (const auto &entry : factories_) {
+        out.push_back(entry.first);
+    }
+    return out;
+}
+
+PolyBackend &
+BackendRegistry::active()
+{
+    if (!active_) {
+        const char *env = std::getenv("TRINITY_BACKEND");
+        select(env != nullptr ? env : "serial");
+    }
+    return *active_;
+}
+
+void
+BackendRegistry::select(const std::string &name)
+{
+    for (const auto &entry : factories_) {
+        if (entry.first == name) {
+            active_ = entry.second();
+            return;
+        }
+    }
+    trinity_fatal("unknown poly backend '%s' (TRINITY_BACKEND)",
+                  name.c_str());
+}
+
+void
+BackendRegistry::use(std::unique_ptr<PolyBackend> backend)
+{
+    trinity_assert(backend != nullptr, "null backend");
+    active_ = std::move(backend);
+}
+
+PolyBackend &
+activeBackend()
+{
+    return BackendRegistry::instance().active();
+}
+
+} // namespace trinity

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Bit-exact single-threaded reference engine. Every other backend is
+ * validated against this one; it simply runs each job of a batch in
+ * submission order on the calling thread.
+ */
+
+#ifndef TRINITY_BACKEND_SERIAL_BACKEND_H
+#define TRINITY_BACKEND_SERIAL_BACKEND_H
+
+#include "backend/poly_backend.h"
+
+namespace trinity {
+
+class SerialBackend final : public PolyBackend
+{
+  public:
+    const char *name() const override { return "serial"; }
+    size_t threadCount() const override { return 1; }
+
+  protected:
+    void
+    parallelFor(size_t count,
+                const std::function<void(size_t)> &fn) override
+    {
+        for (size_t i = 0; i < count; ++i) {
+            fn(i);
+        }
+    }
+};
+
+} // namespace trinity
+
+#endif // TRINITY_BACKEND_SERIAL_BACKEND_H

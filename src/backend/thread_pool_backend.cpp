@@ -1,0 +1,126 @@
+#include "backend/thread_pool_backend.h"
+
+#include <cstdlib>
+
+#include "common/logging.h"
+
+namespace trinity {
+
+namespace {
+
+/**
+ * Set while a pool worker executes jobs. A kernel that re-enters the
+ * backend from inside a job (e.g. a Poly op nested in a fused
+ * consumer kernel) must not block on the pool it is running on, so
+ * nested batches run inline on the worker instead.
+ */
+thread_local bool tls_in_worker = false;
+
+size_t
+resolveThreadCount(size_t threads)
+{
+    if (threads == 0) {
+        if (const char *env = std::getenv("TRINITY_THREADS")) {
+            threads = static_cast<size_t>(std::strtoul(env, nullptr, 10));
+        }
+    }
+    if (threads == 0) {
+        threads = std::thread::hardware_concurrency();
+    }
+    return threads == 0 ? 1 : threads;
+}
+
+} // namespace
+
+ThreadPoolBackend::ThreadPoolBackend(size_t threads)
+{
+    size_t total = resolveThreadCount(threads);
+    // The submitting thread always participates, so spawn total-1.
+    workers_.reserve(total - 1);
+    for (size_t i = 0; i + 1 < total; ++i) {
+        workers_.emplace_back([this] { workerLoop(); });
+    }
+}
+
+ThreadPoolBackend::~ThreadPoolBackend()
+{
+    {
+        std::lock_guard<std::mutex> lock(mtx_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (auto &w : workers_) {
+        w.join();
+    }
+}
+
+void
+ThreadPoolBackend::drainCurrent()
+{
+    size_t i;
+    while ((i = next_.fetch_add(1, std::memory_order_relaxed)) < count_) {
+        (*fn_)(i);
+    }
+}
+
+void
+ThreadPoolBackend::workerLoop()
+{
+    tls_in_worker = true;
+    u64 seen = 0;
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(mtx_);
+            wake_.wait(lock, [&] { return stop_ || generation_ != seen; });
+            if (stop_) {
+                return;
+            }
+            seen = generation_;
+        }
+        drainCurrent();
+        {
+            std::lock_guard<std::mutex> lock(mtx_);
+            if (--busy_ == 0) {
+                done_.notify_all();
+            }
+        }
+    }
+}
+
+void
+ThreadPoolBackend::parallelFor(size_t count,
+                               const std::function<void(size_t)> &fn)
+{
+    if (count == 0) {
+        return;
+    }
+    // Inline when parallelism cannot help (single job, no workers) or
+    // when called from inside a pool job (re-entrant batch).
+    if (count == 1 || workers_.empty() || tls_in_worker) {
+        for (size_t i = 0; i < count; ++i) {
+            fn(i);
+        }
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mtx_);
+        fn_ = &fn;
+        count_ = count;
+        next_.store(0, std::memory_order_relaxed);
+        busy_ = workers_.size();
+        ++generation_;
+    }
+    wake_.notify_all();
+    // The submitting thread participates too. While it drains, any
+    // nested backend call it makes must run inline — dispatching a
+    // second batch would clobber the state workers are reading.
+    tls_in_worker = true;
+    drainCurrent();
+    tls_in_worker = false;
+    std::unique_lock<std::mutex> lock(mtx_);
+    done_.wait(lock, [&] { return busy_ == 0; });
+    fn_ = nullptr;
+    count_ = 0;
+}
+
+} // namespace trinity

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Multithreaded batch engine: fans limb jobs of a batch across a
+ * persistent worker pool. The kernels themselves are the same code the
+ * serial reference runs and every job touches a disjoint destination
+ * limb, so results are bit-identical to SerialBackend regardless of
+ * scheduling.
+ */
+
+#ifndef TRINITY_BACKEND_THREAD_POOL_BACKEND_H
+#define TRINITY_BACKEND_THREAD_POOL_BACKEND_H
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "backend/poly_backend.h"
+
+namespace trinity {
+
+class ThreadPoolBackend final : public PolyBackend
+{
+  public:
+    /**
+     * @param threads total worker count (including the calling thread,
+     *        which participates in every batch). 0 means: use the
+     *        TRINITY_THREADS env var if set, else
+     *        std::thread::hardware_concurrency().
+     */
+    explicit ThreadPoolBackend(size_t threads = 0);
+    ~ThreadPoolBackend() override;
+
+    ThreadPoolBackend(const ThreadPoolBackend &) = delete;
+    ThreadPoolBackend &operator=(const ThreadPoolBackend &) = delete;
+
+    const char *name() const override { return "threads"; }
+    size_t threadCount() const override { return workers_.size() + 1; }
+
+  protected:
+    void parallelFor(size_t count,
+                     const std::function<void(size_t)> &fn) override;
+
+  private:
+    void workerLoop();
+    void drainCurrent();
+
+    std::vector<std::thread> workers_;
+
+    std::mutex mtx_;
+    std::condition_variable wake_;
+    std::condition_variable done_;
+    u64 generation_ = 0;
+    bool stop_ = false;
+    const std::function<void(size_t)> *fn_ = nullptr;
+    size_t count_ = 0;
+    std::atomic<size_t> next_{0};
+    size_t busy_ = 0; ///< workers still inside the current batch
+};
+
+} // namespace trinity
+
+#endif // TRINITY_BACKEND_THREAD_POOL_BACKEND_H

@@ -66,20 +66,23 @@ CkksEncoder::decode(const CkksPlaintext &pt) const
     // scales up to ~q0*q1/4, i.e. Delta^2 products before rescale).
     std::vector<double> centered(n);
     if (limbs == 1) {
-        u64 q0 = poly.limb(0).q();
+        ConstLimbView l0 = poly.limb(0);
+        u64 q0 = l0.q();
         for (size_t i = 0; i < n; ++i) {
             centered[i] =
-                static_cast<double>(centeredRep(poly.limb(0)[i], q0));
+                static_cast<double>(centeredRep(l0[i], q0));
         }
     } else {
-        u64 q0 = poly.limb(0).q();
-        u64 q1 = poly.limb(1).q();
+        ConstLimbView l0 = poly.limb(0);
+        ConstLimbView l1 = poly.limb(1);
+        u64 q0 = l0.q();
+        u64 q1 = l1.q();
         Modulus m1(q1);
         u64 q0_inv = m1.inv(q0 % q1);
         i128 big_q = static_cast<i128>(q0) * q1;
         for (size_t i = 0; i < n; ++i) {
-            u64 r0 = poly.limb(0)[i];
-            u64 r1 = poly.limb(1)[i];
+            u64 r0 = l0[i];
+            u64 r1 = l1[i];
             // Garner: x = r0 + q0 * t, t = (r1 - r0)*q0^{-1} mod q1.
             u64 t = m1.mul(m1.sub(r1, m1.reduce(r0)), q0_inv);
             i128 x = static_cast<i128>(r0) + static_cast<i128>(q0) * t;

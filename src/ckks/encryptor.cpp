@@ -32,13 +32,8 @@ CkksEncryptor::encrypt(const CkksPlaintext &pt)
     CkksCiphertext ct;
     ct.level = level;
     ct.scale = pt.scale;
-    std::vector<Poly> b_limbs, a_limbs;
-    for (size_t j = 0; j <= level; ++j) {
-        b_limbs.push_back(pk_.b.limb(j));
-        a_limbs.push_back(pk_.a.limb(j));
-    }
-    ct.c0 = RnsPoly(std::move(b_limbs));
-    ct.c1 = RnsPoly(std::move(a_limbs));
+    ct.c0 = pk_.b.prefix(level + 1);
+    ct.c1 = pk_.a.prefix(level + 1);
     ct.c0.mulPointwiseInPlace(vp);
     ct.c1.mulPointwiseInPlace(vp);
     ct.c0.toCoeff();

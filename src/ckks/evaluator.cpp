@@ -1,7 +1,9 @@
 #include "ckks/evaluator.h"
 
 #include <cmath>
+#include <cstring>
 
+#include "backend/registry.h"
 #include "common/logging.h"
 
 namespace trinity {
@@ -103,49 +105,57 @@ CkksEvaluator::keySwitch(const RnsPoly &d, const CkksEvalKey &evk,
     RnsPoly d_coeff = d;
     d_coeff.toCoeff();
 
-    // Accumulators over the extended basis, evaluation domain.
+    // Accumulators over the extended basis, evaluation domain (fresh
+    // zeros are valid in either domain, so just tag them).
     RnsPoly acc0(n, ext_basis);
     RnsPoly acc1(n, ext_basis);
-    acc0.toEval();
-    acc1.toEval();
+    acc0.setDomain(Domain::Eval);
+    acc1.setDomain(Domain::Eval);
 
     for (size_t j = 0; j < beta; ++j) {
         auto [begin, end] = ctx_->digitRange(level, j);
-        // Decompose: take the digit's limbs (line 1 of Algorithm 1).
-        std::vector<Poly> digit_limbs;
+        // Assemble the extended-basis polynomial in one flat buffer:
+        // digit limbs are copied straight in (line 1 of Algorithm 1),
+        // the rest is produced by BConv (line 4) writing directly into
+        // the target limbs — conv outputs are ordered (q limbs
+        // excluding digit, then special primes).
+        RnsPoly full(n, ext_basis);
+        std::vector<const u64 *> ins;
+        ins.reserve(end - begin);
         for (size_t i = begin; i < end; ++i) {
-            digit_limbs.push_back(d_coeff.limb(i));
+            std::memcpy(full.limbData(i), d_coeff.limbData(i),
+                        n * sizeof(u64));
+            ins.push_back(d_coeff.limbData(i));
         }
-        // BConv (line 4): raise the digit to the rest of the basis.
-        auto raised =
-            ctx_->modUpConverter(level, j).convert(digit_limbs);
-        // Assemble the full extended-basis polynomial; conv outputs
-        // are ordered (q limbs excluding digit, then special primes).
-        std::vector<Poly> full(next);
-        size_t conv_idx = 0;
+        std::vector<u64 *> outs;
+        outs.reserve(next - (end - begin));
         for (size_t i = 0; i < nq; ++i) {
-            if (i >= begin && i < end) {
-                full[i] = digit_limbs[i - begin];
-            } else {
-                full[i] = std::move(raised[conv_idx++]);
+            if (i < begin || i >= end) {
+                outs.push_back(full.limbData(i));
             }
         }
         for (size_t t = 0; t < alpha; ++t) {
-            full[nq + t] = std::move(raised[conv_idx++]);
+            outs.push_back(full.limbData(nq + t));
         }
-        // NTT (line 5) then inner product with the evk (line 9).
+        ctx_->modUpConverter(level, j).convertPointers(ins.data(),
+                                                       outs.data(), n);
+        // Batched NTT over every extended-basis limb (line 5), then
+        // the inner product with both evk components (line 9) as one
+        // fused multiply-accumulate batch.
+        full.toEval();
+        std::vector<MulAddJob> jobs;
+        jobs.reserve(2 * next);
         for (size_t t = 0; t < next; ++t) {
-            full[t].toEval();
             // evk limbs are ordered q_0..q_L, p_0..p_{alpha-1}.
             size_t evk_limb = t < nq ? t : (big_l + 1) + (t - nq);
-            Poly prod_b = full[t];
-            prod_b.mulPointwiseInPlace(
-                evk.digits[j].b.limb(evk_limb));
-            acc0.limb(t).addInPlace(prod_b);
-            full[t].mulPointwiseInPlace(
-                evk.digits[j].a.limb(evk_limb));
-            acc1.limb(t).addInPlace(full[t]);
+            jobs.push_back({acc0.limbData(t), full.limbData(t),
+                            evk.digits[j].b.limbData(evk_limb),
+                            &full.modulusAt(t), n});
+            jobs.push_back({acc1.limbData(t), full.limbData(t),
+                            evk.digits[j].a.limbData(evk_limb),
+                            &full.modulusAt(t), n});
         }
+        activeBackend().mulAddBatch(jobs.data(), jobs.size());
     }
 
     // iNTT (line 11) and ModDown (line 12): subtract the base-converted
@@ -153,21 +163,25 @@ CkksEvaluator::keySwitch(const RnsPoly &d, const CkksEvalKey &evk,
     acc0.toCoeff();
     acc1.toCoeff();
     const BaseConverter &down = ctx_->modDownConverter(level);
+    std::vector<u64> p_inv(nq);
+    for (size_t i = 0; i < nq; ++i) {
+        p_inv[i] = ctx_->pInvModQ(i);
+    }
     auto mod_down = [&](RnsPoly &acc) {
-        std::vector<Poly> p_part;
+        std::vector<const u64 *> p_part(alpha);
         for (size_t t = 0; t < alpha; ++t) {
-            p_part.push_back(acc.limb(nq + t));
+            p_part[t] = acc.limbData(nq + t);
         }
-        auto conv = down.convert(p_part);
-        std::vector<Poly> out;
-        out.reserve(nq);
+        RnsPoly conv(n, ctx_->qTo(level));
+        std::vector<u64 *> conv_out(nq);
         for (size_t i = 0; i < nq; ++i) {
-            Poly limb = acc.limb(i);
-            limb.subInPlace(conv[i]);
-            limb.scalarMulInPlace(ctx_->pInvModQ(i));
-            out.push_back(std::move(limb));
+            conv_out[i] = conv.limbData(i);
         }
-        return RnsPoly(std::move(out));
+        down.convertPointers(p_part.data(), conv_out.data(), n);
+        RnsPoly out = acc.prefix(nq);
+        out.subInPlace(conv);
+        out.scalarMulLimbwise(p_inv);
+        return out;
     };
     return {mod_down(acc0), mod_down(acc1)};
 }
@@ -250,7 +264,7 @@ CkksEvaluator::addScalar(const CkksCiphertext &a, double v) const
     r.c0.toCoeff();
     i64 raw = static_cast<i64>(std::llround(v * a.scale));
     for (size_t j = 0; j < r.c0.numLimbs(); ++j) {
-        Poly &limb = r.c0.limb(j);
+        LimbView limb = r.c0.limb(j);
         limb[0] = limb.modulus().add(limb[0],
                                      toResidue(raw, limb.q()));
     }
@@ -262,10 +276,11 @@ CkksEvaluator::mulScalarInt(const CkksCiphertext &a, i64 v) const
 {
     CkksCiphertext r = a;
     for (RnsPoly *comp : {&r.c0, &r.c1}) {
+        std::vector<u64> scalars(comp->numLimbs());
         for (size_t j = 0; j < comp->numLimbs(); ++j) {
-            comp->limb(j).scalarMulInPlace(
-                toResidue(v, comp->limb(j).q()));
+            scalars[j] = toResidue(v, comp->modulusAt(j).value());
         }
+        comp->scalarMulLimbwise(scalars);
     }
     return r;
 }
@@ -286,16 +301,17 @@ CkksEvaluator::rescaleInPlace(CkksCiphertext &ct) const
     ct.c0.toCoeff();
     ct.c1.toCoeff();
     for (RnsPoly *comp : {&ct.c0, &ct.c1}) {
-        const Poly &last = comp->limb(l);
-        for (size_t i = 0; i < l; ++i) {
-            Poly &limb = comp->limb(i);
-            const Modulus &qi = limb.modulus();
+        const u64 *last = comp->limbData(l);
+        size_t n = comp->n();
+        activeBackend().run(l, [&](size_t i) {
+            const Modulus &qi = comp->modulusAt(i);
             u64 ql_inv = qi.inv(qi.reduce(ql));
-            for (size_t c = 0; c < limb.n(); ++c) {
+            u64 *limb = comp->limbData(i);
+            for (size_t c = 0; c < n; ++c) {
                 u64 v = qi.sub(limb[c], qi.reduce(last[c]));
                 limb[c] = qi.mul(v, ql_inv);
             }
-        }
+        });
         comp->dropLastLimb();
     }
     ct.level -= 1;

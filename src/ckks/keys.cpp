@@ -1,5 +1,8 @@
 #include "ckks/keys.h"
 
+#include <algorithm>
+
+#include "backend/registry.h"
 #include "common/logging.h"
 #include "common/primes.h"
 
@@ -49,10 +52,7 @@ CkksKeyGenerator::makePublicKey()
     s.toEval();
 
     CkksPublicKey pk;
-    pk.a = RnsPoly(n, moduli);
-    for (size_t j = 0; j < moduli.size(); ++j) {
-        pk.a.limb(j) = Poly::uniform(n, moduli[j], rng_, Domain::Eval);
-    }
+    pk.a = RnsPoly::uniform(n, moduli, rng_, Domain::Eval);
     // e sampled once as an integer polynomial, embedded per limb.
     std::vector<i64> e(n);
     for (size_t i = 0; i < n; ++i) {
@@ -89,11 +89,7 @@ CkksKeyGenerator::makeEvalKey(const std::vector<i64> &target)
     for (size_t j = 0; j < dnum; ++j) {
         auto [begin, end] = ctx_->digitRange(big_l, j);
         EvalKeyDigit d;
-        d.a = RnsPoly(n, basis);
-        for (size_t t = 0; t < basis.size(); ++t) {
-            d.a.limb(t) = Poly::uniform(n, basis[t], rng_,
-                                        Domain::Eval);
-        }
+        d.a = RnsPoly::uniform(n, basis, rng_, Domain::Eval);
         std::vector<i64> e(n);
         for (size_t i = 0; i < n; ++i) {
             e[i] = rng_.gaussian(ctx_->params().sigma);
@@ -106,15 +102,17 @@ CkksKeyGenerator::makeEvalKey(const std::vector<i64> &target)
         d.b.mulPointwiseInPlace(s);
         d.b.negInPlace();
         d.b.addInPlace(ep);
-        for (size_t t = begin; t < end && t < nq; ++t) {
-            const Modulus m(basis[t]);
+        size_t digit_end = std::min(end, nq);
+        activeBackend().run(digit_end - begin, [&](size_t u) {
+            size_t t = begin + u;
+            const Modulus &m = d.b.modulusAt(t);
             u64 pmod = ctx_->pModQ(t);
-            Poly &bl = d.b.limb(t);
-            const Poly &sl = sp.limb(t);
+            u64 *bl = d.b.limbData(t);
+            const u64 *sl = sp.limbData(t);
             for (size_t c = 0; c < n; ++c) {
                 bl[c] = m.add(bl[c], m.mul(pmod, sl[c]));
             }
-        }
+        });
         evk.digits.push_back(std::move(d));
     }
     return evk;

@@ -43,8 +43,8 @@ sampleExtract(const CkksCiphertext &ct, size_t idx)
     // Dec = c0 + c1*s; coefficient idx of (c1*s) equals -<a, s> with
     //   a_i = -c1[idx-i]          for i <= idx
     //   a_i = +c1[N+idx-i]        for i > idx  (negacyclic wrap).
-    const Poly &c0 = ct.c0.limb(0);
-    const Poly &c1 = ct.c1.limb(0);
+    ConstLimbView c0 = ct.c0.limb(0);
+    ConstLimbView c1 = ct.c1.limb(0);
     trinity_assert(c0.domain() == Domain::Coeff,
                    "sampleExtract needs coefficient domain");
     size_t n = c0.n();

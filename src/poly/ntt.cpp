@@ -144,18 +144,27 @@ NttTable::bitrevPermute(u64 *a, size_t n)
 std::shared_ptr<const NttTable>
 NttTableCache::get(size_t n, u64 q)
 {
+    // Thread-safe for concurrent backend workers: the map is only
+    // touched under the mutex, and the O(n log n) table construction
+    // happens outside it so a cold lookup does not serialize every
+    // other thread. Two threads racing on the same cold key build the
+    // table twice; the first emplace wins and the loser's copy is
+    // dropped — correctness is unaffected since tables are immutable.
     static std::map<std::pair<size_t, u64>,
                     std::shared_ptr<const NttTable>> cache;
     static std::mutex mtx;
-    std::lock_guard<std::mutex> lock(mtx);
     auto key = std::make_pair(n, q);
-    auto it = cache.find(key);
-    if (it != cache.end()) {
-        return it->second;
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        auto it = cache.find(key);
+        if (it != cache.end()) {
+            return it->second;
+        }
     }
     auto table = std::make_shared<const NttTable>(n, Modulus(q));
-    cache.emplace(key, table);
-    return table;
+    std::lock_guard<std::mutex> lock(mtx);
+    auto [it, inserted] = cache.emplace(key, table);
+    return it->second;
 }
 
 } // namespace trinity

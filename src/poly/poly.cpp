@@ -1,5 +1,6 @@
 #include "poly/poly.h"
 
+#include "backend/registry.h"
 #include "common/bitops.h"
 #include "common/logging.h"
 
@@ -29,7 +30,8 @@ Poly::toEval()
     if (domain_ == Domain::Eval) {
         return;
     }
-    table_->forward(coeffs_);
+    NttJob job{coeffs_.data(), table_.get()};
+    activeBackend().nttForwardBatch(&job, 1);
     domain_ = Domain::Eval;
 }
 
@@ -39,8 +41,39 @@ Poly::toCoeff()
     if (domain_ == Domain::Coeff) {
         return;
     }
-    table_->inverse(coeffs_);
+    NttJob job{coeffs_.data(), table_.get()};
+    activeBackend().nttInverseBatch(&job, 1);
     domain_ = Domain::Coeff;
+}
+
+void
+Poly::batchToEval(std::vector<Poly> &polys)
+{
+    std::vector<NttJob> jobs;
+    jobs.reserve(polys.size());
+    for (auto &p : polys) {
+        if (p.domain_ == Domain::Eval) {
+            continue;
+        }
+        jobs.push_back({p.coeffs_.data(), p.table_.get()});
+        p.domain_ = Domain::Eval;
+    }
+    activeBackend().nttForwardBatch(jobs.data(), jobs.size());
+}
+
+void
+Poly::batchToCoeff(std::vector<Poly> &polys)
+{
+    std::vector<NttJob> jobs;
+    jobs.reserve(polys.size());
+    for (auto &p : polys) {
+        if (p.domain_ == Domain::Coeff) {
+            continue;
+        }
+        jobs.push_back({p.coeffs_.data(), p.table_.get()});
+        p.domain_ = Domain::Coeff;
+    }
+    activeBackend().nttInverseBatch(jobs.data(), jobs.size());
 }
 
 void
@@ -56,26 +89,25 @@ void
 Poly::addInPlace(const Poly &other)
 {
     checkCompatible(other);
-    for (size_t i = 0; i < n_; ++i) {
-        coeffs_[i] = mod_.add(coeffs_[i], other.coeffs_[i]);
-    }
+    EltwiseJob job{coeffs_.data(), coeffs_.data(),
+                   other.coeffs_.data(), &mod_, n_};
+    activeBackend().addBatch(&job, 1);
 }
 
 void
 Poly::subInPlace(const Poly &other)
 {
     checkCompatible(other);
-    for (size_t i = 0; i < n_; ++i) {
-        coeffs_[i] = mod_.sub(coeffs_[i], other.coeffs_[i]);
-    }
+    EltwiseJob job{coeffs_.data(), coeffs_.data(),
+                   other.coeffs_.data(), &mod_, n_};
+    activeBackend().subBatch(&job, 1);
 }
 
 void
 Poly::negInPlace()
 {
-    for (size_t i = 0; i < n_; ++i) {
-        coeffs_[i] = mod_.neg(coeffs_[i]);
-    }
+    EltwiseJob job{coeffs_.data(), coeffs_.data(), nullptr, &mod_, n_};
+    activeBackend().negBatch(&job, 1);
 }
 
 void
@@ -84,18 +116,17 @@ Poly::mulPointwiseInPlace(const Poly &other)
     checkCompatible(other);
     trinity_assert(domain_ == Domain::Eval,
                    "pointwise multiply requires Eval domain");
-    for (size_t i = 0; i < n_; ++i) {
-        coeffs_[i] = mod_.mul(coeffs_[i], other.coeffs_[i]);
-    }
+    EltwiseJob job{coeffs_.data(), coeffs_.data(),
+                   other.coeffs_.data(), &mod_, n_};
+    activeBackend().pointwiseMulBatch(&job, 1);
 }
 
 void
 Poly::scalarMulInPlace(u64 c)
 {
-    c = mod_.reduce(c);
-    for (size_t i = 0; i < n_; ++i) {
-        coeffs_[i] = mod_.mul(coeffs_[i], c);
-    }
+    ScalarMulJob job{coeffs_.data(), coeffs_.data(), mod_.reduce(c),
+                     &mod_, n_};
+    activeBackend().scalarMulBatch(&job, 1);
 }
 
 Poly
@@ -132,16 +163,9 @@ Poly::automorphism(u64 g) const
     trinity_assert(domain_ == Domain::Coeff,
                    "automorphism operates in coefficient domain");
     trinity_assert(g % 2 == 1, "automorphism index must be odd");
-    size_t two_n = 2 * n_;
     Poly r(n_, mod_.value());
-    for (size_t i = 0; i < n_; ++i) {
-        u64 e = (static_cast<u64>(i) * g) % two_n;
-        if (e < n_) {
-            r.coeffs_[e] = coeffs_[i];
-        } else {
-            r.coeffs_[e - n_] = mod_.neg(coeffs_[i]);
-        }
-    }
+    AutoJob job{r.coeffs_.data(), coeffs_.data(), &mod_, n_, g};
+    activeBackend().automorphismBatch(&job, 1);
     return r;
 }
 

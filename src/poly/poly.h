@@ -7,6 +7,10 @@
  * (Table I/II) bottom out here: NTT, ModMul, ModAdd, Auto
  * (automorphism), Rotate (monomial multiplication), SampleExtract
  * support, and gadget decomposition helpers.
+ *
+ * Execution routes through the active PolyBackend engine; the static
+ * batchToEval/batchToCoeff helpers let consumers holding many Polys
+ * (e.g. TFHE gadget decompositions) submit them as one batch.
  */
 
 #ifndef TRINITY_POLY_POLY_H
@@ -39,6 +43,7 @@ class Poly
     size_t n() const { return n_; }
     u64 q() const { return mod_.value(); }
     const Modulus &modulus() const { return mod_; }
+    const NttTable &nttTable() const { return *table_; }
     Domain domain() const { return domain_; }
     const std::vector<u64> &coeffs() const { return coeffs_; }
     std::vector<u64> &coeffs() { return coeffs_; }
@@ -49,6 +54,11 @@ class Poly
     void toEval();
     /** Convert to coefficient domain; no-op if already there. */
     void toCoeff();
+
+    /** Transform many Polys to Eval as one backend batch. */
+    static void batchToEval(std::vector<Poly> &polys);
+    /** Transform many Polys to Coeff as one backend batch. */
+    static void batchToCoeff(std::vector<Poly> &polys);
     /** Override the domain tag without transforming (expert use). */
     void setDomain(Domain d) { domain_ = d; }
 

@@ -1,29 +1,116 @@
 #include "poly/rns.h"
 
+#include <algorithm>
+
+#include "backend/registry.h"
 #include "common/logging.h"
 
 namespace trinity {
 
-RnsPoly::RnsPoly(size_t n, const std::vector<u64> &moduli)
+// ---------------------------------------------------------------- views
+
+Poly
+ConstLimbView::toPoly() const
 {
-    limbs_.reserve(moduli.size());
+    return Poly(coeffs(), q(), domain_);
+}
+
+u64
+ConstLimbView::infNorm() const
+{
+    u64 qv = q();
+    u64 m = 0;
+    for (size_t i = 0; i < n_; ++i) {
+        i64 centered = centeredRep(data_[i], qv);
+        u64 mag = centered < 0 ? static_cast<u64>(-centered)
+                               : static_cast<u64>(centered);
+        m = std::max(m, mag);
+    }
+    return m;
+}
+
+Poly
+LimbView::toPoly() const
+{
+    return Poly(coeffs(), q(), domain_);
+}
+
+u64
+LimbView::infNorm() const
+{
+    return ConstLimbView(*this).infNorm();
+}
+
+LimbView &
+LimbView::operator=(const Poly &p)
+{
+    trinity_assert(p.n() == n_ && p.q() == q(),
+                   "limb assignment shape mismatch");
+    trinity_assert(p.domain() == domain_,
+                   "limb assignment domain mismatch");
+    std::copy(p.coeffs().begin(), p.coeffs().end(), data_);
+    return *this;
+}
+
+Poly
+operator+(const ConstLimbView &a, const ConstLimbView &b)
+{
+    Poly r = a.toPoly();
+    r.addInPlace(b.toPoly());
+    return r;
+}
+
+// -------------------------------------------------------------- RnsPoly
+
+RnsPoly::RnsPoly(size_t n, const std::vector<u64> &moduli)
+    : n_(n), data_(n * moduli.size(), 0)
+{
+    mods_.reserve(moduli.size());
+    tables_.reserve(moduli.size());
     for (u64 q : moduli) {
-        limbs_.emplace_back(n, q);
+        mods_.emplace_back(q);
+        tables_.push_back(NttTableCache::get(n, q));
     }
 }
 
 RnsPoly::RnsPoly(std::vector<Poly> limbs)
-    : limbs_(std::move(limbs))
 {
+    trinity_assert(!limbs.empty(), "empty limb set");
+    n_ = limbs[0].n();
+    domain_ = limbs[0].domain();
+    data_.resize(n_ * limbs.size());
+    mods_.reserve(limbs.size());
+    tables_.reserve(limbs.size());
+    for (size_t i = 0; i < limbs.size(); ++i) {
+        trinity_assert(limbs[i].n() == n_, "limb length mismatch");
+        trinity_assert(limbs[i].domain() == domain_,
+                       "limbs in different domains");
+        mods_.push_back(limbs[i].modulus());
+        tables_.push_back(NttTableCache::get(n_, limbs[i].q()));
+        std::copy(limbs[i].coeffs().begin(), limbs[i].coeffs().end(),
+                  data_.begin() + static_cast<ptrdiff_t>(i * n_));
+    }
+}
+
+Poly
+RnsPoly::limbPoly(size_t i) const
+{
+    return limb(i).toPoly();
+}
+
+void
+RnsPoly::setLimb(size_t i, const Poly &p)
+{
+    limb(i) = p;
 }
 
 std::vector<u64>
 RnsPoly::moduli() const
 {
     std::vector<u64> m;
-    m.reserve(limbs_.size());
-    for (const auto &l : limbs_) {
-        m.push_back(l.q());
+    m.reserve(mods_.size());
+    for (const auto &mod : mods_) {
+        m.push_back(mod.value());
     }
     return m;
 }
@@ -31,63 +118,103 @@ RnsPoly::moduli() const
 void
 RnsPoly::toEval()
 {
-    for (auto &l : limbs_) {
-        l.toEval();
+    if (domain_ == Domain::Eval) {
+        return;
     }
+    std::vector<NttJob> jobs(numLimbs());
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        jobs[i] = {limbData(i), tables_[i].get()};
+    }
+    activeBackend().nttForwardBatch(jobs.data(), jobs.size());
+    domain_ = Domain::Eval;
 }
 
 void
 RnsPoly::toCoeff()
 {
-    for (auto &l : limbs_) {
-        l.toCoeff();
+    if (domain_ == Domain::Coeff) {
+        return;
     }
+    std::vector<NttJob> jobs(numLimbs());
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        jobs[i] = {limbData(i), tables_[i].get()};
+    }
+    activeBackend().nttInverseBatch(jobs.data(), jobs.size());
+    domain_ = Domain::Coeff;
 }
 
-Domain
-RnsPoly::domain() const
+void
+RnsPoly::checkCompatible(const RnsPoly &o) const
 {
-    trinity_assert(!limbs_.empty(), "empty RNS polynomial");
-    return limbs_[0].domain();
+    trinity_assert(numLimbs() == o.numLimbs(),
+                   "RNS limb count mismatch (%zu vs %zu)", numLimbs(),
+                   o.numLimbs());
+    trinity_assert(n_ == o.n_, "RNS length mismatch");
+    trinity_assert(domain_ == o.domain_, "operands in different domains");
 }
 
 void
 RnsPoly::addInPlace(const RnsPoly &o)
 {
-    trinity_assert(limbs_.size() == o.limbs_.size(),
-                   "RNS limb count mismatch (%zu vs %zu)",
-                   limbs_.size(), o.limbs_.size());
-    for (size_t i = 0; i < limbs_.size(); ++i) {
-        limbs_[i].addInPlace(o.limbs_[i]);
+    checkCompatible(o);
+    std::vector<EltwiseJob> jobs(numLimbs());
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        trinity_assert(mods_[i] == o.mods_[i], "RNS modulus mismatch");
+        jobs[i] = {limbData(i), limbData(i), o.limbData(i), &mods_[i],
+                   n_};
     }
+    activeBackend().addBatch(jobs.data(), jobs.size());
 }
 
 void
 RnsPoly::subInPlace(const RnsPoly &o)
 {
-    trinity_assert(limbs_.size() == o.limbs_.size(),
-                   "RNS limb count mismatch");
-    for (size_t i = 0; i < limbs_.size(); ++i) {
-        limbs_[i].subInPlace(o.limbs_[i]);
+    checkCompatible(o);
+    std::vector<EltwiseJob> jobs(numLimbs());
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        trinity_assert(mods_[i] == o.mods_[i], "RNS modulus mismatch");
+        jobs[i] = {limbData(i), limbData(i), o.limbData(i), &mods_[i],
+                   n_};
     }
+    activeBackend().subBatch(jobs.data(), jobs.size());
 }
 
 void
 RnsPoly::negInPlace()
 {
-    for (auto &l : limbs_) {
-        l.negInPlace();
+    std::vector<EltwiseJob> jobs(numLimbs());
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        jobs[i] = {limbData(i), limbData(i), nullptr, &mods_[i], n_};
     }
+    activeBackend().negBatch(jobs.data(), jobs.size());
 }
 
 void
 RnsPoly::mulPointwiseInPlace(const RnsPoly &o)
 {
-    trinity_assert(limbs_.size() == o.limbs_.size(),
-                   "RNS limb count mismatch");
-    for (size_t i = 0; i < limbs_.size(); ++i) {
-        limbs_[i].mulPointwiseInPlace(o.limbs_[i]);
+    checkCompatible(o);
+    trinity_assert(domain_ == Domain::Eval,
+                   "pointwise multiply requires Eval domain");
+    std::vector<EltwiseJob> jobs(numLimbs());
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        trinity_assert(mods_[i] == o.mods_[i], "RNS modulus mismatch");
+        jobs[i] = {limbData(i), limbData(i), o.limbData(i), &mods_[i],
+                   n_};
     }
+    activeBackend().pointwiseMulBatch(jobs.data(), jobs.size());
+}
+
+void
+RnsPoly::scalarMulLimbwise(const std::vector<u64> &scalars)
+{
+    trinity_assert(scalars.size() == numLimbs(),
+                   "one scalar per limb required");
+    std::vector<ScalarMulJob> jobs(numLimbs());
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        jobs[i] = {limbData(i), limbData(i),
+                   mods_[i].reduce(scalars[i]), &mods_[i], n_};
+    }
+    activeBackend().scalarMulBatch(jobs.data(), jobs.size());
 }
 
 RnsPoly
@@ -109,30 +236,66 @@ RnsPoly::operator-(const RnsPoly &o) const
 void
 RnsPoly::dropLastLimb()
 {
-    trinity_assert(!limbs_.empty(), "no limb to drop");
-    limbs_.pop_back();
+    trinity_assert(!mods_.empty(), "no limb to drop");
+    mods_.pop_back();
+    tables_.pop_back();
+    data_.resize(mods_.size() * n_);
+}
+
+RnsPoly
+RnsPoly::prefix(size_t count) const
+{
+    trinity_assert(count > 0 && count <= numLimbs(),
+                   "prefix limb count out of range");
+    RnsPoly r;
+    r.n_ = n_;
+    r.domain_ = domain_;
+    r.mods_.assign(mods_.begin(),
+                   mods_.begin() + static_cast<ptrdiff_t>(count));
+    r.tables_.assign(tables_.begin(),
+                     tables_.begin() + static_cast<ptrdiff_t>(count));
+    r.data_.assign(data_.begin(),
+                   data_.begin() + static_cast<ptrdiff_t>(count * n_));
+    return r;
 }
 
 RnsPoly
 RnsPoly::automorphism(u64 g) const
 {
-    std::vector<Poly> out;
-    out.reserve(limbs_.size());
-    for (const auto &l : limbs_) {
-        out.push_back(l.automorphism(g));
+    trinity_assert(domain_ == Domain::Coeff,
+                   "automorphism operates in coefficient domain");
+    trinity_assert(g % 2 == 1, "automorphism index must be odd");
+    RnsPoly r(n_, moduli());
+    std::vector<AutoJob> jobs(numLimbs());
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        jobs[i] = {r.limbData(i), limbData(i), &mods_[i], n_, g};
     }
-    return RnsPoly(std::move(out));
+    activeBackend().automorphismBatch(jobs.data(), jobs.size());
+    return r;
 }
 
 RnsPoly
 RnsPoly::mulMonomial(u64 t) const
 {
-    std::vector<Poly> out;
-    out.reserve(limbs_.size());
-    for (const auto &l : limbs_) {
-        out.push_back(l.mulMonomial(t));
-    }
-    return RnsPoly(std::move(out));
+    trinity_assert(domain_ == Domain::Coeff,
+                   "monomial multiply operates in coefficient domain");
+    size_t two_n = 2 * n_;
+    t %= two_n;
+    RnsPoly r(n_, moduli());
+    activeBackend().run(numLimbs(), [&](size_t j) {
+        const Modulus &m = mods_[j];
+        const u64 *src = limbData(j);
+        u64 *dst = r.limbData(j);
+        for (size_t i = 0; i < n_; ++i) {
+            u64 e = (i + t) % two_n;
+            if (e < n_) {
+                dst[e] = src[i];
+            } else {
+                dst[e - n_] = m.neg(src[i]);
+            }
+        }
+    });
+    return r;
 }
 
 RnsPoly
@@ -141,13 +304,33 @@ RnsPoly::fromSigned(const std::vector<i64> &coeffs, size_t n,
 {
     trinity_assert(coeffs.size() <= n, "coefficient vector too long");
     RnsPoly r(n, moduli);
-    for (size_t i = 0; i < coeffs.size(); ++i) {
-        for (size_t j = 0; j < moduli.size(); ++j) {
-            r.limb(j)[i] = toResidue(coeffs[i], moduli[j]);
+    for (size_t j = 0; j < moduli.size(); ++j) {
+        u64 *dst = r.limbData(j);
+        for (size_t i = 0; i < coeffs.size(); ++i) {
+            dst[i] = toResidue(coeffs[i], moduli[j]);
         }
     }
     return r;
 }
+
+RnsPoly
+RnsPoly::uniform(size_t n, const std::vector<u64> &moduli, Rng &rng,
+                 Domain d)
+{
+    // Sampling stays serial: the Rng stream must be deterministic and
+    // identical across backends.
+    RnsPoly r(n, moduli);
+    for (size_t j = 0; j < moduli.size(); ++j) {
+        u64 *dst = r.limbData(j);
+        for (size_t i = 0; i < n; ++i) {
+            dst[i] = rng.uniform(moduli[j]);
+        }
+    }
+    r.domain_ = d;
+    return r;
+}
+
+// -------------------------------------------------------- BaseConverter
 
 BaseConverter::BaseConverter(const std::vector<u64> &from,
                              const std::vector<u64> &to)
@@ -162,7 +345,8 @@ BaseConverter::BaseConverter(const std::vector<u64> &from,
     }
     size_t k = from.size();
     qhatInv_.resize(k);
-    qhatModP_.assign(k, std::vector<u64>(to.size()));
+    qhatInvPrecon_.resize(k);
+    qhatModP_.assign(k * to.size(), 0);
     for (size_t i = 0; i < k; ++i) {
         const Modulus &qi = fromMods_[i];
         // (Q/q_i) mod q_i
@@ -173,6 +357,7 @@ BaseConverter::BaseConverter(const std::vector<u64> &from,
             }
         }
         qhatInv_[i] = qi.inv(qhat_mod_qi);
+        qhatInvPrecon_[i] = qi.shoupPrecompute(qhatInv_[i]);
         for (size_t j = 0; j < to.size(); ++j) {
             const Modulus &pj = toMods_[j];
             u64 qhat_mod_pj = 1;
@@ -182,9 +367,54 @@ BaseConverter::BaseConverter(const std::vector<u64> &from,
                         pj.mul(qhat_mod_pj, pj.reduce(from[t]));
                 }
             }
-            qhatModP_[i][j] = qhat_mod_pj;
+            qhatModP_[i * to.size() + j] = qhat_mod_pj;
         }
     }
+}
+
+BConvPlan
+BaseConverter::plan() const
+{
+    BConvPlan p;
+    p.fromMods = fromMods_.data();
+    p.numFrom = fromMods_.size();
+    p.toMods = toMods_.data();
+    p.numTo = toMods_.size();
+    p.qhatInv = qhatInv_.data();
+    p.qhatInvPrecon = qhatInvPrecon_.data();
+    p.qhatModP = qhatModP_.data();
+    return p;
+}
+
+void
+BaseConverter::convertPointers(const u64 *const *in, u64 *const *out,
+                               size_t n) const
+{
+    activeBackend().baseConvert(plan(), in, out, n);
+}
+
+RnsPoly
+BaseConverter::convert(const RnsPoly &in) const
+{
+    trinity_assert(in.numLimbs() == from_.size(),
+                   "BConv input limb count mismatch");
+    trinity_assert(in.domain() == Domain::Coeff,
+                   "BConv operates in coefficient domain");
+    for (size_t i = 0; i < from_.size(); ++i) {
+        trinity_assert(in.modulusAt(i).value() == from_[i],
+                       "BConv limb modulus");
+    }
+    RnsPoly r(in.n(), to_);
+    std::vector<const u64 *> ins(from_.size());
+    std::vector<u64 *> outs(to_.size());
+    for (size_t i = 0; i < from_.size(); ++i) {
+        ins[i] = in.limbData(i);
+    }
+    for (size_t j = 0; j < to_.size(); ++j) {
+        outs[j] = r.limbData(j);
+    }
+    convertPointers(ins.data(), outs.data(), in.n());
+    return r;
 }
 
 std::vector<Poly>
@@ -193,36 +423,21 @@ BaseConverter::convert(const std::vector<Poly> &in) const
     trinity_assert(in.size() == from_.size(),
                    "BConv input limb count mismatch");
     size_t n = in[0].n();
+    std::vector<const u64 *> ins(in.size());
     for (size_t i = 0; i < in.size(); ++i) {
         trinity_assert(in[i].q() == from_[i], "BConv limb modulus");
         trinity_assert(in[i].domain() == Domain::Coeff,
                        "BConv operates in coefficient domain");
-    }
-    // v_i = [x_i * qhatInv_i]_{q_i}
-    std::vector<std::vector<u64>> v(from_.size());
-    for (size_t i = 0; i < from_.size(); ++i) {
-        v[i].resize(n);
-        const Modulus &qi = fromMods_[i];
-        u64 pre = qi.shoupPrecompute(qhatInv_[i]);
-        for (size_t c = 0; c < n; ++c) {
-            v[i][c] = qi.mulShoup(in[i][c], qhatInv_[i], pre);
-        }
+        ins[i] = in[i].coeffs().data();
     }
     std::vector<Poly> out;
+    std::vector<u64 *> outs(to_.size());
     out.reserve(to_.size());
     for (size_t j = 0; j < to_.size(); ++j) {
-        const Modulus &pj = toMods_[j];
-        Poly limb(n, to_[j]);
-        for (size_t c = 0; c < n; ++c) {
-            u128 acc = 0;
-            for (size_t i = 0; i < from_.size(); ++i) {
-                acc += static_cast<u128>(pj.reduce(v[i][c])) *
-                       qhatModP_[i][j];
-            }
-            limb[c] = pj.reduce128(acc);
-        }
-        out.push_back(std::move(limb));
+        out.emplace_back(n, to_[j]);
+        outs[j] = out[j].coeffs().data();
     }
+    convertPointers(ins.data(), outs.data(), n);
     return out;
 }
 

@@ -1,5 +1,6 @@
 #include "tfhe/core.h"
 
+#include "backend/registry.h"
 #include "common/logging.h"
 
 namespace trinity {
@@ -187,12 +188,22 @@ TfheContext::ggswToEval(GgswCiphertext &ggsw) const
     if (ggsw.inEval) {
         return;
     }
+    // One NTT batch over every polynomial of every row.
+    std::vector<NttJob> jobs;
+    jobs.reserve(ggsw.rows.size() * (params_.k + 1));
     for (auto &row : ggsw.rows) {
         for (auto &aj : row.a) {
-            aj.toEval();
+            if (aj.domain() == Domain::Coeff) {
+                jobs.push_back({aj.coeffs().data(), &aj.nttTable()});
+                aj.setDomain(Domain::Eval);
+            }
         }
-        row.b.toEval();
+        if (row.b.domain() == Domain::Coeff) {
+            jobs.push_back({row.b.coeffs().data(), &row.b.nttTable()});
+            row.b.setDomain(Domain::Eval);
+        }
     }
+    activeBackend().nttForwardBatch(jobs.data(), jobs.size());
     ggsw.inEval = true;
 }
 
@@ -234,18 +245,18 @@ TfheContext::decompose(const GlweCiphertext &ct) const
             out.emplace_back(n, params_.q);
         }
     }
-    std::vector<i64> digits(lb);
-    for (size_t j = 0; j <= params_.k; ++j) {
+    activeBackend().run(params_.k + 1, [&](size_t j) {
         const Poly &src = j < params_.k ? ct.a[j] : ct.b;
         trinity_assert(src.domain() == Domain::Coeff,
                        "decompose needs coefficient domain");
+        std::vector<i64> digits(lb);
         for (size_t i = 0; i < n; ++i) {
             decomposeScalar(src[i], digits.data());
             for (u32 l = 0; l < lb; ++l) {
                 out[j * lb + l][i] = toResidue(digits[l], params_.q);
             }
         }
-    }
+    });
     return out;
 }
 
@@ -256,12 +267,11 @@ TfheContext::externalProduct(const GgswCiphertext &ggsw,
     trinity_assert(ggsw.inEval,
                    "GGSW must be in the NTT domain (call ggswToEval)");
     auto dec = decompose(ct);
-    // Forward NTT each decomposed polynomial (the NTT kernels of
-    // Algorithm 2 line 9).
-    for (auto &d : dec) {
-        d.toEval();
-    }
-    // MAC accumulation against the transform-domain rows.
+    // Forward NTT of every decomposed polynomial as one batch (the
+    // NTT kernels of Algorithm 2 line 9).
+    Poly::batchToEval(dec);
+    // MAC accumulation against the transform-domain rows; each output
+    // polynomial accumulates independently, so fan out across them.
     GlweCiphertext acc;
     for (size_t j = 0; j < params_.k; ++j) {
         acc.a.emplace_back(params_.bigN, params_.q);
@@ -269,22 +279,27 @@ TfheContext::externalProduct(const GgswCiphertext &ggsw,
     }
     acc.b = Poly(params_.bigN, params_.q);
     acc.b.setDomain(Domain::Eval);
-    for (size_t t = 0; t < dec.size(); ++t) {
-        const GlweCiphertext &row = ggsw.rows[t];
-        for (size_t j = 0; j < params_.k; ++j) {
-            Poly prod = dec[t];
-            prod.mulPointwiseInPlace(row.a[j]);
-            acc.a[j].addInPlace(prod);
+    size_t n = params_.bigN;
+    activeBackend().run(params_.k + 1, [&](size_t j) {
+        Poly &dst = j < params_.k ? acc.a[j] : acc.b;
+        for (size_t t = 0; t < dec.size(); ++t) {
+            const GlweCiphertext &row = ggsw.rows[t];
+            const Poly &rhs = j < params_.k ? row.a[j] : row.b;
+            for (size_t c = 0; c < n; ++c) {
+                dst[c] = mod_.mulAdd(dec[t][c], rhs[c], dst[c]);
+            }
         }
-        Poly prod = dec[t];
-        prod.mulPointwiseInPlace(row.b);
-        acc.b.addInPlace(prod);
-    }
+    });
     // Inverse NTTs (Algorithm 2 line 11).
+    std::vector<NttJob> jobs;
+    jobs.reserve(params_.k + 1);
     for (auto &aj : acc.a) {
-        aj.toCoeff();
+        jobs.push_back({aj.coeffs().data(), &aj.nttTable()});
+        aj.setDomain(Domain::Coeff);
     }
-    acc.b.toCoeff();
+    jobs.push_back({acc.b.coeffs().data(), &acc.b.nttTable()});
+    acc.b.setDomain(Domain::Coeff);
+    activeBackend().nttInverseBatch(jobs.data(), jobs.size());
     return acc;
 }
 

@@ -3,6 +3,13 @@
  * Kernel-graph generators for CKKS operations (Table II), with element
  * counts derived from the same algebra the functional library
  * implements — Algorithm 1 for the hybrid keyswitch in particular.
+ *
+ * Each KernelType node models one batched PolyBackend entry point of
+ * the functional library: Ntt/Intt <-> nttForwardBatch/nttInverseBatch,
+ * ModMul <-> pointwiseMulBatch, Ip <-> mulAddBatch, Bconv <->
+ * baseConvert, Auto <-> automorphismBatch. A simulated-accelerator
+ * timing backend replays these graphs against the hardware model
+ * instead of executing the limb kernels.
  */
 
 #ifndef TRINITY_WORKLOAD_CKKS_OPS_H

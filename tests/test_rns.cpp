@@ -153,5 +153,38 @@ TEST(RnsPoly, DropLastLimbShortensChain)
     EXPECT_EQ(mods[1], qs[1]);
 }
 
+TEST(RnsPoly, ScalarMulLimbwiseMatchesPerLimb)
+{
+    size_t n = 32;
+    auto qs = findNttPrimes(30, 2 * n, 3);
+    Rng rng(77);
+    RnsPoly p = RnsPoly::uniform(n, qs, rng);
+    std::vector<u64> scalars = {3, 1ULL << 20, 12345};
+    RnsPoly q = p;
+    q.scalarMulLimbwise(scalars);
+    for (size_t j = 0; j < qs.size(); ++j) {
+        const Modulus &m = p.modulusAt(j);
+        u64 c = m.reduce(scalars[j]);
+        for (size_t i = 0; i < n; ++i) {
+            EXPECT_EQ(q.limb(j)[i], m.mul(p.limb(j)[i], c));
+        }
+    }
+}
+
+TEST(RnsPoly, UniformSamplesLimbMajor)
+{
+    // RnsPoly::uniform must consume the RNG limb-by-limb, matching a
+    // per-limb Poly::uniform loop bit for bit (keygen reproducibility
+    // across the flat-storage refactor depends on this).
+    size_t n = 32;
+    auto qs = findNttPrimes(30, 2 * n, 2);
+    Rng r1(5), r2(5);
+    RnsPoly flat = RnsPoly::uniform(n, qs, r1, Domain::Eval);
+    for (size_t j = 0; j < qs.size(); ++j) {
+        Poly limb = Poly::uniform(n, qs[j], r2, Domain::Eval);
+        EXPECT_EQ(flat.limb(j).coeffs(), limb.coeffs());
+    }
+}
+
 } // namespace
 } // namespace trinity
