@@ -10,6 +10,7 @@
 
 #include "accel/area.h"
 #include "accel/configs.h"
+#include "backend/registry.h"
 #include "workload/apps.h"
 #include "workload/tfhe_ops.h"
 
@@ -20,6 +21,13 @@ int
 main()
 {
     std::printf("== Trinity design-space explorer ==\n\n");
+    std::printf("execution engines (TRINITY_BACKEND): %s\n",
+                BackendRegistry::instance().listEngines().c_str());
+    std::printf("machine configs (TRINITY_SIM_MACHINE):");
+    for (const auto &name : accel::machineNames()) {
+        std::printf(" %s", name.c_str());
+    }
+    std::printf("\n\n");
     std::printf("%-9s %12s %12s %12s %10s %10s %12s\n", "clusters",
                 "Bootstrap", "PBS Set-I", "PBS Set-III", "area",
                 "power", "perf/area");

@@ -11,6 +11,8 @@
 #include <memory>
 
 #include "accel/configs.h"
+#include "backend/registry.h"
+#include "backend/sim_backend.h"
 #include "ckks/evaluator.h"
 #include "tfhe/gates.h"
 #include "workload/apps.h"
@@ -58,6 +60,29 @@ main()
                 gb.decryptBit(gb.gateNand(bit_a, bit_b)),
                 gb.decryptBit(gb.gateAnd(bit_a, bit_b)),
                 gb.decryptBit(gb.gateXor(bit_a, bit_b)));
+
+    // --- Live timing: the same computation, accelerator cycles ------
+    // Re-run the multiply under the simulated-accelerator timing
+    // backend: one code path produces the verified ciphertext AND
+    // charges every kernel batch to the Trinity machine model.
+    {
+        auto &reg = BackendRegistry::instance();
+        reg.use(std::make_unique<SimBackend>(reg.create("serial"),
+                                             accel::trinityCkks(4)));
+        SimBackend &sb = *activeSimBackend();
+        sb.ledger().reset();
+        auto ct_timed = eval.multiply(ct_x, ct_y, relin);
+        eval.rescaleInPlace(ct_timed);
+        double us = sb.seconds(sb.ledger().latencyCycles()) * 1e6;
+        std::printf("\nLive-timed on Trinity (TRINITY_BACKEND=sim):\n");
+        std::printf("  HMult+Rescale at N=2^10, L=%zu "
+                    "...... %.2f us (%.0f compute / %.0f transfer "
+                    "cycles)\n",
+                    ctx->params().maxLevel, us,
+                    sb.ledger().computeCycles(),
+                    sb.ledger().transferCycles());
+        reg.select("serial");
+    }
 
     // --- Trinity: what would the accelerator do? ---------------------
     auto trinity_ckks = accel::trinityCkks(4);

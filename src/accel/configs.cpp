@@ -1,5 +1,10 @@
 #include "accel/configs.h"
 
+#include <functional>
+#include <utility>
+
+#include "common/logging.h"
+
 namespace trinity {
 namespace accel {
 
@@ -223,6 +228,55 @@ trinityConversion(size_t clusters)
     m.routes[KernelType::Ntt] = sim::Route{"NTTU", 1.0};
     m.routes[KernelType::Intt] = sim::Route{"NTTU", 1.0};
     return m;
+}
+
+namespace {
+
+using NamedConfig =
+    std::pair<const char *, std::function<Machine()>>;
+
+const NamedConfig kNamedConfigs[] = {
+    {"trinity-ckks", [] { return trinityCkks(4); }},
+    {"trinity-ckks-ip-ewe", [] { return trinityCkksIpUseEwe(4); }},
+    {"trinity-tfhe", [] { return trinityTfhe(4); }},
+    {"trinity-tfhe-wo-cu", [] { return trinityTfheWithoutCu(); }},
+    {"trinity-tfhe-w-cu", [] { return trinityTfheWithCu(); }},
+    {"sharp", [] { return sharp(); }},
+    {"morphling", [] { return morphling(); }},
+    {"morphling-1ghz", [] { return morphling1GHz(); }},
+    {"trinity-conv", [] { return trinityConversion(4); }},
+};
+
+} // namespace
+
+Machine
+machineByName(const std::string &name)
+{
+    for (const auto &[cfg_name, factory] : kNamedConfigs) {
+        if (name == cfg_name) {
+            return factory();
+        }
+    }
+    std::string known;
+    for (const auto &cfg_name : machineNames()) {
+        if (!known.empty()) {
+            known += ", ";
+        }
+        known += cfg_name;
+    }
+    trinity_fatal("unknown machine configuration '%s' "
+                  "(TRINITY_SIM_MACHINE); known: %s",
+                  name.c_str(), known.c_str());
+}
+
+std::vector<std::string>
+machineNames()
+{
+    std::vector<std::string> out;
+    for (const auto &[cfg_name, factory] : kNamedConfigs) {
+        out.emplace_back(cfg_name);
+    }
+    return out;
 }
 
 } // namespace accel

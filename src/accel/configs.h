@@ -58,6 +58,17 @@ sim::Machine morphling1GHz();
 /** Trinity in scheme-conversion mode (CKKS kernels + Rotator). */
 sim::Machine trinityConversion(size_t clusters = 4);
 
+/**
+ * Construct a configuration by name — the hook the simulated-
+ * accelerator timing backend uses to resolve TRINITY_SIM_MACHINE.
+ * Fatal on an unknown name, listing the valid ones (the list lives
+ * in machineNames()).
+ */
+sim::Machine machineByName(const std::string &name);
+
+/** The names machineByName accepts. */
+std::vector<std::string> machineNames();
+
 } // namespace accel
 } // namespace trinity
 

@@ -1,0 +1,161 @@
+#include "backend/observed_backend.h"
+
+#include "common/logging.h"
+
+namespace trinity {
+
+using sim::KernelType;
+
+namespace {
+
+/** Sum of job lengths for an array of jobs with an `n` member. */
+template <typename Job>
+u64
+totalElems(const Job *jobs, size_t count)
+{
+    u64 sum = 0;
+    for (size_t i = 0; i < count; ++i) {
+        sum += jobs[i].n;
+    }
+    return sum;
+}
+
+KernelEvent
+makeEvent(KernelType type, u64 elements, u64 poly_len,
+          u64 bytes_per_elem)
+{
+    KernelEvent ev;
+    ev.type = type;
+    ev.elements = elements;
+    ev.polyLen = poly_len;
+    ev.bytes = bytes_per_elem * elements;
+    return ev;
+}
+
+} // namespace
+
+ObservedBackend::ObservedBackend(std::unique_ptr<PolyBackend> inner)
+    : inner_(std::move(inner))
+{
+    trinity_assert(inner_ != nullptr, "null inner backend");
+}
+
+void
+ObservedBackend::nttForwardBatch(const NttJob *jobs, size_t count)
+{
+    if (profilingActive() && count > 0) {
+        u64 n = jobs[0].table->n();
+        // In-place transform: one read + one write per element.
+        emitKernel(makeEvent(KernelType::Ntt, count * n, n, 16));
+    }
+    inner_->nttForwardBatch(jobs, count);
+}
+
+void
+ObservedBackend::nttInverseBatch(const NttJob *jobs, size_t count)
+{
+    if (profilingActive() && count > 0) {
+        u64 n = jobs[0].table->n();
+        emitKernel(makeEvent(KernelType::Intt, count * n, n, 16));
+    }
+    inner_->nttInverseBatch(jobs, count);
+}
+
+void
+ObservedBackend::pointwiseMulBatch(const EltwiseJob *jobs, size_t count)
+{
+    if (profilingActive() && count > 0) {
+        u64 e = totalElems(jobs, count);
+        // Two operand reads + one result write.
+        emitKernel(makeEvent(KernelType::ModMul, e, jobs[0].n, 24));
+    }
+    inner_->pointwiseMulBatch(jobs, count);
+}
+
+void
+ObservedBackend::addBatch(const EltwiseJob *jobs, size_t count)
+{
+    if (profilingActive() && count > 0) {
+        u64 e = totalElems(jobs, count);
+        emitKernel(makeEvent(KernelType::ModAdd, e, jobs[0].n, 24));
+    }
+    inner_->addBatch(jobs, count);
+}
+
+void
+ObservedBackend::subBatch(const EltwiseJob *jobs, size_t count)
+{
+    if (profilingActive() && count > 0) {
+        u64 e = totalElems(jobs, count);
+        emitKernel(makeEvent(KernelType::ModAdd, e, jobs[0].n, 24));
+    }
+    inner_->subBatch(jobs, count);
+}
+
+void
+ObservedBackend::negBatch(const EltwiseJob *jobs, size_t count)
+{
+    if (profilingActive() && count > 0) {
+        u64 e = totalElems(jobs, count);
+        emitKernel(makeEvent(KernelType::ModAdd, e, jobs[0].n, 16));
+    }
+    inner_->negBatch(jobs, count);
+}
+
+void
+ObservedBackend::mulAddBatch(const MulAddJob *jobs, size_t count)
+{
+    if (profilingActive() && count > 0) {
+        u64 e = totalElems(jobs, count);
+        // Accumulator read + write plus both operand reads.
+        emitKernel(makeEvent(KernelType::Ip, e, jobs[0].n, 32));
+    }
+    inner_->mulAddBatch(jobs, count);
+}
+
+void
+ObservedBackend::scalarMulBatch(const ScalarMulJob *jobs, size_t count)
+{
+    if (profilingActive() && count > 0) {
+        u64 e = totalElems(jobs, count);
+        emitKernel(makeEvent(KernelType::ModMul, e, jobs[0].n, 16));
+    }
+    inner_->scalarMulBatch(jobs, count);
+}
+
+void
+ObservedBackend::automorphismBatch(const AutoJob *jobs, size_t count)
+{
+    if (profilingActive() && count > 0) {
+        u64 e = totalElems(jobs, count);
+        emitKernel(makeEvent(KernelType::Auto, e, jobs[0].n, 16));
+    }
+    inner_->automorphismBatch(jobs, count);
+}
+
+void
+ObservedBackend::baseConvert(const BConvPlan &plan, const u64 *const *in,
+                             u64 *const *out, size_t n)
+{
+    if (profilingActive()) {
+        KernelEvent ev;
+        ev.type = KernelType::Bconv;
+        // The BConv matrix product: k x l MACs per coefficient.
+        ev.elements = static_cast<u64>(n) * plan.numFrom * plan.numTo;
+        ev.polyLen = n;
+        // Traffic is the limb matrix in and out, not the MAC volume.
+        ev.bytes = 8 * static_cast<u64>(n) *
+                   (plan.numFrom + plan.numTo);
+        emitKernel(ev);
+    }
+    inner_->baseConvert(plan, in, out, n);
+}
+
+void
+ObservedBackend::parallelFor(size_t count,
+                             const std::function<void(size_t)> &fn)
+{
+    inner_->run(count, fn);
+}
+
+} // namespace trinity

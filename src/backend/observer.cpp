@@ -1,0 +1,90 @@
+#include "backend/observer.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace trinity {
+
+namespace {
+
+std::mutex g_observerMtx;
+std::vector<BackendObserver *> g_observers;
+std::atomic<int> g_observerCount{0};
+
+/** Per-thread scope stack; events are attributed to the bottom. */
+thread_local std::vector<const char *> tls_scopes;
+
+} // namespace
+
+void
+installObserver(BackendObserver *obs)
+{
+    trinity_assert(obs != nullptr, "null observer");
+    std::lock_guard<std::mutex> lock(g_observerMtx);
+    g_observers.push_back(obs);
+    g_observerCount.store(static_cast<int>(g_observers.size()),
+                          std::memory_order_release);
+}
+
+void
+removeObserver(BackendObserver *obs)
+{
+    std::lock_guard<std::mutex> lock(g_observerMtx);
+    g_observers.erase(
+        std::remove(g_observers.begin(), g_observers.end(), obs),
+        g_observers.end());
+    g_observerCount.store(static_cast<int>(g_observers.size()),
+                          std::memory_order_release);
+}
+
+bool
+profilingActive()
+{
+    return g_observerCount.load(std::memory_order_acquire) > 0;
+}
+
+void
+emitKernel(KernelEvent ev)
+{
+    if (!profilingActive()) {
+        return;
+    }
+    ev.scope = currentOpScope();
+    std::lock_guard<std::mutex> lock(g_observerMtx);
+    for (BackendObserver *obs : g_observers) {
+        obs->onKernel(ev);
+    }
+}
+
+void
+emitKernel(sim::KernelType type, u64 elements, u64 poly_len)
+{
+    KernelEvent ev;
+    ev.type = type;
+    ev.elements = elements;
+    ev.polyLen = poly_len;
+    ev.bytes = 16 * elements; // operand read + result write
+    emitKernel(ev);
+}
+
+OpScope::OpScope(const char *label)
+{
+    tls_scopes.push_back(label);
+}
+
+OpScope::~OpScope()
+{
+    tls_scopes.pop_back();
+}
+
+const char *
+currentOpScope()
+{
+    return tls_scopes.empty() ? "" : tls_scopes.front();
+}
+
+} // namespace trinity

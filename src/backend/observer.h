@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Backend instrumentation seam: kernel events, observers, and op
+ * scopes.
+ *
+ * Every batched PolyBackend entry point maps onto one accelerator
+ * kernel class (the KernelType mapping documented in
+ * src/workload/ckks_ops.h): nttForward/InverseBatch <-> Ntt/Intt,
+ * pointwiseMulBatch <-> ModMul, mulAddBatch <-> Ip, baseConvert <->
+ * Bconv, automorphismBatch <-> Auto. An ObservedBackend decorator
+ * turns each batch into a KernelEvent; scheme layers emit additional
+ * events for kernels that run through the untyped run() escape hatch
+ * (gadget decomposition, rescale's fused divide, monomial rotations,
+ * LWE keyswitch MACs).
+ *
+ * Observers are process-global so that *any* engine can be profiled —
+ * the simulated-accelerator timing backend is just an observer that
+ * charges a sim::Machine, but a test can install a plain counting
+ * observer around the thread-pool engine equally well.
+ *
+ * OpScope annotates the current high-level operation (HMult, Rescale,
+ * PBS, conversion). Scopes nest; attribution uses the *outermost*
+ * label so a keyswitch inside HMult is accounted to HMult, while a
+ * keyswitch driven directly (tests) is accounted to itself.
+ */
+
+#ifndef TRINITY_BACKEND_OBSERVER_H
+#define TRINITY_BACKEND_OBSERVER_H
+
+#include "common/types.h"
+#include "sim/kernel.h"
+
+namespace trinity {
+
+/** One executed kernel batch, in accelerator terms. */
+struct KernelEvent
+{
+    sim::KernelType type = sim::KernelType::Ntt;
+    /** Total elements processed (MAC lanes for Ip/Bconv — the ledger
+     *  counts *executed* lanes; the static workload graphs count
+     *  broadcast input elements, see workload/ckks_ops.h). */
+    u64 elements = 0;
+    /** Polynomial length of the batch's jobs, where meaningful. */
+    u64 polyLen = 0;
+    /** Off-chip traffic of the batch (operand reads + result writes),
+     *  in bytes — the basis for HBM/NoC transfer charges. */
+    u64 bytes = 0;
+    /** Outermost op-scope label at emission ("" if unscoped). */
+    const char *scope = "";
+};
+
+/** Receiver for kernel events (see installObserver). */
+class BackendObserver
+{
+  public:
+    virtual ~BackendObserver() = default;
+    virtual void onKernel(const KernelEvent &ev) = 0;
+};
+
+/**
+ * Install / remove a process-global observer. The caller keeps
+ * ownership and must remove the observer before destroying it.
+ */
+void installObserver(BackendObserver *obs);
+void removeObserver(BackendObserver *obs);
+
+/** True if at least one observer is installed (fast, lock-free). */
+bool profilingActive();
+
+/**
+ * Deliver @p ev to every installed observer, stamping the current
+ * op scope. No-op (one relaxed atomic load) when none is installed.
+ */
+void emitKernel(KernelEvent ev);
+
+/** Convenience: emit type/elements with default 16 bytes/element. */
+void emitKernel(sim::KernelType type, u64 elements, u64 poly_len);
+
+/**
+ * RAII op-scope annotation. The label must be a string literal (or
+ * otherwise outlive the scope); scopes are per-thread.
+ */
+class OpScope
+{
+  public:
+    explicit OpScope(const char *label);
+    ~OpScope();
+
+    OpScope(const OpScope &) = delete;
+    OpScope &operator=(const OpScope &) = delete;
+};
+
+/** Outermost active scope label on this thread ("" if none). */
+const char *currentOpScope();
+
+} // namespace trinity
+
+#endif // TRINITY_BACKEND_OBSERVER_H

@@ -2,7 +2,9 @@
 
 #include <cstdlib>
 
+#include "accel/configs.h"
 #include "backend/serial_backend.h"
+#include "backend/sim_backend.h"
 #include "backend/thread_pool_backend.h"
 #include "common/logging.h"
 
@@ -15,6 +17,24 @@ BackendRegistry::BackendRegistry()
     });
     registerFactory("threads", [] {
         return std::unique_ptr<PolyBackend>(new ThreadPoolBackend());
+    });
+    // The simulated-accelerator timing backend: a functional engine
+    // wrapped so every batch charges cycles to a machine model.
+    registerFactory("sim", [this] {
+        const char *inner_env = std::getenv("TRINITY_SIM_INNER");
+        std::string inner_name = inner_env != nullptr ? inner_env
+                                                      : "serial";
+        if (inner_name == "sim" || find(inner_name) == nullptr) {
+            trinity_fatal("invalid TRINITY_SIM_INNER engine '%s'; the "
+                          "timing backend wraps a functional engine "
+                          "(serial, threads)",
+                          inner_name.c_str());
+        }
+        const char *machine_env = std::getenv("TRINITY_SIM_MACHINE");
+        sim::Machine machine = accel::machineByName(
+            machine_env != nullptr ? machine_env : "trinity-ckks");
+        return std::unique_ptr<PolyBackend>(new SimBackend(
+            create(inner_name), std::move(machine)));
     });
 }
 
@@ -48,6 +68,40 @@ BackendRegistry::names() const
     return out;
 }
 
+std::string
+BackendRegistry::listEngines() const
+{
+    std::string out;
+    for (const auto &name : names()) {
+        if (!out.empty()) {
+            out += ", ";
+        }
+        out += name;
+    }
+    return out;
+}
+
+const BackendRegistry::Factory *
+BackendRegistry::find(const std::string &name) const
+{
+    for (const auto &entry : factories_) {
+        if (entry.first == name) {
+            return &entry.second;
+        }
+    }
+    return nullptr;
+}
+
+std::unique_ptr<PolyBackend>
+BackendRegistry::create(const std::string &name)
+{
+    if (const Factory *factory = find(name)) {
+        return (*factory)();
+    }
+    trinity_fatal("unknown poly backend '%s'; registered engines: %s",
+                  name.c_str(), listEngines().c_str());
+}
+
 PolyBackend &
 BackendRegistry::active()
 {
@@ -61,14 +115,13 @@ BackendRegistry::active()
 void
 BackendRegistry::select(const std::string &name)
 {
-    for (const auto &entry : factories_) {
-        if (entry.first == name) {
-            active_ = entry.second();
-            return;
-        }
+    if (const Factory *factory = find(name)) {
+        active_ = (*factory)();
+        return;
     }
-    trinity_fatal("unknown poly backend '%s' (TRINITY_BACKEND)",
-                  name.c_str());
+    trinity_fatal("unknown poly backend '%s' (TRINITY_BACKEND); "
+                  "registered engines: %s",
+                  name.c_str(), listEngines().c_str());
 }
 
 void

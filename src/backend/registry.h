@@ -2,9 +2,11 @@
  * @file
  * Process-wide backend selection. The active engine is resolved once
  * from the TRINITY_BACKEND env var ("serial" by default, "threads"
- * for the worker-pool engine) and can be switched programmatically —
- * tests use that to compare engines in one process, benches to sweep
- * thread counts.
+ * for the worker-pool engine, "sim" for the simulated-accelerator
+ * timing backend) and can be switched programmatically — tests use
+ * that to compare engines in one process, benches to sweep thread
+ * counts. An unknown name is rejected with an error listing every
+ * registered engine.
  */
 
 #ifndef TRINITY_BACKEND_REGISTRY_H
@@ -33,6 +35,16 @@ class BackendRegistry
     /** Registered engine names. */
     std::vector<std::string> names() const;
 
+    /** Registered engine names as one comma-separated string — used
+     *  by the unknown-engine error and the explorer example. */
+    std::string listEngines() const;
+
+    /**
+     * Build a fresh engine by name without touching the active one;
+     * fatal on an unknown name, listing the registered engines.
+     */
+    std::unique_ptr<PolyBackend> create(const std::string &name);
+
     /**
      * The active engine. On first use resolves TRINITY_BACKEND (an
      * unknown name is fatal); defaults to "serial".
@@ -50,6 +62,8 @@ class BackendRegistry
 
   private:
     BackendRegistry();
+
+    const Factory *find(const std::string &name) const;
 
     std::vector<std::pair<std::string, Factory>> factories_;
     std::unique_ptr<PolyBackend> active_;

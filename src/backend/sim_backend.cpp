@@ -1,0 +1,66 @@
+#include "backend/sim_backend.h"
+
+#include "backend/registry.h"
+
+namespace trinity {
+
+using sim::KernelType;
+
+MachineTimingObserver::MachineTimingObserver(sim::Machine machine)
+    : machine_(std::move(machine))
+{
+}
+
+void
+MachineTimingObserver::onKernel(const KernelEvent &ev)
+{
+    // Compute charge: the batch's busy cycles on its unit pool (one
+    // pipeline fill per batch, as schedule() charges per graph node).
+    // A kernel class the machine cannot run is still counted so the
+    // element totals stay complete, just at zero cycles.
+    if (machine_.canRun(ev.type)) {
+        ledger_.record(ev.scope, ev.type, ev.elements,
+                       machine_.charge(ev.type, ev.elements,
+                                       ev.polyLen),
+                       machine_.route(ev.type).pool);
+    } else {
+        ledger_.record(ev.scope, ev.type, ev.elements, 0, "");
+    }
+    if (ev.bytes == 0) {
+        return;
+    }
+    // Off-chip traffic of the batch's operands and results.
+    if (machine_.canRun(KernelType::HbmXfer)) {
+        ledger_.record(ev.scope, KernelType::HbmXfer, ev.bytes,
+                       machine_.charge(KernelType::HbmXfer, ev.bytes),
+                       machine_.route(KernelType::HbmXfer).pool);
+    }
+    // Automorphisms and base conversions reshuffle data across
+    // clusters: book their volume as NoC layout-switch traffic too.
+    if ((ev.type == KernelType::Auto || ev.type == KernelType::Bconv) &&
+        machine_.canRun(KernelType::NocXfer)) {
+        ledger_.record(ev.scope, KernelType::NocXfer, ev.bytes,
+                       machine_.charge(KernelType::NocXfer, ev.bytes),
+                       machine_.route(KernelType::NocXfer).pool);
+    }
+}
+
+SimBackend::SimBackend(std::unique_ptr<PolyBackend> inner,
+                       sim::Machine machine)
+    : ObservedBackend(std::move(inner)), observer_(std::move(machine))
+{
+    installObserver(&observer_);
+}
+
+SimBackend::~SimBackend()
+{
+    removeObserver(&observer_);
+}
+
+SimBackend *
+activeSimBackend()
+{
+    return dynamic_cast<SimBackend *>(&activeBackend());
+}
+
+} // namespace trinity

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Simulated-accelerator timing backend.
+ *
+ * SimBackend executes every batch *functionally* on an inner engine
+ * (bit-identical to serial) while charging the batch's cycles to a
+ * sim::Machine through the KernelType mapping of the batched entry
+ * points, plus HBM/NoC transfer charges derived from batch byte
+ * volumes. One code path therefore produces verified ciphertexts AND
+ * paper-comparable cycle counts: run any workload under
+ * TRINITY_BACKEND=sim and read the TimingLedger.
+ *
+ * Environment knobs (resolved when the registry builds the engine):
+ *   TRINITY_SIM_INNER    functional engine to wrap ("serial" default,
+ *                        or "threads")
+ *   TRINITY_SIM_MACHINE  accel config, see accel::machineNames()
+ *                        ("trinity-ckks" default — it routes every
+ *                        kernel class, TFHE's included)
+ */
+
+#ifndef TRINITY_BACKEND_SIM_BACKEND_H
+#define TRINITY_BACKEND_SIM_BACKEND_H
+
+#include "backend/observed_backend.h"
+#include "sim/machine.h"
+#include "sim/timing_ledger.h"
+
+namespace trinity {
+
+/**
+ * Observer that prices each kernel event on a Machine and books it
+ * into a TimingLedger. Usable standalone around any engine (wrap it
+ * in an ObservedBackend and installObserver); SimBackend bundles the
+ * composition.
+ */
+class MachineTimingObserver final : public BackendObserver
+{
+  public:
+    explicit MachineTimingObserver(sim::Machine machine);
+
+    void onKernel(const KernelEvent &ev) override;
+
+    sim::TimingLedger &ledger() { return ledger_; }
+    const sim::TimingLedger &ledger() const { return ledger_; }
+    const sim::Machine &machine() const { return machine_; }
+
+  private:
+    sim::Machine machine_;
+    sim::TimingLedger ledger_;
+};
+
+class SimBackend final : public ObservedBackend
+{
+  public:
+    /** Wrap @p inner; charge cycles against @p machine. */
+    SimBackend(std::unique_ptr<PolyBackend> inner, sim::Machine machine);
+    ~SimBackend() override;
+
+    const char *name() const override { return "sim"; }
+
+    sim::TimingLedger &ledger() { return observer_.ledger(); }
+    const sim::TimingLedger &ledger() const { return observer_.ledger(); }
+    const sim::Machine &machine() const { return observer_.machine(); }
+
+    /** Convert ledger cycles to seconds at the machine frequency. */
+    double
+    seconds(double cycles) const
+    {
+        return machine().seconds(cycles);
+    }
+
+  private:
+    MachineTimingObserver observer_;
+};
+
+/** The active engine as a SimBackend, or nullptr if it is not one. */
+SimBackend *activeSimBackend();
+
+} // namespace trinity
+
+#endif // TRINITY_BACKEND_SIM_BACKEND_H

@@ -1,5 +1,7 @@
 #include "backend/thread_pool_backend.h"
 
+#include <cctype>
+#include <cerrno>
 #include <cstdlib>
 
 #include "common/logging.h"
@@ -19,15 +21,34 @@ thread_local bool tls_in_worker = false;
 size_t
 resolveThreadCount(size_t threads)
 {
+    size_t hw = std::thread::hardware_concurrency();
+    if (hw == 0) {
+        hw = 1;
+    }
     if (threads == 0) {
         if (const char *env = std::getenv("TRINITY_THREADS")) {
-            threads = static_cast<size_t>(std::strtoul(env, nullptr, 10));
+            char *end = nullptr;
+            errno = 0;
+            unsigned long parsed = std::strtoul(env, &end, 10);
+            // strtoul skips whitespace and negates a leading '-';
+            // accept plain digit strings only.
+            if (!std::isdigit(static_cast<unsigned char>(env[0])) ||
+                end == env || *end != '\0' || errno == ERANGE ||
+                parsed == 0) {
+                trinity_fatal("invalid TRINITY_THREADS value '%s': "
+                              "expected a positive integer",
+                              env);
+            }
+            threads = static_cast<size_t>(parsed);
+            if (threads > hw) {
+                trinity_warn("TRINITY_THREADS=%zu exceeds hardware "
+                             "concurrency (%zu); clamping",
+                             threads, hw);
+                threads = hw;
+            }
         }
     }
-    if (threads == 0) {
-        threads = std::thread::hardware_concurrency();
-    }
-    return threads == 0 ? 1 : threads;
+    return threads == 0 ? hw : threads;
 }
 
 } // namespace

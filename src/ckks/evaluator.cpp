@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "backend/observer.h"
 #include "backend/registry.h"
 #include "common/logging.h"
 
@@ -29,6 +30,7 @@ CkksEvaluator::checkAligned(const CkksCiphertext &a,
 CkksCiphertext
 CkksEvaluator::add(const CkksCiphertext &a, const CkksCiphertext &b) const
 {
+    OpScope scope("HAdd");
     checkAligned(a, b);
     CkksCiphertext r = a;
     r.c0.addInPlace(b.c0);
@@ -39,6 +41,8 @@ CkksEvaluator::add(const CkksCiphertext &a, const CkksCiphertext &b) const
 CkksCiphertext
 CkksEvaluator::sub(const CkksCiphertext &a, const CkksCiphertext &b) const
 {
+    // Same kernel class and volume as add; attributed together.
+    OpScope scope("HAdd");
     checkAligned(a, b);
     CkksCiphertext r = a;
     r.c0.subInPlace(b.c0);
@@ -59,6 +63,7 @@ CkksCiphertext
 CkksEvaluator::addPlain(const CkksCiphertext &a,
                         const CkksPlaintext &pt) const
 {
+    OpScope scope("PAdd");
     trinity_assert(a.level == pt.level, "plaintext level mismatch");
     CkksCiphertext r = a;
     r.c0.toCoeff();
@@ -72,6 +77,7 @@ CkksCiphertext
 CkksEvaluator::mulPlain(const CkksCiphertext &a,
                         const CkksPlaintext &pt) const
 {
+    OpScope scope("PMult");
     trinity_assert(a.level == pt.level, "plaintext level mismatch");
     CkksCiphertext r = a;
     RnsPoly p = pt.poly;
@@ -90,6 +96,7 @@ std::pair<RnsPoly, RnsPoly>
 CkksEvaluator::keySwitch(const RnsPoly &d, const CkksEvalKey &evk,
                          size_t level) const
 {
+    OpScope scope("KeySwitch");
     size_t n = ctx_->n();
     const auto &params = ctx_->params();
     size_t alpha = params.alpha();
@@ -190,6 +197,7 @@ CkksCiphertext
 CkksEvaluator::multiply(const CkksCiphertext &a, const CkksCiphertext &b,
                         const CkksEvalKey &relin_key) const
 {
+    OpScope scope("HMult");
     checkAligned(a, b);
     // Tensor product (all in the evaluation domain).
     RnsPoly a0 = a.c0, a1 = a.c1, b0 = b.c0, b1 = b.c1;
@@ -228,6 +236,7 @@ CkksCiphertext
 CkksEvaluator::square(const CkksCiphertext &a,
                       const CkksEvalKey &relin_key) const
 {
+    OpScope scope("HSquare");
     // d0 = c0^2, d1 = 2 c0 c1, d2 = c1^2, then relinearize d2.
     RnsPoly a0 = a.c0, a1 = a.c1;
     a0.toEval();
@@ -295,6 +304,7 @@ CkksEvaluator::conjugate(const CkksCiphertext &ct,
 void
 CkksEvaluator::rescaleInPlace(CkksCiphertext &ct) const
 {
+    OpScope scope("Rescale");
     trinity_assert(ct.level >= 1, "cannot rescale at level 0");
     size_t l = ct.level;
     u64 ql = ctx_->qChain()[l];
@@ -303,6 +313,11 @@ CkksEvaluator::rescaleInPlace(CkksCiphertext &ct) const
     for (RnsPoly *comp : {&ct.c0, &ct.c1}) {
         const u64 *last = comp->limbData(l);
         size_t n = comp->n();
+        // The fused divide runs through the untyped escape hatch, so
+        // announce its kernels (one subtract + one scalar multiply
+        // per coefficient of the l surviving limbs) to the profiler.
+        emitKernel(sim::KernelType::ModAdd, l * n, n);
+        emitKernel(sim::KernelType::ModMul, l * n, n);
         activeBackend().run(l, [&](size_t i) {
             const Modulus &qi = comp->modulusAt(i);
             u64 ql_inv = qi.inv(qi.reduce(ql));
@@ -322,6 +337,7 @@ CkksCiphertext
 CkksEvaluator::applyGalois(const CkksCiphertext &ct, u64 g,
                            const CkksEvalKey &galois_key) const
 {
+    OpScope scope("HRotate");
     CkksCiphertext in = ct;
     in.c0.toCoeff();
     in.c1.toCoeff();
@@ -356,6 +372,7 @@ CkksEvaluator::rotate(const CkksCiphertext &ct, i64 steps,
 CkksCiphertext
 CkksEvaluator::rotatePoly(const CkksCiphertext &ct, u64 t) const
 {
+    OpScope scope("Rotate");
     CkksCiphertext r = ct;
     r.c0.toCoeff();
     r.c1.toCoeff();

@@ -1,5 +1,6 @@
 #include "conv/conversion.h"
 
+#include "backend/observer.h"
 #include "common/bitops.h"
 #include "common/logging.h"
 
@@ -50,6 +51,7 @@ sampleExtract(const CkksCiphertext &ct, size_t idx)
     size_t n = c0.n();
     trinity_assert(idx < n, "extract index out of range");
     const Modulus &m = c0.modulus();
+    emitKernel(sim::KernelType::SampleExtract, n, n);
     ConvLwe out;
     out.q = c0.q();
     out.a.resize(n);
@@ -63,6 +65,7 @@ sampleExtract(const CkksCiphertext &ct, size_t idx)
 std::vector<ConvLwe>
 ckksToTfhe(const CkksCiphertext &ct, size_t nslot)
 {
+    OpScope scope("Conversion");
     CkksCiphertext c = ct;
     c.c0.toCoeff();
     c.c1.toCoeff();
@@ -158,6 +161,7 @@ LwePacker::fieldTrace(CkksCiphertext ct, size_t nslot) const
 CkksCiphertext
 LwePacker::tfheToCkks(const std::vector<ConvLwe> &lwes) const
 {
+    OpScope scope("Conversion");
     trinity_assert(!lwes.empty(), "no LWEs to pack");
     std::vector<CkksCiphertext> cts;
     cts.reserve(lwes.size());

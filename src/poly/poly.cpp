@@ -1,5 +1,6 @@
 #include "poly/poly.h"
 
+#include "backend/observer.h"
 #include "backend/registry.h"
 #include "common/bitops.h"
 #include "common/logging.h"
@@ -174,6 +175,9 @@ Poly::mulMonomial(u64 t) const
 {
     trinity_assert(domain_ == Domain::Coeff,
                    "monomial multiply operates in coefficient domain");
+    // The Rotator kernel runs outside the batched entry points;
+    // announce it to the profiler explicitly.
+    emitKernel(sim::KernelType::Rotate, n_, n_);
     size_t two_n = 2 * n_;
     t %= two_n;
     Poly r(n_, mod_.value());

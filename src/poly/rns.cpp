@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "backend/observer.h"
 #include "backend/registry.h"
 #include "common/logging.h"
 
@@ -279,6 +280,7 @@ RnsPoly::mulMonomial(u64 t) const
 {
     trinity_assert(domain_ == Domain::Coeff,
                    "monomial multiply operates in coefficient domain");
+    emitKernel(sim::KernelType::Rotate, numLimbs() * n_, n_);
     size_t two_n = 2 * n_;
     t %= two_n;
     RnsPoly r(n_, moduli());

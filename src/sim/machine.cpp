@@ -38,6 +38,16 @@ Machine::busyCycles(const Kernel &k) const
     return work / (p.elemsPerCycle * p.efficiency);
 }
 
+double
+Machine::charge(KernelType t, u64 elems, u64 poly_len) const
+{
+    Kernel k;
+    k.type = t;
+    k.elements = elems;
+    k.polyLen = poly_len;
+    return busyCycles(k) + pool(route(t).pool).latency;
+}
+
 SimResult
 schedule(const KernelGraph &graph, const Machine &machine)
 {

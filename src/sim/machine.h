@@ -57,8 +57,21 @@ struct Machine
     const Route &route(KernelType t) const;
     const Pool &pool(const std::string &name) const;
 
+    /** True if a route exists for the kernel class. */
+    bool canRun(KernelType t) const { return routes.count(t) != 0; }
+
     /** Busy cycles this kernel occupies on its pool. */
     double busyCycles(const Kernel &k) const;
+
+    /**
+     * Incremental cycle accounting for live execution: the cycles one
+     * batch of @p elems elements of kernel class @p t occupies on its
+     * pool, including one pipeline fill (pool latency) per batch —
+     * the same cost model schedule() charges per graph node, so it
+     * stays consistent if busyCycles() ever uses @p poly_len. Fatal
+     * if the machine has no route for @p t (check canRun first).
+     */
+    double charge(KernelType t, u64 elems, u64 poly_len = 0) const;
 
     /** Convert cycles to seconds at the machine frequency. */
     double

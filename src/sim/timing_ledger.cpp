@@ -1,0 +1,141 @@
+#include "sim/timing_ledger.h"
+
+#include <vector>
+
+namespace trinity {
+namespace sim {
+
+bool
+TimingLedger::isTransfer(KernelType t)
+{
+    return t == KernelType::HbmXfer || t == KernelType::NocXfer;
+}
+
+void
+TimingLedger::record(const std::string &scope, KernelType type,
+                     u64 elems, double cycles, const std::string &pool)
+{
+    std::lock_guard<std::mutex> lock(mtx_);
+    LedgerCell &cell = cells_[scope][type];
+    cell.calls += 1;
+    cell.elements += elems;
+    cell.cycles += cycles;
+    if (!pool.empty()) {
+        poolBusy_[pool] += cycles;
+    }
+}
+
+std::map<KernelType, LedgerCell>
+TimingLedger::byKernel() const
+{
+    std::lock_guard<std::mutex> lock(mtx_);
+    std::map<KernelType, LedgerCell> out;
+    for (const auto &[scope, kernels] : cells_) {
+        for (const auto &[type, cell] : kernels) {
+            LedgerCell &acc = out[type];
+            acc.calls += cell.calls;
+            acc.elements += cell.elements;
+            acc.cycles += cell.cycles;
+        }
+    }
+    return out;
+}
+
+std::map<std::string, std::map<KernelType, LedgerCell>>
+TimingLedger::byScope() const
+{
+    std::lock_guard<std::mutex> lock(mtx_);
+    return cells_;
+}
+
+std::map<std::string, double>
+TimingLedger::poolBusy() const
+{
+    std::lock_guard<std::mutex> lock(mtx_);
+    return poolBusy_;
+}
+
+u64
+TimingLedger::elements(KernelType type) const
+{
+    auto all = byKernel();
+    auto it = all.find(type);
+    return it == all.end() ? 0 : it->second.elements;
+}
+
+double
+TimingLedger::cycles(KernelType type) const
+{
+    auto all = byKernel();
+    auto it = all.find(type);
+    return it == all.end() ? 0 : it->second.cycles;
+}
+
+u64
+TimingLedger::calls(KernelType type) const
+{
+    auto all = byKernel();
+    auto it = all.find(type);
+    return it == all.end() ? 0 : it->second.calls;
+}
+
+double
+TimingLedger::computeCycles() const
+{
+    double sum = 0;
+    for (const auto &[type, cell] : byKernel()) {
+        if (!isTransfer(type)) {
+            sum += cell.cycles;
+        }
+    }
+    return sum;
+}
+
+double
+TimingLedger::transferCycles() const
+{
+    double sum = 0;
+    for (const auto &[type, cell] : byKernel()) {
+        if (isTransfer(type)) {
+            sum += cell.cycles;
+        }
+    }
+    return sum;
+}
+
+void
+TimingLedger::reset()
+{
+    std::lock_guard<std::mutex> lock(mtx_);
+    cells_.clear();
+    poolBusy_.clear();
+}
+
+void
+TimingLedger::report(std::FILE *out) const
+{
+    auto scopes = byScope();
+    std::fprintf(out, "%-14s %-14s %10s %14s %14s\n", "op", "kernel",
+                 "batches", "elements", "cycles");
+    for (const auto &[scope, kernels] : scopes) {
+        const char *label = scope.empty() ? "(unscoped)" : scope.c_str();
+        for (const auto &[type, cell] : kernels) {
+            std::fprintf(out, "%-14s %-14s %10llu %14llu %14.0f\n",
+                         label, kernelTypeName(type),
+                         static_cast<unsigned long long>(cell.calls),
+                         static_cast<unsigned long long>(cell.elements),
+                         cell.cycles);
+        }
+    }
+    std::fprintf(out, "pool busy:");
+    for (const auto &[pool, cycles] : poolBusy()) {
+        std::fprintf(out, "  %s=%.0f", pool.c_str(), cycles);
+    }
+    std::fprintf(out,
+                 "\ncompute=%.0f cycles, transfer=%.0f cycles, "
+                 "latency (overlapped)=%.0f cycles\n",
+                 computeCycles(), transferCycles(), latencyCycles());
+}
+
+} // namespace sim
+} // namespace trinity

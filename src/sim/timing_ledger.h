@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Cycle ledger for live workload execution on the machine model.
+ *
+ * Where sim::schedule() scores a hand-built KernelGraph, the
+ * TimingLedger accumulates charges kernel by kernel as a *functional*
+ * run proceeds: every executed batch contributes its element count and
+ * its Machine::charge() cycles, attributed to the kernel class, the
+ * unit pool, and the high-level operation scope (HMult, Rescale, PBS,
+ * conversion) active at emission — the live counterpart of the
+ * Fig. 13/14 component-utilization breakdowns.
+ *
+ * Compute kernels and transfer kernels (HbmXfer/NocXfer) are summed
+ * separately: the end-to-end latency estimate assumes the paper's
+ * double-buffered overlap, max(compute, transfer).
+ */
+
+#ifndef TRINITY_SIM_TIMING_LEDGER_H
+#define TRINITY_SIM_TIMING_LEDGER_H
+
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "sim/kernel.h"
+
+namespace trinity {
+namespace sim {
+
+/** Accumulated work of one kernel class (possibly within one scope). */
+struct LedgerCell
+{
+    u64 calls = 0;    ///< batches charged
+    u64 elements = 0; ///< executed elements (bytes for transfers)
+    double cycles = 0;
+};
+
+class TimingLedger
+{
+  public:
+    /** Add one charged batch. Thread-safe. */
+    void record(const std::string &scope, KernelType type, u64 elems,
+                double cycles, const std::string &pool);
+
+    /** Totals per kernel class (all scopes). */
+    std::map<KernelType, LedgerCell> byKernel() const;
+
+    /** Per-scope breakdown: scope -> kernel class -> cell. */
+    std::map<std::string, std::map<KernelType, LedgerCell>>
+    byScope() const;
+
+    /** Busy cycles per unit pool. */
+    std::map<std::string, double> poolBusy() const;
+
+    /** Elements / cycles / calls of one kernel class (all scopes). */
+    u64 elements(KernelType type) const;
+    double cycles(KernelType type) const;
+    u64 calls(KernelType type) const;
+
+    /** Total cycles of all non-transfer kernel classes. */
+    double computeCycles() const;
+
+    /** Total cycles of HbmXfer + NocXfer charges. */
+    double transferCycles() const;
+
+    /** Latency model: compute and transfer streams fully overlap. */
+    double
+    latencyCycles() const
+    {
+        double c = computeCycles();
+        double t = transferCycles();
+        return c > t ? c : t;
+    }
+
+    /** Forget everything (start of a measured region). */
+    void reset();
+
+    /** Human-readable breakdown: per scope, per kernel class, pools. */
+    void report(std::FILE *out) const;
+
+  private:
+    static bool isTransfer(KernelType t);
+
+    mutable std::mutex mtx_;
+    /** scope -> kernel -> cell; "" holds unscoped charges. */
+    std::map<std::string, std::map<KernelType, LedgerCell>> cells_;
+    std::map<std::string, double> poolBusy_;
+};
+
+} // namespace sim
+} // namespace trinity
+
+#endif // TRINITY_SIM_TIMING_LEDGER_H

@@ -1,5 +1,6 @@
 #include "tfhe/core.h"
 
+#include "backend/observer.h"
 #include "backend/registry.h"
 #include "common/logging.h"
 
@@ -245,6 +246,7 @@ TfheContext::decompose(const GlweCiphertext &ct) const
             out.emplace_back(n, params_.q);
         }
     }
+    emitKernel(sim::KernelType::Decomp, (params_.k + 1) * n, n);
     activeBackend().run(params_.k + 1, [&](size_t j) {
         const Poly &src = j < params_.k ? ct.a[j] : ct.b;
         trinity_assert(src.domain() == Domain::Coeff,
@@ -280,6 +282,8 @@ TfheContext::externalProduct(const GgswCiphertext &ggsw,
     acc.b = Poly(params_.bigN, params_.q);
     acc.b.setDomain(Domain::Eval);
     size_t n = params_.bigN;
+    emitKernel(sim::KernelType::Ip,
+               static_cast<u64>(dec.size()) * (params_.k + 1) * n, n);
     activeBackend().run(params_.k + 1, [&](size_t j) {
         Poly &dst = j < params_.k ? acc.a[j] : acc.b;
         for (size_t t = 0; t < dec.size(); ++t) {

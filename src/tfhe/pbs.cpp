@@ -1,5 +1,6 @@
 #include "tfhe/pbs.h"
 
+#include "backend/observer.h"
 #include "common/logging.h"
 
 namespace trinity {
@@ -65,6 +66,7 @@ TfheBootstrapper::blindRotate(const LweCiphertext &ct, const Poly &tv,
     u64 two_n = 2 * p.bigN;
     trinity_assert(ct.a.size() == bsk.bsk.size(),
                    "bsk/ciphertext dimension mismatch");
+    emitKernel(sim::KernelType::ModSwitch, ct.a.size() + 1, p.bigN);
     u64 b_tilde = modSwitch(ct.b);
     // ACC_0 = Rotate(tv, -b~)  (Algorithm 2 line 2).
     GlweCiphertext acc =
@@ -90,6 +92,7 @@ TfheBootstrapper::sampleExtract(const GlweCiphertext &acc,
     size_t n = p.bigN;
     const Modulus &m = ctx_->modulus();
     trinity_assert(idx < n, "extract index out of range");
+    emitKernel(sim::KernelType::SampleExtract, p.k * n, n);
     LweCiphertext out;
     out.a.resize(p.k * n);
     for (size_t j = 0; j < p.k; ++j) {
@@ -127,6 +130,7 @@ TfheBootstrapper::keySwitch(const LweCiphertext &wide,
     u32 log_b = ksk.logB;
     u64 base = 1ULL << log_b;
     u64 half = base >> 1;
+    u64 mac_lanes = 0;
     std::vector<i64> digits(lk);
     for (size_t i = 0; i < wide.a.size(); ++i) {
         u64 x = wide.a[i];
@@ -158,8 +162,10 @@ TfheBootstrapper::keySwitch(const LweCiphertext &wide,
                 out.a[t] = m.sub(out.a[t], m.mul(d, row.a[t]));
             }
             out.b = m.sub(out.b, m.mul(d, row.b));
+            mac_lanes += p.nLwe + 1;
         }
     }
+    emitKernel(sim::KernelType::LweKs, mac_lanes, p.nLwe);
     return out;
 }
 
@@ -168,6 +174,7 @@ TfheBootstrapper::pbs(const LweCiphertext &in, const Poly &tv,
                       const TfheBootstrapKey &bsk,
                       const TfheKeySwitchKey &ksk) const
 {
+    OpScope scope("PBS");
     GlweCiphertext acc = blindRotate(in, tv, bsk);
     LweCiphertext wide = sampleExtract(acc, 0);
     return keySwitch(wide, ksk);

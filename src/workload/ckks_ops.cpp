@@ -46,12 +46,18 @@ keySwitchGraph(const CkksShape &s)
     size_t intt_out = g.addAfter(KernelType::Intt,
                                  static_cast<u64>(2) * next * n, n,
                                  ip_ids, "ks");
-    // ModDown: BConv of the special part + subtract + scale by P^-1.
+    // ModDown: BConv of the special part, then subtract it and scale
+    // by P^-1 — one element-wise add and one multiply per coefficient
+    // of both accumulators (same EWE volume as the former fused node,
+    // split so live-execution ledgers can be checked type by type).
     size_t down = g.addAfter(KernelType::Bconv,
                              static_cast<u64>(2) * n * alpha * nq, n,
                              {intt_out}, "ks.moddown");
-    g.addAfter(KernelType::ModMul, static_cast<u64>(2) * nq * n * 2, n,
-               {down}, "ks");
+    size_t sub = g.addAfter(KernelType::ModAdd,
+                            static_cast<u64>(2) * nq * n, n, {down},
+                            "ks.moddown");
+    g.addAfter(KernelType::ModMul, static_cast<u64>(2) * nq * n, n,
+               {sub}, "ks.moddown");
     return g;
 }
 

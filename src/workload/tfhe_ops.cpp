@@ -37,6 +37,9 @@ pbsGraph(const TfheParams &p)
                                 "pbs.mac");
         size_t intt = g.addAfter(KernelType::Intt, comps * n, n, {mac},
                                  "pbs.intt");
+        // CMux accumulate. Live execution also performs the ACC1-ACC0
+        // difference (another comps*n element adds); the graph models
+        // the accumulate only, so ledgers see 2x this ModAdd volume.
         prev = g.addAfter(KernelType::ModAdd, comps * n, n, {intt},
                           "pbs.acc");
     }
