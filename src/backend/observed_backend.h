@@ -25,6 +25,10 @@ class ObservedBackend : public PolyBackend
 
     const char *name() const override { return "observed"; }
     size_t threadCount() const override { return inner_->threadCount(); }
+    size_t preferredBatch() const override
+    {
+        return inner_->preferredBatch();
+    }
 
     PolyBackend &inner() { return *inner_; }
 

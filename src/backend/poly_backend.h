@@ -120,6 +120,21 @@ class PolyBackend
     /** Number of concurrent workers the engine schedules across. */
     virtual size_t threadCount() const { return 1; }
 
+    /**
+     * Batch-sizing hint for serving layers: how many independent
+     * same-shape work items (e.g. ciphertexts in a fused PBS batch)
+     * the engine wants in flight before its throughput saturates.
+     * Engines with real parallelism report at least their worker
+     * count; even single-stream engines profit from key-reuse
+     * locality across a batch, hence the floor of 8.
+     */
+    virtual size_t
+    preferredBatch() const
+    {
+        size_t t = threadCount();
+        return t < 8 ? 8 : t;
+    }
+
     /** Forward negacyclic NTT over a batch of limbs. */
     virtual void nttForwardBatch(const NttJob *jobs, size_t count);
     /** Inverse negacyclic NTT over a batch of limbs. */

@@ -24,11 +24,16 @@ BackendRegistry::BackendRegistry()
         const char *inner_env = std::getenv("TRINITY_SIM_INNER");
         std::string inner_name = inner_env != nullptr ? inner_env
                                                       : "serial";
-        if (inner_name == "sim" || find(inner_name) == nullptr) {
-            trinity_fatal("invalid TRINITY_SIM_INNER engine '%s'; the "
-                          "timing backend wraps a functional engine "
-                          "(serial, threads)",
-                          inner_name.c_str());
+        if (inner_name == "sim") {
+            trinity_fatal("TRINITY_SIM_INNER=sim would wrap the timing "
+                          "backend in itself (recursive self-wrapping); "
+                          "pick a functional inner engine: %s",
+                          listEngines("sim").c_str());
+        }
+        if (find(inner_name) == nullptr) {
+            trinity_fatal("unknown TRINITY_SIM_INNER engine '%s'; valid "
+                          "inner engines: %s",
+                          inner_name.c_str(), listEngines("sim").c_str());
         }
         const char *machine_env = std::getenv("TRINITY_SIM_MACHINE");
         sim::Machine machine = accel::machineByName(
@@ -69,10 +74,13 @@ BackendRegistry::names() const
 }
 
 std::string
-BackendRegistry::listEngines() const
+BackendRegistry::listEngines(const std::string &exclude) const
 {
     std::string out;
     for (const auto &name : names()) {
+        if (!exclude.empty() && name == exclude) {
+            continue;
+        }
         if (!out.empty()) {
             out += ", ";
         }

@@ -36,8 +36,11 @@ class BackendRegistry
     std::vector<std::string> names() const;
 
     /** Registered engine names as one comma-separated string — used
-     *  by the unknown-engine error and the explorer example. */
-    std::string listEngines() const;
+     *  by the unknown-engine error and the explorer example.
+     *  @p exclude drops one name from the list (the sim backend uses
+     *  it to advertise the valid *inner* engines, i.e. everything but
+     *  itself). */
+    std::string listEngines(const std::string &exclude = "") const;
 
     /**
      * Build a fresh engine by name without touching the active one;

@@ -1,9 +1,6 @@
 #include "backend/thread_pool_backend.h"
 
-#include <cctype>
-#include <cerrno>
-#include <cstdlib>
-
+#include "common/env.h"
 #include "common/logging.h"
 
 namespace trinity {
@@ -26,18 +23,11 @@ resolveThreadCount(size_t threads)
         hw = 1;
     }
     if (threads == 0) {
-        if (const char *env = std::getenv("TRINITY_THREADS")) {
-            char *end = nullptr;
-            errno = 0;
-            unsigned long parsed = std::strtoul(env, &end, 10);
-            // strtoul skips whitespace and negates a leading '-';
-            // accept plain digit strings only.
-            if (!std::isdigit(static_cast<unsigned char>(env[0])) ||
-                end == env || *end != '\0' || errno == ERANGE ||
-                parsed == 0) {
-                trinity_fatal("invalid TRINITY_THREADS value '%s': "
-                              "expected a positive integer",
-                              env);
+        u64 parsed = 0;
+        if (envU64("TRINITY_THREADS", parsed)) {
+            if (parsed == 0) {
+                trinity_fatal("invalid TRINITY_THREADS value '0': "
+                              "expected a positive integer");
             }
             threads = static_cast<size_t>(parsed);
             if (threads > hw) {

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Strict environment-variable parsing shared by the engine and
+ * runtime knobs (TRINITY_THREADS, TRINITY_RUNTIME_BATCH, ...).
+ */
+
+#ifndef TRINITY_COMMON_ENV_H
+#define TRINITY_COMMON_ENV_H
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "common/types.h"
+
+namespace trinity {
+
+/**
+ * Read env var @p name as a non-negative integer. Returns false when
+ * the variable is unset; fatal on anything but a plain digit string
+ * (strtoull would silently skip whitespace and negate a leading '-').
+ * Callers reject 0 themselves where "none" makes no sense.
+ */
+inline bool
+envU64(const char *name, u64 &out)
+{
+    const char *env = std::getenv(name);
+    if (env == nullptr) {
+        return false;
+    }
+    char *end = nullptr;
+    errno = 0;
+    unsigned long long parsed = std::strtoull(env, &end, 10);
+    if (!std::isdigit(static_cast<unsigned char>(env[0])) || end == env ||
+        *end != '\0' || errno == ERANGE) {
+        trinity_fatal("invalid %s value '%s': expected a non-negative "
+                      "integer",
+                      name, env);
+    }
+    out = static_cast<u64>(parsed);
+    return true;
+}
+
+} // namespace trinity
+
+#endif // TRINITY_COMMON_ENV_H

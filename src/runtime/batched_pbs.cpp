@@ -1,0 +1,34 @@
+#include "runtime/batched_pbs.h"
+
+#include "common/logging.h"
+
+namespace trinity {
+namespace runtime {
+
+std::vector<LweCiphertext>
+BatchedBootstrapper::run(const PbsBatch &batch) const
+{
+    trinity_assert(batch.inputs.size() == batch.testVectors.size(),
+                   "PbsBatch inputs/testVectors size mismatch (%zu vs "
+                   "%zu)",
+                   batch.inputs.size(), batch.testVectors.size());
+    return gb_.bootstrapper().pbsBatch(
+        batch.inputs.data(), batch.testVectors.data(), batch.size(),
+        gb_.bootstrapKey(), gb_.keySwitchKey());
+}
+
+std::vector<LweCiphertext>
+BatchedBootstrapper::bootstrapSignBatch(
+    const std::vector<LweCiphertext> &cts) const
+{
+    PbsBatch batch;
+    batch.inputs.reserve(cts.size());
+    batch.testVectors.reserve(cts.size());
+    for (const auto &ct : cts) {
+        batch.add(ct, gb_.signVector());
+    }
+    return run(batch);
+}
+
+} // namespace runtime
+} // namespace trinity

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Batched-PBS execution for the serving runtime.
+ *
+ * Trinity's headline TFHE throughput (Table VII) comes from batching
+ * many independent programmable bootstraps so the blind-rotation
+ * external products saturate the NTT/MAC pipelines. PbsBatch is one
+ * aggregated set of such requests; BatchedBootstrapper executes it as
+ * a single fused job stream via TfheBootstrapper::pbsBatch — the
+ * n_lwe blind-rotation steps run in lockstep across the batch, each
+ * step issuing wide backend batches against the shared bootstrap-key
+ * GGSW. Results are bit-identical to bootstrapping every request
+ * sequentially, on every engine.
+ */
+
+#ifndef TRINITY_RUNTIME_BATCHED_PBS_H
+#define TRINITY_RUNTIME_BATCHED_PBS_H
+
+#include "tfhe/gates.h"
+
+namespace trinity {
+namespace runtime {
+
+/**
+ * One aggregated set of independent PBS requests. The ciphertext and
+ * test-vector pointers borrow from the caller and must stay valid
+ * until run() returns.
+ */
+struct PbsBatch
+{
+    std::vector<const LweCiphertext *> inputs;
+    std::vector<const Poly *> testVectors; ///< one LUT per request
+
+    void
+    add(const LweCiphertext &ct, const Poly &tv)
+    {
+        inputs.push_back(&ct);
+        testVectors.push_back(&tv);
+    }
+
+    size_t size() const { return inputs.size(); }
+};
+
+/**
+ * Runs PbsBatches over a gate bootstrapper's key material. The
+ * bootstrapper is borrowed and must outlive this object.
+ */
+class BatchedBootstrapper
+{
+  public:
+    explicit BatchedBootstrapper(const TfheGateBootstrapper &gb)
+        : gb_(gb)
+    {
+    }
+
+    /** Execute one aggregated batch; out[j] answers request j. */
+    std::vector<LweCiphertext> run(const PbsBatch &batch) const;
+
+    /** Sign bootstrap (the gate workhorse) of many ciphertexts —
+     *  bit-identical to bootstrapSign() per ciphertext. */
+    std::vector<LweCiphertext>
+    bootstrapSignBatch(const std::vector<LweCiphertext> &cts) const;
+
+    const TfheGateBootstrapper &gate() const { return gb_; }
+    const Poly &signTestVector() const { return gb_.signVector(); }
+
+  private:
+    const TfheGateBootstrapper &gb_;
+};
+
+} // namespace runtime
+} // namespace trinity
+
+#endif // TRINITY_RUNTIME_BATCHED_PBS_H

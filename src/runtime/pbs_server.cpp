@@ -1,0 +1,127 @@
+#include "runtime/pbs_server.h"
+
+#include <chrono>
+
+#include "backend/registry.h"
+#include "common/env.h"
+#include "common/logging.h"
+
+namespace trinity {
+namespace runtime {
+
+ServerOptions
+ServerOptions::fromEnv()
+{
+    ServerOptions opts;
+    u64 v = 0;
+    if (envU64("TRINITY_RUNTIME_BATCH", v)) {
+        if (v == 0) {
+            trinity_fatal("invalid TRINITY_RUNTIME_BATCH value '0': "
+                          "batches need at least one request");
+        }
+        opts.maxBatch = static_cast<size_t>(v);
+    }
+    if (envU64("TRINITY_RUNTIME_MAX_WAIT_US", v)) {
+        opts.maxWaitUs = v;
+    }
+    return opts;
+}
+
+size_t
+ServerOptions::resolvedMaxBatch() const
+{
+    if (maxBatch != 0) {
+        return maxBatch;
+    }
+    return activeBackend().preferredBatch();
+}
+
+PbsServer::PbsServer(const TfheGateBootstrapper &gb, ServerOptions opts)
+    : boot_(gb), opts_(opts), max_batch_(opts.resolvedMaxBatch()),
+      worker_([this] { workerLoop(); })
+{
+}
+
+PbsServer::~PbsServer()
+{
+    {
+        std::lock_guard<std::mutex> lk(mtx_);
+        stop_ = true;
+    }
+    arrived_.notify_all();
+    worker_.join();
+}
+
+std::future<LweCiphertext>
+PbsServer::submit(LweCiphertext ct)
+{
+    return submit(std::move(ct), boot_.signTestVector());
+}
+
+std::future<LweCiphertext>
+PbsServer::submit(LweCiphertext ct, const Poly &tv)
+{
+    Pending p;
+    p.ct = std::move(ct);
+    p.tv = &tv;
+    std::future<LweCiphertext> result = p.result.get_future();
+    {
+        std::lock_guard<std::mutex> lk(mtx_);
+        trinity_assert(!stop_, "submit() on a stopped PbsServer");
+        queue_.push_back(std::move(p));
+    }
+    arrived_.notify_all();
+    return result;
+}
+
+ServerStats
+PbsServer::stats() const
+{
+    std::lock_guard<std::mutex> lk(mtx_);
+    return stats_;
+}
+
+void
+PbsServer::workerLoop()
+{
+    std::unique_lock<std::mutex> lk(mtx_);
+    while (true) {
+        arrived_.wait(lk, [&] { return stop_ || !queue_.empty(); });
+        if (queue_.empty()) {
+            return; // stopped and fully drained
+        }
+        // Hold the batch open until it fills or the deadline passes;
+        // shutdown flushes immediately.
+        auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::microseconds(opts_.maxWaitUs);
+        arrived_.wait_until(lk, deadline, [&] {
+            return stop_ || queue_.size() >= max_batch_;
+        });
+        size_t take = queue_.size() < max_batch_ ? queue_.size()
+                                                 : max_batch_;
+        std::vector<Pending> work;
+        work.reserve(take);
+        for (size_t i = 0; i < take; ++i) {
+            work.push_back(std::move(queue_.front()));
+            queue_.pop_front();
+        }
+        stats_.requests += take;
+        stats_.batches += 1;
+        if (take > stats_.largestBatch) {
+            stats_.largestBatch = take;
+        }
+        lk.unlock();
+        PbsBatch batch;
+        for (const Pending &p : work) {
+            batch.add(p.ct, *p.tv);
+        }
+        std::vector<LweCiphertext> out = boot_.run(batch);
+        for (size_t i = 0; i < work.size(); ++i) {
+            work[i].result.set_value(std::move(out[i]));
+        }
+        lk.lock();
+    }
+}
+
+} // namespace runtime
+} // namespace trinity

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Multi-client PBS serving front end.
+ *
+ * Clients submit() independent bootstrap requests and receive a
+ * std::future<LweCiphertext>; a worker thread drains the request
+ * queue into PbsBatches under a batch-size/deadline policy and
+ * executes them as fused job streams through BatchedBootstrapper.
+ * This models the traffic shape Trinity is built for: many mutually
+ * independent gate bootstraps from many clients, coalesced so the
+ * accelerator (or CPU engine) sees wide batches instead of a trickle
+ * of single bootstraps.
+ *
+ * Policy knobs (env defaults, overridable per ServerOptions):
+ *   TRINITY_RUNTIME_BATCH        max requests fused into one batch
+ *                                (default: the active engine's
+ *                                preferredBatch() hint, floor 8)
+ *   TRINITY_RUNTIME_MAX_WAIT_US  how long the worker holds an
+ *                                underfull batch open, microseconds
+ *                                (default 200)
+ */
+
+#ifndef TRINITY_RUNTIME_PBS_SERVER_H
+#define TRINITY_RUNTIME_PBS_SERVER_H
+
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+
+#include "runtime/batched_pbs.h"
+
+namespace trinity {
+namespace runtime {
+
+/** Aggregation policy for the serving loop. */
+struct ServerOptions
+{
+    /** Max requests fused into one batch; 0 resolves to the active
+     *  engine's preferredBatch() hint. */
+    size_t maxBatch = 0;
+    /** Deadline after which an underfull batch is flushed anyway,
+     *  counted from when the worker starts assembling it. */
+    u64 maxWaitUs = 200;
+
+    /** Defaults with TRINITY_RUNTIME_BATCH / TRINITY_RUNTIME_MAX_WAIT_US
+     *  applied (strictly validated; fatal on garbage). */
+    static ServerOptions fromEnv();
+
+    /** maxBatch with the 0 default resolved against the engine hint. */
+    size_t resolvedMaxBatch() const;
+};
+
+/** Serving counters, readable while the server runs. */
+struct ServerStats
+{
+    u64 requests = 0;     ///< requests executed
+    u64 batches = 0;      ///< fused batches executed
+    u64 largestBatch = 0; ///< widest batch observed
+
+    double
+    avgBatch() const
+    {
+        return batches == 0
+                   ? 0.0
+                   : static_cast<double>(requests) /
+                         static_cast<double>(batches);
+    }
+};
+
+/**
+ * The serving runtime: a request queue plus one worker thread that
+ * aggregates submissions into PbsBatches. Thread-safe for any number
+ * of concurrent submitters; the destructor completes every queued
+ * request before joining.
+ */
+class PbsServer
+{
+  public:
+    /** Borrows @p gb (keys + context); it must outlive the server. */
+    explicit PbsServer(const TfheGateBootstrapper &gb,
+                       ServerOptions opts = ServerOptions::fromEnv());
+    ~PbsServer();
+
+    PbsServer(const PbsServer &) = delete;
+    PbsServer &operator=(const PbsServer &) = delete;
+
+    /** Enqueue a sign bootstrap (gate-style refresh) of @p ct. */
+    std::future<LweCiphertext> submit(LweCiphertext ct);
+
+    /** Enqueue a programmable bootstrap with caller-owned LUT @p tv;
+     *  the test vector must stay alive until the future resolves. */
+    std::future<LweCiphertext> submit(LweCiphertext ct, const Poly &tv);
+
+    ServerStats stats() const;
+    const ServerOptions &options() const { return opts_; }
+    size_t maxBatch() const { return max_batch_; }
+
+  private:
+    struct Pending
+    {
+        LweCiphertext ct;
+        const Poly *tv = nullptr;
+        std::promise<LweCiphertext> result;
+    };
+
+    void workerLoop();
+
+    BatchedBootstrapper boot_;
+    ServerOptions opts_;
+    size_t max_batch_;
+
+    mutable std::mutex mtx_;
+    std::condition_variable arrived_;
+    std::deque<Pending> queue_;
+    bool stop_ = false;
+    ServerStats stats_;
+    std::thread worker_;
+};
+
+} // namespace runtime
+} // namespace trinity
+
+#endif // TRINITY_RUNTIME_PBS_SERVER_H

@@ -316,6 +316,157 @@ TfheContext::cmux(const GgswCiphertext &c, const GlweCiphertext &ct0,
     return glweAdd(ct0, prod);
 }
 
+namespace {
+
+/** Component c of a GLWE, counting the body as component k. */
+Poly &
+glweComp(GlweCiphertext &ct, size_t c)
+{
+    return c < ct.a.size() ? ct.a[c] : ct.b;
+}
+
+const Poly &
+glweComp(const GlweCiphertext &ct, size_t c)
+{
+    return c < ct.a.size() ? ct.a[c] : ct.b;
+}
+
+} // namespace
+
+void
+TfheContext::cmuxRotateBatch(const GgswCiphertext &ggsw,
+                             GlweCiphertext *accs, const u64 *rotations,
+                             size_t count, CmuxBatchScratch &sc) const
+{
+    trinity_assert(ggsw.inEval,
+                   "GGSW must be in the NTT domain (call ggswToEval)");
+    size_t n = params_.bigN;
+    size_t comps = params_.k + 1;
+    size_t rows = params_.extRows();
+    u64 two_n = 2 * n;
+    u32 lb = params_.lb;
+    // Bounds the fixed-size digit/pointer arrays below and guarantees
+    // the lazy MAC accumulation cannot overflow 128 bits.
+    trinity_assert(rows <= 16 && params_.q < (1ULL << 61),
+                   "cmuxRotateBatch: unsupported gadget shape");
+
+    // A zero rotation is a no-op CMux (the sequential path skips it);
+    // run the step over the active requests only.
+    sc.active.clear();
+    for (size_t j = 0; j < count; ++j) {
+        if (rotations[j] % two_n != 0) {
+            sc.active.push_back(j);
+        }
+    }
+    size_t b = sc.active.size();
+    if (b == 0) {
+        return;
+    }
+    // Grow the workspace lazily: the first step of a serving batch
+    // allocates, every later step reuses the same buffers.
+    while (sc.prod.size() < b) {
+        sc.prod.push_back(glweTrivial(Poly(n, params_.q)));
+    }
+    while (sc.dec.size() < b * rows) {
+        sc.dec.emplace_back(n, params_.q);
+    }
+
+    // (1+2) Rotator, CMux difference, and gadget decomposition fused
+    // into one gather pass per limb: the difference
+    //     diff_j[x] = (acc_j * X^{t_j})[x] - acc_j[x]
+    // is decomposed the moment it is produced, so it is never
+    // materialized — the batch's live working set is just the
+    // decomposition limbs, the products, and the accumulators.
+    emitKernel(sim::KernelType::Rotate, b * comps * n, n);
+    emitKernel(sim::KernelType::ModAdd, b * comps * n, n);
+    emitKernel(sim::KernelType::Decomp, b * comps * n, n);
+    activeBackend().run(b * comps, [&](size_t idx) {
+        size_t slot = idx / comps;
+        size_t c = idx % comps;
+        const Poly &src = glweComp(accs[sc.active[slot]], c);
+        trinity_assert(src.domain() == Domain::Coeff,
+                       "blind-rotation accumulator must be in "
+                       "coefficient domain");
+        u64 t = rotations[sc.active[slot]] % two_n;
+        const u64 *s = src.coeffs().data();
+        i64 digits[16]; // lb <= rows <= 16, asserted above
+        for (size_t x = 0; x < n; ++x) {
+            // Negacyclic gather of (acc * X^t)[x].
+            size_t i0 = (x + two_n - t) % two_n;
+            u64 rot = i0 < n ? s[i0] : mod_.neg(s[i0 - n]);
+            decomposeScalar(mod_.sub(rot, s[x]), digits);
+            for (u32 l = 0; l < lb; ++l) {
+                sc.dec[slot * rows + c * lb + l][x] =
+                    toResidue(digits[l], params_.q);
+            }
+        }
+    });
+
+    // (3) Forward NTTs of all b * rows decomposed limbs as one batch.
+    sc.jobs.clear();
+    sc.jobs.reserve(b * rows);
+    for (size_t r = 0; r < b * rows; ++r) {
+        Poly &p = sc.dec[r];
+        p.setDomain(Domain::Eval);
+        sc.jobs.push_back({p.coeffs().data(), &p.nttTable()});
+    }
+    activeBackend().nttForwardBatch(sc.jobs.data(), sc.jobs.size());
+
+    // (4) External-product MACs against the shared GGSW rows, with
+    // lazy reduction: each output coefficient accumulates its rows'
+    // products in 128 bits and reduces once, replacing `rows` Barrett
+    // reductions per coefficient with one. Exact — rows * (q-1)^2
+    // never overflows (asserted above) and reduce128 handles any
+    // 128-bit input — so the reduced sum is bit-identical to the
+    // sequential mulAdd chain of externalProduct().
+    emitKernel(sim::KernelType::Ip,
+               static_cast<u64>(b) * rows * comps * n, n);
+    activeBackend().run(b * comps, [&](size_t idx) {
+        size_t slot = idx / comps;
+        size_t c = idx % comps;
+        Poly &dst = glweComp(sc.prod[slot], c);
+        dst.setDomain(Domain::Eval);
+        const u64 *dec_ptr[16];
+        const u64 *rhs_ptr[16];
+        for (size_t t = 0; t < rows; ++t) {
+            dec_ptr[t] = sc.dec[slot * rows + t].coeffs().data();
+            rhs_ptr[t] = glweComp(ggsw.rows[t], c).coeffs().data();
+        }
+        u64 *out = dst.coeffs().data();
+        for (size_t i = 0; i < n; ++i) {
+            u128 acc = 0;
+            for (size_t t = 0; t < rows; ++t) {
+                acc += static_cast<u128>(dec_ptr[t][i]) * rhs_ptr[t][i];
+            }
+            out[i] = mod_.reduce128(acc);
+        }
+    });
+
+    // (5) Inverse NTTs of all b * (k+1) product limbs as one batch.
+    sc.jobs.clear();
+    sc.jobs.reserve(b * comps);
+    for (size_t slot = 0; slot < b; ++slot) {
+        for (size_t c = 0; c < comps; ++c) {
+            Poly &p = glweComp(sc.prod[slot], c);
+            p.setDomain(Domain::Coeff);
+            sc.jobs.push_back({p.coeffs().data(), &p.nttTable()});
+        }
+    }
+    activeBackend().nttInverseBatch(sc.jobs.data(), sc.jobs.size());
+
+    // (6) CMux accumulate: acc_j += prod_j.
+    emitKernel(sim::KernelType::ModAdd, b * comps * n, n);
+    activeBackend().run(b * comps, [&](size_t idx) {
+        size_t slot = idx / comps;
+        size_t c = idx % comps;
+        Poly &dst = glweComp(accs[sc.active[slot]], c);
+        const Poly &src = glweComp(sc.prod[slot], c);
+        for (size_t i = 0; i < n; ++i) {
+            dst[i] = mod_.add(dst[i], src[i]);
+        }
+    });
+}
+
 GlweCiphertext
 TfheContext::glweMulMonomial(const GlweCiphertext &ct, u64 t) const
 {

@@ -10,6 +10,7 @@
 #include <memory>
 #include <vector>
 
+#include "backend/poly_backend.h"
 #include "common/rng.h"
 #include "poly/poly.h"
 #include "tfhe/params.h"
@@ -52,6 +53,20 @@ struct GlweSecretKey
 
     /** Flatten to the extracted LWE key of dimension k*N. */
     LweSecretKey extractLweKey() const;
+};
+
+/**
+ * Reusable workspace for cmuxRotateBatch: the per-request difference,
+ * decomposition, and product polynomials of one lockstep CMux step.
+ * A serving batch allocates this once and reuses it across all n_lwe
+ * blind-rotation steps.
+ */
+struct CmuxBatchScratch
+{
+    std::vector<GlweCiphertext> prod; ///< external product per request
+    std::vector<Poly> dec;            ///< extRows() polys per request
+    std::vector<size_t> active;       ///< requests with rotation != 0
+    std::vector<NttJob> jobs;         ///< wide NTT batch descriptors
 };
 
 /** TFHE context: parameters + samplers + gadget precomputation. */
@@ -114,6 +129,21 @@ class TfheContext
     /** CMux(c, ct0, ct1) = ct0 + c (x) (ct1 - ct0). */
     GlweCiphertext cmux(const GgswCiphertext &c, const GlweCiphertext &ct0,
                         const GlweCiphertext &ct1) const;
+
+    /**
+     * One lockstep step of batched blind rotation: for every request
+     * j with rotations[j] != 0 (mod 2N),
+     *     accs[j] = CMux(ggsw, accs[j], accs[j] * X^{rotations[j]}),
+     * issuing the whole batch's rotations, decompositions, forward
+     * NTTs, external-product MACs, inverse NTTs, and accumulations as
+     * single wide backend batches (count * (k+1) * lb limbs per NTT
+     * call). Bit-identical to calling cmux() per request; the GGSW is
+     * shared across the batch, so its rows stay cache-resident for
+     * all count accumulations (Trinity's CU bootstrap batching).
+     */
+    void cmuxRotateBatch(const GgswCiphertext &ggsw, GlweCiphertext *accs,
+                         const u64 *rotations, size_t count,
+                         CmuxBatchScratch &scratch) const;
 
     /** Multiply every GLWE component by X^t (negacyclic rotate). */
     GlweCiphertext glweMulMonomial(const GlweCiphertext &ct,

@@ -56,6 +56,8 @@ class TfheGateBootstrapper
     const TfheKeySwitchKey &keySwitchKey() const { return ksk_; }
     const LweSecretKey &lweKey() const { return lwe_sk_; }
     const TfheBootstrapper &bootstrapper() const { return *boot_; }
+    /** The sign test vector bootstrapSign() evaluates. */
+    const Poly &signVector() const { return tv_; }
 
   private:
     std::shared_ptr<TfheContext> ctx_;

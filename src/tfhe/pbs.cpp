@@ -1,6 +1,7 @@
 #include "tfhe/pbs.h"
 
 #include "backend/observer.h"
+#include "backend/registry.h"
 #include "common/logging.h"
 
 namespace trinity {
@@ -84,16 +85,14 @@ TfheBootstrapper::blindRotate(const LweCiphertext &ct, const Poly &tv,
     return acc;
 }
 
-LweCiphertext
-TfheBootstrapper::sampleExtract(const GlweCiphertext &acc,
-                                size_t idx) const
+void
+TfheBootstrapper::extractInto(const GlweCiphertext &acc, size_t idx,
+                              LweCiphertext &out) const
 {
     const auto &p = ctx_->params();
     size_t n = p.bigN;
     const Modulus &m = ctx_->modulus();
     trinity_assert(idx < n, "extract index out of range");
-    emitKernel(sim::KernelType::SampleExtract, p.k * n, n);
-    LweCiphertext out;
     out.a.resize(p.k * n);
     for (size_t j = 0; j < p.k; ++j) {
         const Poly &aj = acc.a[j];
@@ -111,18 +110,28 @@ TfheBootstrapper::sampleExtract(const GlweCiphertext &acc,
         }
     }
     out.b = acc.b[idx];
-    return out;
 }
 
 LweCiphertext
-TfheBootstrapper::keySwitch(const LweCiphertext &wide,
-                            const TfheKeySwitchKey &ksk) const
+TfheBootstrapper::sampleExtract(const GlweCiphertext &acc,
+                                size_t idx) const
+{
+    const auto &p = ctx_->params();
+    emitKernel(sim::KernelType::SampleExtract, p.k * p.bigN, p.bigN);
+    LweCiphertext out;
+    extractInto(acc, idx, out);
+    return out;
+}
+
+u64
+TfheBootstrapper::keySwitchInto(const LweCiphertext &wide,
+                                const TfheKeySwitchKey &ksk,
+                                LweCiphertext &out) const
 {
     const auto &p = ctx_->params();
     const Modulus &m = ctx_->modulus();
     trinity_assert(wide.a.size() == ksk.rows.size(),
                    "ksk dimension mismatch");
-    LweCiphertext out;
     out.a.assign(p.nLwe, 0);
     out.b = wide.b;
     // c'' = (0,...,0,b') - sum_i sum_j d_ij * ksk[i][j]
@@ -165,7 +174,17 @@ TfheBootstrapper::keySwitch(const LweCiphertext &wide,
             mac_lanes += p.nLwe + 1;
         }
     }
-    emitKernel(sim::KernelType::LweKs, mac_lanes, p.nLwe);
+    return mac_lanes;
+}
+
+LweCiphertext
+TfheBootstrapper::keySwitch(const LweCiphertext &wide,
+                            const TfheKeySwitchKey &ksk) const
+{
+    LweCiphertext out;
+    u64 mac_lanes = keySwitchInto(wide, ksk, out);
+    emitKernel(sim::KernelType::LweKs, mac_lanes,
+               ctx_->params().nLwe);
     return out;
 }
 
@@ -178,6 +197,89 @@ TfheBootstrapper::pbs(const LweCiphertext &in, const Poly &tv,
     GlweCiphertext acc = blindRotate(in, tv, bsk);
     LweCiphertext wide = sampleExtract(acc, 0);
     return keySwitch(wide, ksk);
+}
+
+std::vector<GlweCiphertext>
+TfheBootstrapper::blindRotateBatch(const LweCiphertext *const *cts,
+                                   const Poly *const *tvs, size_t count,
+                                   const TfheBootstrapKey &bsk) const
+{
+    const auto &p = ctx_->params();
+    u64 two_n = 2 * p.bigN;
+    std::vector<GlweCiphertext> accs;
+    if (count == 0) {
+        return accs;
+    }
+    accs.reserve(count);
+    emitKernel(sim::KernelType::ModSwitch,
+               count * (cts[0]->a.size() + 1), p.bigN);
+    for (size_t j = 0; j < count; ++j) {
+        trinity_assert(cts[j]->a.size() == bsk.bsk.size(),
+                       "bsk/ciphertext dimension mismatch");
+        u64 b_tilde = modSwitch(cts[j]->b);
+        // ACC_0 = Rotate(tv, -b~) per request (Algorithm 2 line 2).
+        accs.push_back(ctx_->glweMulMonomial(ctx_->glweTrivial(*tvs[j]),
+                                             two_n - b_tilde));
+    }
+    // Lockstep over the LWE mask: step i applies bsk_i to every
+    // request at once, so the GGSW rows are read once per step for
+    // the whole batch instead of once per request.
+    CmuxBatchScratch scratch;
+    std::vector<u64> rot(count);
+    for (size_t i = 0; i < bsk.bsk.size(); ++i) {
+        for (size_t j = 0; j < count; ++j) {
+            rot[j] = modSwitch(cts[j]->a[i]);
+        }
+        ctx_->cmuxRotateBatch(bsk.bsk[i], accs.data(), rot.data(), count,
+                              scratch);
+    }
+    return accs;
+}
+
+std::vector<LweCiphertext>
+TfheBootstrapper::sampleExtractBatch(const GlweCiphertext *accs,
+                                     size_t count, size_t idx) const
+{
+    const auto &p = ctx_->params();
+    std::vector<LweCiphertext> out(count);
+    emitKernel(sim::KernelType::SampleExtract, count * p.k * p.bigN,
+               p.bigN);
+    activeBackend().run(count, [&](size_t j) {
+        extractInto(accs[j], idx, out[j]);
+    });
+    return out;
+}
+
+std::vector<LweCiphertext>
+TfheBootstrapper::keySwitchBatch(const LweCiphertext *wides, size_t count,
+                                 const TfheKeySwitchKey &ksk) const
+{
+    const auto &p = ctx_->params();
+    std::vector<LweCiphertext> out(count);
+    std::vector<u64> lanes(count, 0);
+    activeBackend().run(count, [&](size_t j) {
+        lanes[j] = keySwitchInto(wides[j], ksk, out[j]);
+    });
+    u64 mac_lanes = 0;
+    for (u64 l : lanes) {
+        mac_lanes += l;
+    }
+    emitKernel(sim::KernelType::LweKs, mac_lanes, p.nLwe);
+    return out;
+}
+
+std::vector<LweCiphertext>
+TfheBootstrapper::pbsBatch(const LweCiphertext *const *ins,
+                           const Poly *const *tvs, size_t count,
+                           const TfheBootstrapKey &bsk,
+                           const TfheKeySwitchKey &ksk) const
+{
+    OpScope scope("PBS");
+    std::vector<GlweCiphertext> accs =
+        blindRotateBatch(ins, tvs, count, bsk);
+    std::vector<LweCiphertext> wides =
+        sampleExtractBatch(accs.data(), count, 0);
+    return keySwitchBatch(wides.data(), count, ksk);
 }
 
 Poly

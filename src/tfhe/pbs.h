@@ -65,6 +65,41 @@ class TfheBootstrapper
                       const TfheBootstrapKey &bsk,
                       const TfheKeySwitchKey &ksk) const;
 
+    // --- batch-shaped entry points (the serving runtime's job stream)
+
+    /**
+     * Batched Blind Rotation: runs the n_lwe CMux steps of @p count
+     * independent ciphertexts in lockstep against each bootstrap-key
+     * GGSW, issuing every step's decompositions, NTTs, and MACs as
+     * wide backend batches (count * (k+1) * lb limbs per call).
+     * cts[j] / tvs[j] are request j's input and test vector.
+     * Bit-identical per request to blindRotate() on every engine.
+     */
+    std::vector<GlweCiphertext>
+    blindRotateBatch(const LweCiphertext *const *cts,
+                     const Poly *const *tvs, size_t count,
+                     const TfheBootstrapKey &bsk) const;
+
+    /** Batched SampleExtract of coefficient @p idx. */
+    std::vector<LweCiphertext>
+    sampleExtractBatch(const GlweCiphertext *accs, size_t count,
+                       size_t idx) const;
+
+    /** Batched TFHE KeySwitch back to the small LWE key. */
+    std::vector<LweCiphertext>
+    keySwitchBatch(const LweCiphertext *wides, size_t count,
+                   const TfheKeySwitchKey &ksk) const;
+
+    /**
+     * Batched PBS — Trinity's CU bootstrap batching (Table VII):
+     * blind rotation in lockstep, then batched extract + keyswitch.
+     * out[j] is bit-identical to pbs(*ins[j], *tvs[j], bsk, ksk).
+     */
+    std::vector<LweCiphertext>
+    pbsBatch(const LweCiphertext *const *ins, const Poly *const *tvs,
+             size_t count, const TfheBootstrapKey &bsk,
+             const TfheKeySwitchKey &ksk) const;
+
     /** Test vector with tv[i] = f(i), i in [0, N). */
     Poly makeTestVector(const std::function<u64(size_t)> &f) const;
 
@@ -73,6 +108,14 @@ class TfheBootstrapper
 
   private:
     std::shared_ptr<TfheContext> ctx_;
+
+    /** sampleExtract math without the kernel emission. */
+    void extractInto(const GlweCiphertext &acc, size_t idx,
+                     LweCiphertext &out) const;
+    /** keySwitch math without the kernel emission; returns MAC lanes. */
+    u64 keySwitchInto(const LweCiphertext &wide,
+                      const TfheKeySwitchKey &ksk,
+                      LweCiphertext &out) const;
 };
 
 } // namespace trinity

@@ -9,47 +9,64 @@ using sim::KernelGraph;
 using sim::KernelType;
 
 KernelGraph
-pbsGraph(const TfheParams &p)
+pbsBatchGraph(const TfheParams &p, size_t batch)
 {
     KernelGraph g;
+    u64 B = batch;
     u64 n = p.bigN;
     u64 rows = p.extRows();       // (k+1) * lb
     u64 comps = p.k + 1;
 
-    // ModSwitch of the whole input ciphertext.
-    size_t prev = g.addAfter(KernelType::ModSwitch, p.nLwe + 1, n, {},
-                             "pbs.modswitch");
-    // Initial rotation of the test vector.
-    prev = g.addAfter(KernelType::Rotate, comps * n, n, {prev},
+    // ModSwitch of every input ciphertext.
+    size_t prev = g.addAfter(KernelType::ModSwitch, B * (p.nLwe + 1), n,
+                             {}, "pbs.modswitch");
+    // Initial rotation of the test vectors.
+    prev = g.addAfter(KernelType::Rotate, B * comps * n, n, {prev},
                       "pbs.rotate");
-    // Blind rotation: n_lwe dependency-chained external products.
+    // Blind rotation: n_lwe dependency-chained external products, the
+    // batch's requests fused into each step's nodes (lockstep).
     for (size_t i = 0; i < p.nLwe; ++i) {
-        size_t rot = g.addAfter(KernelType::Rotate, comps * n, n,
+        size_t rot = g.addAfter(KernelType::Rotate, B * comps * n, n,
                                 {prev}, "pbs.rotate");
-        size_t dec = g.addAfter(KernelType::Decomp, comps * n, n, {rot},
-                                "pbs.decomp");
-        size_t ntt = g.addAfter(KernelType::Ntt, rows * n, n, {dec},
+        size_t dec = g.addAfter(KernelType::Decomp, B * comps * n, n,
+                                {rot}, "pbs.decomp");
+        size_t ntt = g.addAfter(KernelType::Ntt, B * rows * n, n, {dec},
                                 "pbs.ntt");
         // MAC work counts *input* elements: the systolic pass
         // broadcasts each decomposed element into the (k+1) output
         // accumulators in the same cycle.
-        size_t mac = g.addAfter(KernelType::Ip, rows * n, n, {ntt},
+        size_t mac = g.addAfter(KernelType::Ip, B * rows * n, n, {ntt},
                                 "pbs.mac");
-        size_t intt = g.addAfter(KernelType::Intt, comps * n, n, {mac},
-                                 "pbs.intt");
+        size_t intt = g.addAfter(KernelType::Intt, B * comps * n, n,
+                                 {mac}, "pbs.intt");
         // CMux accumulate. Live execution also performs the ACC1-ACC0
         // difference (another comps*n element adds); the graph models
         // the accumulate only, so ledgers see 2x this ModAdd volume.
-        prev = g.addAfter(KernelType::ModAdd, comps * n, n, {intt},
+        prev = g.addAfter(KernelType::ModAdd, B * comps * n, n, {intt},
                           "pbs.acc");
     }
     // SampleExtract + TFHE KeySwitch (Algorithm 2 lines 14-17).
-    size_t ext = g.addAfter(KernelType::SampleExtract, p.k * n, n,
+    size_t ext = g.addAfter(KernelType::SampleExtract, B * p.k * n, n,
                             {prev}, "pbs.extract");
     g.addAfter(KernelType::LweKs,
-               static_cast<u64>(p.k) * n * p.lk * (p.nLwe + 1) / 8, n,
-               {ext}, "pbs.keyswitch");
+               B * static_cast<u64>(p.k) * n * p.lk * (p.nLwe + 1) / 8,
+               n, {ext}, "pbs.keyswitch");
     return g;
+}
+
+KernelGraph
+pbsGraph(const TfheParams &p)
+{
+    return pbsBatchGraph(p, 1);
+}
+
+double
+pbsBatchThroughputOps(const sim::Machine &m, const TfheParams &p,
+                      size_t batch)
+{
+    KernelGraph g = pbsBatchGraph(p, batch);
+    double makespan = sim::schedule(g, m).makespanCycles;
+    return static_cast<double>(batch) * m.freqGhz * 1e9 / makespan;
 }
 
 double

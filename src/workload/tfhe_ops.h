@@ -22,6 +22,26 @@ namespace workload {
 sim::KernelGraph pbsGraph(const TfheParams &p);
 
 /**
+ * Lockstep batched PBS DAG: the kernels of @p batch independent
+ * bootstraps fused step by step into single wide nodes — the job
+ * stream the serving runtime (src/runtime/) issues. Pipeline fills
+ * are paid once per fused node instead of once per request, which is
+ * the modelled source of per-batch amortization; pbsBatchGraph(p, 1)
+ * equals pbsGraph(p).
+ */
+sim::KernelGraph pbsBatchGraph(const TfheParams &p, size_t batch);
+
+/**
+ * Throughput of the fused batched stream in operations per second:
+ * batch requests per scheduled end-to-end makespan of pbsBatchGraph.
+ * Unlike the steady-state bound of pbsThroughputOps, this includes
+ * each node's pipeline fill, so it rises with batch toward that bound
+ * — the modelled per-batch amortization.
+ */
+double pbsBatchThroughputOps(const sim::Machine &m, const TfheParams &p,
+                             size_t batch);
+
+/**
  * Steady-state PBS throughput in operations per second, assuming the
  * paper's batched execution (Table VII): the bottleneck pool's busy
  * cycles per PBS set the rate.

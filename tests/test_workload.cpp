@@ -60,6 +60,41 @@ TEST(TfheOps, PbsGraphIterationCount)
               u64(500) * 2 * 1024);
 }
 
+TEST(TfheOps, BatchGraphScalesElementVolumes)
+{
+    auto p = TfheParams::setI();
+    auto g1 = pbsBatchGraph(p, 1);
+    auto g8 = pbsBatchGraph(p, 8);
+    // B=1 is exactly the sequential graph; B=8 fuses 8 requests into
+    // the same node count with 8x the element volume per node.
+    auto ref = pbsGraph(p);
+    EXPECT_EQ(g1.size(), ref.size());
+    EXPECT_EQ(g8.size(), ref.size());
+    for (auto t : {sim::KernelType::Ntt, sim::KernelType::Intt,
+                   sim::KernelType::Ip, sim::KernelType::Decomp,
+                   sim::KernelType::Rotate, sim::KernelType::ModAdd,
+                   sim::KernelType::SampleExtract}) {
+        EXPECT_EQ(g1.totalElements(t), ref.totalElements(t));
+        EXPECT_EQ(g8.totalElements(t), 8 * ref.totalElements(t));
+    }
+}
+
+TEST(TfheOps, BatchedThroughputAmortizesPipelineFills)
+{
+    // Fusing a batch pays each node's pipeline fill once instead of
+    // B times, so per-request throughput must improve monotonically.
+    auto p = TfheParams::setI();
+    auto m = accel::trinityTfhe(4);
+    double b1 = pbsBatchThroughputOps(m, p, 1);
+    double b8 = pbsBatchThroughputOps(m, p, 8);
+    double b32 = pbsBatchThroughputOps(m, p, 32);
+    EXPECT_NEAR(b1, m.freqGhz * 1e9 / pbsLatencyCycles(m, p), 1e-9);
+    EXPECT_GT(b8, b1);
+    EXPECT_GT(b32, b8);
+    // ... and stays below the perfect steady-state bound.
+    EXPECT_LT(b32, pbsThroughputOps(m, p));
+}
+
 TEST(TfheOps, ThroughputScalesWithClusters)
 {
     auto p = TfheParams::setI();
