@@ -12,9 +12,57 @@
 #include <chrono>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 namespace trinity {
 namespace bench {
+
+/**
+ * Common bench CLI contract, so CI drives every binary the same way:
+ *   --smoke        short iteration counts — wall-clock-bounded rows
+ *                  for the per-PR perf artifact, not publication runs
+ *   --json=PATH    additionally record every row() as JSON at PATH
+ * Positional args keep their per-bench meaning.
+ */
+struct BenchArgs
+{
+    bool smoke = false;
+    std::string jsonPath;
+    std::vector<std::string> positional;
+};
+
+/** Rows captured for the JSON report when --json is given. */
+inline std::vector<std::string> &
+jsonRows()
+{
+    static std::vector<std::string> rows;
+    return rows;
+}
+
+inline bool &
+jsonActive()
+{
+    static bool active = false;
+    return active;
+}
+
+inline BenchArgs
+parseBenchArgs(int argc, char **argv)
+{
+    BenchArgs args;
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "--smoke") {
+            args.smoke = true;
+        } else if (a.rfind("--json=", 0) == 0) {
+            args.jsonPath = a.substr(7);
+            jsonActive() = true;
+        } else {
+            args.positional.push_back(a);
+        }
+    }
+    return args;
+}
 
 inline void
 header(const std::string &title)
@@ -28,6 +76,43 @@ row(const std::string &scheme, const std::string &metric, double value,
 {
     std::printf("%-26s %-22s %14.4g %-6s [%s]\n", scheme.c_str(),
                 metric.c_str(), value, unit.c_str(), source.c_str());
+    if (jsonActive()) {
+        char buf[512];
+        std::snprintf(buf, sizeof buf,
+                      "    {\"scheme\": \"%s\", \"metric\": \"%s\", "
+                      "\"value\": %.8g, \"unit\": \"%s\", "
+                      "\"source\": \"%s\"}",
+                      scheme.c_str(), metric.c_str(), value,
+                      unit.c_str(), source.c_str());
+        jsonRows().push_back(buf);
+    }
+}
+
+/**
+ * Write the captured rows as one JSON object keyed by bench name —
+ * CI merges the per-bench files into BENCH_ci.json with `jq -s add`
+ * and uploads it per PR, so the perf trajectory is a downloadable
+ * artifact rather than something scraped out of logs.
+ */
+inline void
+writeJsonReport(const BenchArgs &args, const std::string &benchName)
+{
+    if (args.jsonPath.empty()) {
+        return;
+    }
+    std::FILE *f = std::fopen(args.jsonPath.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n",
+                     args.jsonPath.c_str());
+        return;
+    }
+    std::fprintf(f, "{\n  \"%s\": [\n", benchName.c_str());
+    for (size_t i = 0; i < jsonRows().size(); ++i) {
+        std::fprintf(f, "%s%s\n", jsonRows()[i].c_str(),
+                     i + 1 < jsonRows().size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
 }
 
 inline void

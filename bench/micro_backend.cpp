@@ -1,22 +1,26 @@
 /**
  * @file
  * Batched-kernel throughput per execution engine — the baseline for
- * the perf trajectory of every future backend (SIMD, GPU, simulated
- * accelerator). Measures the two kernels Trinity spends its area on:
- * the batched NTT and the BConv matrix product, under the serial
- * reference and the thread pool at several worker counts.
+ * the perf trajectory of every backend (serial, SIMD at each dispatch
+ * level, thread pool, and future GPU). Measures the two kernels
+ * Trinity spends its area on: the batched NTT and the BConv matrix
+ * product. The simd rows quantify lane-level speedup on one thread;
+ * the threads rows compose workers across limbs with SIMD inside
+ * each limb job.
  *
- * Usage: bench_micro_backend [N [limbs [reps]]]
+ * Usage: bench_micro_backend [--smoke] [--json=PATH] [N [limbs [reps]]]
  */
 
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <memory>
 #include <thread>
 #include <vector>
 
 #include "backend/registry.h"
 #include "backend/serial_backend.h"
+#include "backend/simd_backend.h"
 #include "backend/thread_pool_backend.h"
 #include "bench/bench_util.h"
 #include "common/primes.h"
@@ -62,14 +66,23 @@ timeBconv(Workload &w)
     return t.elapsedMs();
 }
 
+size_t
+positionalOr(const bench::BenchArgs &args, size_t idx, size_t fallback)
+{
+    return idx < args.positional.size()
+               ? std::strtoul(args.positional[idx].c_str(), nullptr, 10)
+               : fallback;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 4096;
-    size_t limbs = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 16;
-    size_t reps = argc > 3 ? std::strtoul(argv[3], nullptr, 10) : 20;
+    bench::BenchArgs args = bench::parseBenchArgs(argc, argv);
+    size_t n = positionalOr(args, 0, 4096);
+    size_t limbs = positionalOr(args, 1, args.smoke ? 8 : 16);
+    size_t reps = positionalOr(args, 2, args.smoke ? 3 : 20);
 
     Workload w;
     w.n = n;
@@ -86,6 +99,9 @@ main(int argc, char **argv)
                 ", limbs=" + std::to_string(limbs) +
                 ", reps=" + std::to_string(reps) + ", hw threads=" +
                 std::to_string(std::thread::hardware_concurrency()));
+    bench::note("simd dispatch: available levels = " +
+                simd::availableLevels() + ", auto = " +
+                simd::levelName(simd::bestAvailableLevel()));
 
     // One warm run builds NTT tables and converter constants so no
     // configuration pays setup cost inside the timed region.
@@ -98,27 +114,43 @@ main(int argc, char **argv)
 
     struct Config
     {
-        const char *label;
-        size_t threads; ///< 0 = serial backend
+        std::string label;
+        std::function<std::unique_ptr<PolyBackend>()> make;
     };
-    const Config configs[] = {
-        {"serial", 0},          {"threads-1", 1}, {"threads-2", 2},
-        {"threads-4", 4},       {"threads-8", 8},
-    };
+    std::vector<Config> configs;
+    configs.push_back({"serial", [] {
+                           return std::unique_ptr<PolyBackend>(
+                               new SerialBackend());
+                       }});
+    // One single-threaded row per runnable SIMD level: the lane-width
+    // ablation the acceptance gate reads (simd >= 2x serial on NTT).
+    for (simd::Level level :
+         {simd::Level::Scalar, simd::Level::Avx2, simd::Level::Avx512}) {
+        if (!simd::levelAvailable(level)) {
+            continue;
+        }
+        configs.push_back(
+            {std::string("simd-") + simd::levelName(level), [level] {
+                 return std::unique_ptr<PolyBackend>(
+                     new SimdBackend(level));
+             }});
+    }
+    // Thread-pool rows compose workers x lanes (auto-dispatched level).
+    for (size_t threads : {size_t(1), size_t(2), size_t(4), size_t(8)}) {
+        configs.push_back(
+            {"threads-" + std::to_string(threads), [threads] {
+                 return std::unique_ptr<PolyBackend>(
+                     new ThreadPoolBackend(threads));
+             }});
+    }
 
     double serial_ntt = 0;
     double serial_bconv = 0;
     for (const Config &cfg : configs) {
-        if (cfg.threads == 0) {
-            BackendRegistry::instance().use(
-                std::make_unique<SerialBackend>());
-        } else {
-            BackendRegistry::instance().use(
-                std::make_unique<ThreadPoolBackend>(cfg.threads));
-        }
+        BackendRegistry::instance().use(cfg.make());
         double ntt_ms = timeNtt(w);
         double bconv_ms = timeBconv(w);
-        if (cfg.threads == 0) {
+        if (cfg.label == "serial") {
             serial_ntt = ntt_ms;
             serial_bconv = bconv_ms;
         }
@@ -137,5 +169,6 @@ main(int argc, char **argv)
                    "measured");
     }
     BackendRegistry::instance().select("serial");
+    bench::writeJsonReport(args, "micro_backend");
     return 0;
 }

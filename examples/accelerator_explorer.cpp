@@ -11,6 +11,7 @@
 #include "accel/area.h"
 #include "accel/configs.h"
 #include "backend/registry.h"
+#include "backend/simd_kernels.h"
 #include "workload/apps.h"
 #include "workload/tfhe_ops.h"
 
@@ -23,6 +24,9 @@ main()
     std::printf("== Trinity design-space explorer ==\n\n");
     std::printf("execution engines (TRINITY_BACKEND): %s\n",
                 BackendRegistry::instance().listEngines().c_str());
+    std::printf("simd levels (TRINITY_SIMD_LEVEL): %s (auto: %s)\n",
+                simd::availableLevels().c_str(),
+                simd::levelName(simd::bestAvailableLevel()));
     std::printf("machine configs (TRINITY_SIM_MACHINE):");
     for (const auto &name : accel::machineNames()) {
         std::printf(" %s", name.c_str());

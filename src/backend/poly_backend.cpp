@@ -6,11 +6,18 @@
 
 namespace trinity {
 
+// The named limb kernels run through the installed simd::KernelSet
+// (scalar by default — the reference every wider set is bit-identical
+// to), scheduled across jobs by parallelFor(). Automorphism and BConv
+// keep dedicated scalar bodies: both are permutation/matrix shapes the
+// accelerator maps onto AutoU / CU structures rather than plain lanes,
+// and neither is on the measured hot path the SIMD sets target.
+
 void
 PolyBackend::nttForwardBatch(const NttJob *jobs, size_t count)
 {
     parallelFor(count, [&](size_t i) {
-        jobs[i].table->forward(jobs[i].data);
+        kernels().nttForward(*jobs[i].table, jobs[i].data);
     });
 }
 
@@ -18,7 +25,7 @@ void
 PolyBackend::nttInverseBatch(const NttJob *jobs, size_t count)
 {
     parallelFor(count, [&](size_t i) {
-        jobs[i].table->inverse(jobs[i].data);
+        kernels().nttInverse(*jobs[i].table, jobs[i].data);
     });
 }
 
@@ -27,9 +34,7 @@ PolyBackend::pointwiseMulBatch(const EltwiseJob *jobs, size_t count)
 {
     parallelFor(count, [&](size_t i) {
         const EltwiseJob &j = jobs[i];
-        for (size_t c = 0; c < j.n; ++c) {
-            j.dst[c] = j.mod->mul(j.a[c], j.b[c]);
-        }
+        kernels().mul(j.dst, j.a, j.b, *j.mod, j.n);
     });
 }
 
@@ -38,9 +43,7 @@ PolyBackend::addBatch(const EltwiseJob *jobs, size_t count)
 {
     parallelFor(count, [&](size_t i) {
         const EltwiseJob &j = jobs[i];
-        for (size_t c = 0; c < j.n; ++c) {
-            j.dst[c] = j.mod->add(j.a[c], j.b[c]);
-        }
+        kernels().add(j.dst, j.a, j.b, *j.mod, j.n);
     });
 }
 
@@ -49,9 +52,7 @@ PolyBackend::subBatch(const EltwiseJob *jobs, size_t count)
 {
     parallelFor(count, [&](size_t i) {
         const EltwiseJob &j = jobs[i];
-        for (size_t c = 0; c < j.n; ++c) {
-            j.dst[c] = j.mod->sub(j.a[c], j.b[c]);
-        }
+        kernels().sub(j.dst, j.a, j.b, *j.mod, j.n);
     });
 }
 
@@ -60,9 +61,7 @@ PolyBackend::negBatch(const EltwiseJob *jobs, size_t count)
 {
     parallelFor(count, [&](size_t i) {
         const EltwiseJob &j = jobs[i];
-        for (size_t c = 0; c < j.n; ++c) {
-            j.dst[c] = j.mod->neg(j.a[c]);
-        }
+        kernels().neg(j.dst, j.a, *j.mod, j.n);
     });
 }
 
@@ -71,9 +70,7 @@ PolyBackend::mulAddBatch(const MulAddJob *jobs, size_t count)
 {
     parallelFor(count, [&](size_t i) {
         const MulAddJob &j = jobs[i];
-        for (size_t c = 0; c < j.n; ++c) {
-            j.dst[c] = j.mod->mulAdd(j.a[c], j.b[c], j.dst[c]);
-        }
+        kernels().mulAdd(j.dst, j.a, j.b, *j.mod, j.n);
     });
 }
 
@@ -82,10 +79,7 @@ PolyBackend::scalarMulBatch(const ScalarMulJob *jobs, size_t count)
 {
     parallelFor(count, [&](size_t i) {
         const ScalarMulJob &j = jobs[i];
-        u64 pre = j.mod->shoupPrecompute(j.scalar);
-        for (size_t c = 0; c < j.n; ++c) {
-            j.dst[c] = j.mod->mulShoup(j.src[c], j.scalar, pre);
-        }
+        kernels().scalarMul(j.dst, j.src, j.scalar, *j.mod, j.n);
     });
 }
 

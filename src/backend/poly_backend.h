@@ -9,8 +9,12 @@
  * ModAdd, Auto, BConv — that an accelerator executes in bulk. The
  * software stack mirrors that: scheme code emits *batches* of limb
  * jobs through the PolyBackend interface, and an interchangeable
- * engine (serial reference, thread pool, and in the future SIMD, GPU,
- * or a simulated-accelerator timing model) owns the execution.
+ * engine (serial reference, thread pool, AVX2/AVX-512 SIMD lanes, a
+ * simulated-accelerator timing model, and in the future GPU) owns the
+ * execution. Two orthogonal axes compose: parallelFor() schedules
+ * jobs across workers, and an installable simd::KernelSet executes
+ * each job's span — the thread pool runs SIMD kernels inside every
+ * limb job.
  *
  * A batch is a flat array of plain-old-data job descriptors over raw
  * limb pointers, so an engine can partition, reorder, or offload jobs
@@ -25,6 +29,7 @@
 #include <cstddef>
 #include <functional>
 
+#include "backend/simd_kernels.h"
 #include "common/modarith.h"
 #include "common/types.h"
 #include "poly/ntt.h"
@@ -181,6 +186,25 @@ class PolyBackend
      */
     virtual void parallelFor(size_t count,
                              const std::function<void(size_t)> &fn) = 0;
+
+    /**
+     * Limb-kernel implementation the default batch entry points run
+     * per job — the second composition axis next to parallelFor():
+     * parallelFor schedules jobs across workers (threads across
+     * limbs), the KernelSet executes one job's span (SIMD within a
+     * limb). Defaults to the bit-exact scalar set; engines with
+     * vector lanes install a wider one. Every set computes identical
+     * canonical residues, so the choice never changes results.
+     */
+    void useKernels(const simd::KernelSet &kernels)
+    {
+        kernels_ = &kernels;
+    }
+
+    const simd::KernelSet &kernels() const { return *kernels_; }
+
+  private:
+    const simd::KernelSet *kernels_ = &simd::scalarKernels();
 };
 
 } // namespace trinity

@@ -2,8 +2,9 @@
  * @file
  * Process-wide backend selection. The active engine is resolved once
  * from the TRINITY_BACKEND env var ("serial" by default, "threads"
- * for the worker-pool engine, "sim" for the simulated-accelerator
- * timing backend) and can be switched programmatically — tests use
+ * for the worker-pool engine, "simd" for the vector-lane engine,
+ * "sim" for the simulated-accelerator timing backend) and can be
+ * switched programmatically — tests use
  * that to compare engines in one process, benches to sweep thread
  * counts. An unknown name is rejected with an error listing every
  * registered engine.
@@ -26,7 +27,8 @@ class BackendRegistry
   public:
     using Factory = std::function<std::unique_ptr<PolyBackend>()>;
 
-    /** The process-wide registry ("serial" and "threads" built in). */
+    /** The process-wide registry ("serial", "threads", "simd", and
+     *  "sim" built in). */
     static BackendRegistry &instance();
 
     /** Register a factory under @p name (future engines plug in here). */

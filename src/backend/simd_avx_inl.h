@@ -1,0 +1,338 @@
+/**
+ * @file
+ * 256-bit (ymm) modular-arithmetic building blocks shared by the AVX2
+ * and AVX-512 kernel translation units, plus the shuffle-based NTT
+ * stages for butterfly spans narrower than a vector (t ∈ {1, 2}).
+ *
+ * INTERNAL HEADER: include only from simd_kernels_avx2.cpp /
+ * simd_kernels_avx512.cpp. Everything lives in an anonymous namespace
+ * on purpose — each TU is compiled with different -m flags, and a
+ * linker deduplicating `inline` copies could keep the AVX-512-codegen
+ * one and feed it to the AVX2 path on a CPU without AVX-512.
+ *
+ * Value-range invariants (moduli are < 2^62 repo-wide):
+ *  - reduced residues and Shoup remainders stay < 2q < 2^63, so plain
+ *    signed 64-bit compares are exact for them;
+ *  - full-range 64-bit intermediates (Barrett partial products) use
+ *    the sign-flip unsigned compare.
+ * Every routine computes the exact canonical residue of the scalar
+ * reference (Modulus::add/sub/neg/mulShoup/reduce128), never a lazy
+ * representative, so results are bit-identical lane for lane.
+ */
+
+#ifndef TRINITY_BACKEND_SIMD_AVX_INL_H
+#define TRINITY_BACKEND_SIMD_AVX_INL_H
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include "common/modarith.h"
+#include "common/types.h"
+#include "poly/ntt.h"
+
+namespace trinity {
+namespace simd {
+namespace {
+
+inline __m256i
+loadu256(const u64 *p)
+{
+    return _mm256_loadu_si256(reinterpret_cast<const __m256i *>(p));
+}
+
+inline void
+storeu256(u64 *p, __m256i v)
+{
+    _mm256_storeu_si256(reinterpret_cast<__m256i *>(p), v);
+}
+
+inline __m256i
+bcast256(u64 x)
+{
+    return _mm256_set1_epi64x(static_cast<long long>(x));
+}
+
+/** Unsigned a > b per 64-bit lane (sign-flip onto signed compare). */
+inline __m256i
+cmpgtu64x4(__m256i a, __m256i b)
+{
+    const __m256i sign = bcast256(0x8000000000000000ULL);
+    return _mm256_cmpgt_epi64(_mm256_xor_si256(a, sign),
+                              _mm256_xor_si256(b, sign));
+}
+
+/** High 64 bits of the unsigned 64x64 product per lane. */
+inline __m256i
+mulhi64x4(__m256i a, __m256i b)
+{
+    const __m256i m32 = bcast256(0xffffffffULL);
+    __m256i a_hi = _mm256_srli_epi64(a, 32);
+    __m256i b_hi = _mm256_srli_epi64(b, 32);
+    __m256i ll = _mm256_mul_epu32(a, b);
+    __m256i lh = _mm256_mul_epu32(a, b_hi);
+    __m256i hl = _mm256_mul_epu32(a_hi, b);
+    __m256i hh = _mm256_mul_epu32(a_hi, b_hi);
+    // carry-save: cross terms cannot overflow (3 * (2^32-1) < 2^64)
+    __m256i cross = _mm256_add_epi64(
+        _mm256_add_epi64(_mm256_srli_epi64(ll, 32),
+                         _mm256_and_si256(lh, m32)),
+        _mm256_and_si256(hl, m32));
+    return _mm256_add_epi64(
+        _mm256_add_epi64(hh, _mm256_srli_epi64(cross, 32)),
+        _mm256_add_epi64(_mm256_srli_epi64(lh, 32),
+                         _mm256_srli_epi64(hl, 32)));
+}
+
+/** Low 64 bits of the 64x64 product per lane. */
+inline __m256i
+mullo64x4(__m256i a, __m256i b)
+{
+    __m256i a_hi = _mm256_srli_epi64(a, 32);
+    __m256i b_hi = _mm256_srli_epi64(b, 32);
+    __m256i cross = _mm256_add_epi64(_mm256_mul_epu32(a, b_hi),
+                                     _mm256_mul_epu32(a_hi, b));
+    return _mm256_add_epi64(_mm256_mul_epu32(a, b),
+                            _mm256_slli_epi64(cross, 32));
+}
+
+/** Both product halves, sharing the four 32x32 partials. */
+inline void
+mul64widex4(__m256i a, __m256i b, __m256i &hi, __m256i &lo)
+{
+    const __m256i m32 = bcast256(0xffffffffULL);
+    __m256i a_hi = _mm256_srli_epi64(a, 32);
+    __m256i b_hi = _mm256_srli_epi64(b, 32);
+    __m256i ll = _mm256_mul_epu32(a, b);
+    __m256i lh = _mm256_mul_epu32(a, b_hi);
+    __m256i hl = _mm256_mul_epu32(a_hi, b);
+    __m256i hh = _mm256_mul_epu32(a_hi, b_hi);
+    __m256i cross = _mm256_add_epi64(
+        _mm256_add_epi64(_mm256_srli_epi64(ll, 32),
+                         _mm256_and_si256(lh, m32)),
+        _mm256_and_si256(hl, m32));
+    hi = _mm256_add_epi64(
+        _mm256_add_epi64(hh, _mm256_srli_epi64(cross, 32)),
+        _mm256_add_epi64(_mm256_srli_epi64(lh, 32),
+                         _mm256_srli_epi64(hl, 32)));
+    lo = _mm256_add_epi64(ll, _mm256_slli_epi64(
+                                  _mm256_add_epi64(lh, hl), 32));
+}
+
+/** a + b mod q for reduced inputs (sum < 2^63: signed compare exact). */
+inline __m256i
+addmodx4(__m256i a, __m256i b, __m256i q)
+{
+    __m256i s = _mm256_add_epi64(a, b);
+    __m256i lt = _mm256_cmpgt_epi64(q, s); // q > s: already reduced
+    return _mm256_sub_epi64(s, _mm256_andnot_si256(lt, q));
+}
+
+/** a - b mod q for reduced inputs. */
+inline __m256i
+submodx4(__m256i a, __m256i b, __m256i q)
+{
+    __m256i d = _mm256_sub_epi64(a, b);
+    __m256i borrow = _mm256_cmpgt_epi64(b, a); // b > a: wrapped
+    return _mm256_add_epi64(d, _mm256_and_si256(borrow, q));
+}
+
+/** -a mod q (0 stays 0). */
+inline __m256i
+negmodx4(__m256i a, __m256i q)
+{
+    __m256i zero = _mm256_setzero_si256();
+    __m256i is_zero = _mm256_cmpeq_epi64(a, zero);
+    return _mm256_andnot_si256(is_zero, _mm256_sub_epi64(q, a));
+}
+
+/** Shoup multiply by constant w (wpre = shoupPrecompute(w)), exact. */
+inline __m256i
+mulshoupx4(__m256i a, __m256i w, __m256i wpre, __m256i q)
+{
+    __m256i quot = mulhi64x4(a, wpre);
+    __m256i r = _mm256_sub_epi64(mullo64x4(a, w), mullo64x4(quot, q));
+    __m256i lt = _mm256_cmpgt_epi64(q, r); // r < 2q: signed compare ok
+    return _mm256_sub_epi64(r, _mm256_andnot_si256(lt, q));
+}
+
+/**
+ * Exact (z_hi·2^64 + z_lo) mod q — the reduce128() recurrence with
+ * (b_hi, b_lo) = floor(2^128/q). The estimated quotient is off by at
+ * most one, so the remainder needs a single conditional subtract, and
+ * only its low 64 bits matter (true remainder < 2q < 2^64).
+ */
+inline __m256i
+barrett128x4(__m256i z_lo, __m256i z_hi, __m256i q, __m256i b_lo,
+             __m256i b_hi)
+{
+    __m256i one = bcast256(1);
+    __m256i c_ll = mulhi64x4(z_lo, b_lo);
+    __m256i lh_hi, lh_lo;
+    mul64widex4(z_lo, b_hi, lh_hi, lh_lo);
+    __m256i hl_hi, hl_lo;
+    mul64widex4(z_hi, b_lo, hl_hi, hl_lo);
+    __m256i hh_lo = mullo64x4(z_hi, b_hi);
+    // mid = c_ll + lh_lo + hl_lo; carries feed the top word
+    __m256i s1 = _mm256_add_epi64(c_ll, lh_lo);
+    __m256i carry1 = _mm256_and_si256(cmpgtu64x4(c_ll, s1), one);
+    __m256i s2 = _mm256_add_epi64(s1, hl_lo);
+    __m256i carry2 = _mm256_and_si256(cmpgtu64x4(hl_lo, s2), one);
+    __m256i q_est = _mm256_add_epi64(
+        _mm256_add_epi64(hh_lo, _mm256_add_epi64(lh_hi, hl_hi)),
+        _mm256_add_epi64(carry1, carry2));
+    __m256i r = _mm256_sub_epi64(z_lo, mullo64x4(q_est, q));
+    __m256i lt = _mm256_cmpgt_epi64(q, r); // r < 2q < 2^63
+    return _mm256_sub_epi64(r, _mm256_andnot_si256(lt, q));
+}
+
+// ------------------------------------------------------------------
+// Tail NTT stages: butterflies narrower than a ymm register, handled
+// by de-interleaving 8 coefficients across two vectors so the full
+// network stays vectorized instead of falling back to scalar for the
+// last/first log2(lanes) stages. Callers guarantee n >= 8.
+// ------------------------------------------------------------------
+
+/** Forward stage with t >= 4: contiguous spans, one twiddle a group. */
+inline void
+fwdStageVecYmm(u64 *a, size_t m, size_t t, const u64 *tw,
+               const u64 *twp, __m256i q)
+{
+    for (size_t i = 0; i < m; ++i) {
+        __m256i s = bcast256(tw[m + i]);
+        __m256i sp = bcast256(twp[m + i]);
+        u64 *p = a + 2 * i * t;
+        for (size_t j = 0; j < t; j += 4) {
+            __m256i u = loadu256(p + j);
+            __m256i v = mulshoupx4(loadu256(p + j + t), s, sp, q);
+            storeu256(p + j, addmodx4(u, v, q));
+            storeu256(p + j + t, submodx4(u, v, q));
+        }
+    }
+}
+
+/** Forward stage with t == 2 (two groups per 8 coefficients). */
+inline void
+fwdStageT2Ymm(u64 *a, size_t m, const u64 *tw, const u64 *twp,
+              __m256i q)
+{
+    for (size_t i = 0; i < m; i += 2) {
+        u64 *p = a + 4 * i;
+        __m256i x = loadu256(p);
+        __m256i y = loadu256(p + 4);
+        // u = {a0,a1,a4,a5} (first halves), v = {a2,a3,a6,a7}
+        __m256i u = _mm256_permute2x128_si256(x, y, 0x20);
+        __m256i v = _mm256_permute2x128_si256(x, y, 0x31);
+        // twiddles {t_i, t_i, t_{i+1}, t_{i+1}}
+        __m128i t2 = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(tw + m + i));
+        __m128i tp2 = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(twp + m + i));
+        __m256i s = _mm256_permute4x64_epi64(
+            _mm256_castsi128_si256(t2), 0x50);
+        __m256i sp = _mm256_permute4x64_epi64(
+            _mm256_castsi128_si256(tp2), 0x50);
+        __m256i w = mulshoupx4(v, s, sp, q);
+        __m256i lo = addmodx4(u, w, q);
+        __m256i hi = submodx4(u, w, q);
+        storeu256(p, _mm256_permute2x128_si256(lo, hi, 0x20));
+        storeu256(p + 4, _mm256_permute2x128_si256(lo, hi, 0x31));
+    }
+}
+
+/** Forward stage with t == 1 (four adjacent-pair butterflies). */
+inline void
+fwdStageT1Ymm(u64 *a, size_t m, const u64 *tw, const u64 *twp,
+              __m256i q)
+{
+    for (size_t i = 0; i < m; i += 4) {
+        u64 *p = a + 2 * i;
+        __m256i x = loadu256(p);
+        __m256i y = loadu256(p + 4);
+        // butterfly order {0,2,1,3}: u = {a0,a4,a2,a6}, v = {a1,a5,a3,a7}
+        __m256i u = _mm256_unpacklo_epi64(x, y);
+        __m256i v = _mm256_unpackhi_epi64(x, y);
+        // twiddles permuted to the same order
+        __m256i s = _mm256_permute4x64_epi64(loadu256(tw + m + i), 0xD8);
+        __m256i sp =
+            _mm256_permute4x64_epi64(loadu256(twp + m + i), 0xD8);
+        __m256i w = mulshoupx4(v, s, sp, q);
+        __m256i lo = addmodx4(u, w, q);
+        __m256i hi = submodx4(u, w, q);
+        storeu256(p, _mm256_unpacklo_epi64(lo, hi));
+        storeu256(p + 4, _mm256_unpackhi_epi64(lo, hi));
+    }
+}
+
+/** Inverse stage with t >= 4. */
+inline void
+invStageVecYmm(u64 *a, size_t h, size_t t, const u64 *tw,
+               const u64 *twp, __m256i q)
+{
+    for (size_t i = 0; i < h; ++i) {
+        __m256i s = bcast256(tw[h + i]);
+        __m256i sp = bcast256(twp[h + i]);
+        u64 *p = a + 2 * i * t;
+        for (size_t j = 0; j < t; j += 4) {
+            __m256i u = loadu256(p + j);
+            __m256i v = loadu256(p + j + t);
+            storeu256(p + j, addmodx4(u, v, q));
+            storeu256(p + j + t,
+                      mulshoupx4(submodx4(u, v, q), s, sp, q));
+        }
+    }
+}
+
+/** Inverse stage with t == 1 (GS butterfly on adjacent pairs). */
+inline void
+invStageT1Ymm(u64 *a, size_t h, const u64 *tw, const u64 *twp,
+              __m256i q)
+{
+    for (size_t i = 0; i < h; i += 4) {
+        u64 *p = a + 2 * i;
+        __m256i x = loadu256(p);
+        __m256i y = loadu256(p + 4);
+        __m256i u = _mm256_unpacklo_epi64(x, y);
+        __m256i v = _mm256_unpackhi_epi64(x, y);
+        __m256i s = _mm256_permute4x64_epi64(loadu256(tw + h + i), 0xD8);
+        __m256i sp =
+            _mm256_permute4x64_epi64(loadu256(twp + h + i), 0xD8);
+        __m256i lo = addmodx4(u, v, q);
+        __m256i hi = mulshoupx4(submodx4(u, v, q), s, sp, q);
+        storeu256(p, _mm256_unpacklo_epi64(lo, hi));
+        storeu256(p + 4, _mm256_unpackhi_epi64(lo, hi));
+    }
+}
+
+/** Inverse stage with t == 2. */
+inline void
+invStageT2Ymm(u64 *a, size_t h, const u64 *tw, const u64 *twp,
+              __m256i q)
+{
+    for (size_t i = 0; i < h; i += 2) {
+        u64 *p = a + 4 * i;
+        __m256i x = loadu256(p);
+        __m256i y = loadu256(p + 4);
+        __m256i u = _mm256_permute2x128_si256(x, y, 0x20);
+        __m256i v = _mm256_permute2x128_si256(x, y, 0x31);
+        __m128i t2 = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(tw + h + i));
+        __m128i tp2 = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(twp + h + i));
+        __m256i s = _mm256_permute4x64_epi64(
+            _mm256_castsi128_si256(t2), 0x50);
+        __m256i sp = _mm256_permute4x64_epi64(
+            _mm256_castsi128_si256(tp2), 0x50);
+        __m256i lo = addmodx4(u, v, q);
+        __m256i hi = mulshoupx4(submodx4(u, v, q), s, sp, q);
+        storeu256(p, _mm256_permute2x128_si256(lo, hi, 0x20));
+        storeu256(p + 4, _mm256_permute2x128_si256(lo, hi, 0x31));
+    }
+}
+
+} // namespace
+} // namespace simd
+} // namespace trinity
+
+#endif // __AVX2__
+#endif // TRINITY_BACKEND_SIMD_AVX_INL_H

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Single-threaded engine that executes every limb job through the
+ * widest SIMD KernelSet the build + CPU + TRINITY_SIMD_LEVEL allow —
+ * the software analogue of one Trinity BU/PE lane group working
+ * through a batch in order. Jobs run on the calling thread in
+ * submission order (like SerialBackend); the parallelism is *inside*
+ * each limb kernel. For threads-across-limbs × SIMD-within-a-limb,
+ * use ThreadPoolBackend, which installs the same kernel set.
+ *
+ * Registered as "simd". Dispatch: AVX-512 → AVX2 → scalar, override
+ * with TRINITY_SIMD_LEVEL=scalar|avx2|avx512 (strict; forcing an
+ * unavailable level is fatal). Bit-identical to "serial" at every
+ * level.
+ */
+
+#ifndef TRINITY_BACKEND_SIMD_BACKEND_H
+#define TRINITY_BACKEND_SIMD_BACKEND_H
+
+#include "backend/poly_backend.h"
+#include "backend/simd_kernels.h"
+
+namespace trinity {
+
+class SimdBackend final : public PolyBackend
+{
+  public:
+    /** Resolve the level from TRINITY_SIMD_LEVEL / CPUID. */
+    SimdBackend() : SimdBackend(simd::resolveLevel()) {}
+
+    /** Pin an explicit level (fatal when unavailable) — benches and
+     *  tests sweep levels this way without touching the env. */
+    explicit SimdBackend(simd::Level level)
+    {
+        useKernels(simd::kernelsForLevel(level));
+    }
+
+    const char *name() const override { return "simd"; }
+    size_t threadCount() const override { return 1; }
+
+    simd::Level level() const { return kernels().level; }
+    size_t lanes() const { return kernels().lanes; }
+
+    /**
+     * Vector units saturate on deep fused batches, not merely on
+     * worker count: a PBS batch B× wide turns every backend call into
+     * B contiguous same-shape spans, which is exactly what keeps the
+     * lanes full. Ask for 4 jobs per lane, floor 8 (the scalar
+     * engine's key-reuse sweet spot).
+     */
+    size_t
+    preferredBatch() const override
+    {
+        size_t want = 4 * lanes();
+        return want < 8 ? 8 : want;
+    }
+
+  protected:
+    void
+    parallelFor(size_t count,
+                const std::function<void(size_t)> &fn) override
+    {
+        for (size_t i = 0; i < count; ++i) {
+            fn(i);
+        }
+    }
+};
+
+} // namespace trinity
+
+#endif // TRINITY_BACKEND_SIMD_BACKEND_H

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Scalar KernelSet (the bit-exact reference lane) and the runtime
+ * dispatch gluing CPUID detection, build-time availability, and the
+ * TRINITY_SIMD_LEVEL override together.
+ */
+
+#include "backend/simd_kernels.h"
+
+#include "common/env.h"
+#include "common/logging.h"
+#include "poly/ntt.h"
+
+namespace trinity {
+namespace simd {
+
+namespace {
+
+void
+nttForwardScalar(const NttTable &table, u64 *a)
+{
+    table.forward(a);
+}
+
+void
+nttInverseScalar(const NttTable &table, u64 *a)
+{
+    table.inverse(a);
+}
+
+void
+addScalar(u64 *dst, const u64 *a, const u64 *b, const Modulus &mod,
+          size_t n)
+{
+    for (size_t c = 0; c < n; ++c) {
+        dst[c] = mod.add(a[c], b[c]);
+    }
+}
+
+void
+subScalar(u64 *dst, const u64 *a, const u64 *b, const Modulus &mod,
+          size_t n)
+{
+    for (size_t c = 0; c < n; ++c) {
+        dst[c] = mod.sub(a[c], b[c]);
+    }
+}
+
+void
+negScalar(u64 *dst, const u64 *a, const Modulus &mod, size_t n)
+{
+    for (size_t c = 0; c < n; ++c) {
+        dst[c] = mod.neg(a[c]);
+    }
+}
+
+void
+mulScalar(u64 *dst, const u64 *a, const u64 *b, const Modulus &mod,
+          size_t n)
+{
+    for (size_t c = 0; c < n; ++c) {
+        dst[c] = mod.mul(a[c], b[c]);
+    }
+}
+
+void
+mulAddScalar(u64 *dst, const u64 *a, const u64 *b, const Modulus &mod,
+             size_t n)
+{
+    for (size_t c = 0; c < n; ++c) {
+        dst[c] = mod.mulAdd(a[c], b[c], dst[c]);
+    }
+}
+
+void
+scalarMulScalar(u64 *dst, const u64 *src, u64 scalar, const Modulus &mod,
+                size_t n)
+{
+    u64 pre = mod.shoupPrecompute(scalar);
+    for (size_t c = 0; c < n; ++c) {
+        dst[c] = mod.mulShoup(src[c], scalar, pre);
+    }
+}
+
+const char *const kLevelNames[] = {"scalar", "avx2", "avx512"};
+
+const KernelSet *
+kernelsOrNull(Level level)
+{
+    switch (level) {
+    case Level::Scalar:
+        return &scalarKernels();
+    case Level::Avx2:
+        return avx2KernelsOrNull();
+    case Level::Avx512:
+        return avx512KernelsOrNull();
+    }
+    return nullptr;
+}
+
+} // namespace
+
+const KernelSet &
+scalarKernels()
+{
+    static const KernelSet set = {
+        Level::Scalar, 1,           nttForwardScalar, nttInverseScalar,
+        addScalar,     subScalar,   negScalar,        mulScalar,
+        mulAddScalar,  scalarMulScalar,
+    };
+    return set;
+}
+
+const char *
+levelName(Level level)
+{
+    return kLevelNames[static_cast<size_t>(level)];
+}
+
+Level
+detectCpuLevel()
+{
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+    if (__builtin_cpu_supports("avx512f") &&
+        __builtin_cpu_supports("avx512dq")) {
+        return Level::Avx512;
+    }
+    if (__builtin_cpu_supports("avx2")) {
+        return Level::Avx2;
+    }
+#endif
+    return Level::Scalar;
+}
+
+bool
+levelAvailable(Level level)
+{
+    if (level == Level::Scalar) {
+        return true;
+    }
+    return kernelsOrNull(level) != nullptr && detectCpuLevel() >= level;
+}
+
+Level
+bestAvailableLevel()
+{
+    for (Level level : {Level::Avx512, Level::Avx2}) {
+        if (levelAvailable(level)) {
+            return level;
+        }
+    }
+    return Level::Scalar;
+}
+
+std::string
+availableLevels()
+{
+    std::string out = levelName(Level::Scalar);
+    for (Level level : {Level::Avx2, Level::Avx512}) {
+        if (levelAvailable(level)) {
+            out += ", ";
+            out += levelName(level);
+        }
+    }
+    return out;
+}
+
+Level
+resolveLevel()
+{
+    size_t idx = 0;
+    if (!envChoice("TRINITY_SIMD_LEVEL", kLevelNames, 3, idx)) {
+        return bestAvailableLevel();
+    }
+    Level want = static_cast<Level>(idx);
+    if (!levelAvailable(want)) {
+        const char *why = kernelsOrNull(want) == nullptr
+                              ? "this build does not compile it in"
+                              : "this CPU does not support it";
+        trinity_fatal("TRINITY_SIMD_LEVEL=%s requested but %s; available "
+                      "levels: %s",
+                      levelName(want), why, availableLevels().c_str());
+    }
+    return want;
+}
+
+const KernelSet &
+kernelsForLevel(Level level)
+{
+    if (!levelAvailable(level)) {
+        trinity_fatal("SIMD level '%s' is unavailable (available: %s)",
+                      levelName(level), availableLevels().c_str());
+    }
+    return *kernelsOrNull(level);
+}
+
+} // namespace simd
+} // namespace trinity

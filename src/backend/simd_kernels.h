@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Per-limb kernel implementations selectable by SIMD level, plus the
+ * runtime CPU dispatch that picks one.
+ *
+ * Trinity's BUs and PEs get their throughput from wide vector lanes
+ * doing modular butterflies and Barrett/Shoup multiplies in parallel;
+ * the software counterpart is a KernelSet — one function pointer per
+ * limb kernel (forward/inverse NTT, the Barrett-reduced element-wise
+ * family, Shoup scalar multiply) — with scalar, AVX2, and AVX-512
+ * implementations. Every implementation computes the exact canonical
+ * residues the scalar reference produces, so engines composed from any
+ * set are bit-identical.
+ *
+ * Dispatch order is AVX-512 → AVX2 → scalar, constrained by what the
+ * build compiled in (CMake probes -mavx2 / -mavx512f -mavx512dq per
+ * kernel file) and what CPUID reports at run time. TRINITY_SIMD_LEVEL
+ * ("scalar" | "avx2" | "avx512", strictly parsed) forces a level;
+ * forcing one the build or CPU cannot run is fatal — a benchmark must
+ * never silently measure a narrower lane than it claims.
+ */
+
+#ifndef TRINITY_BACKEND_SIMD_KERNELS_H
+#define TRINITY_BACKEND_SIMD_KERNELS_H
+
+#include <cstddef>
+#include <string>
+
+#include "common/modarith.h"
+#include "common/types.h"
+
+namespace trinity {
+
+class NttTable;
+
+namespace simd {
+
+enum class Level
+{
+    Scalar = 0,
+    Avx2 = 1,
+    Avx512 = 2,
+};
+
+/** Canonical knob spelling for a level ("scalar", "avx2", "avx512"). */
+const char *levelName(Level level);
+
+/**
+ * One limb-kernel implementation per batched entry point. All
+ * functions operate on a single job's span; batching across jobs
+ * (threads, serial order) stays with the owning engine — threads
+ * across limbs, SIMD within a limb.
+ */
+struct KernelSet
+{
+    Level level;
+    size_t lanes; ///< u64 lanes per vector op (1 / 4 / 8)
+
+    /** In-place negacyclic NTT over table.n() coefficients. */
+    void (*nttForward)(const NttTable &table, u64 *a);
+    void (*nttInverse)(const NttTable &table, u64 *a);
+
+    /** dst[i] = a[i] op b[i] (mod q); dst may alias a or b exactly. */
+    void (*add)(u64 *dst, const u64 *a, const u64 *b, const Modulus &mod,
+                size_t n);
+    void (*sub)(u64 *dst, const u64 *a, const u64 *b, const Modulus &mod,
+                size_t n);
+    void (*neg)(u64 *dst, const u64 *a, const Modulus &mod, size_t n);
+    void (*mul)(u64 *dst, const u64 *a, const u64 *b, const Modulus &mod,
+                size_t n);
+    /** dst[i] = a[i] * b[i] + dst[i] (mod q). */
+    void (*mulAdd)(u64 *dst, const u64 *a, const u64 *b,
+                   const Modulus &mod, size_t n);
+    /** dst[i] = src[i] * scalar (mod q), Shoup with one precompute. */
+    void (*scalarMul)(u64 *dst, const u64 *src, u64 scalar,
+                      const Modulus &mod, size_t n);
+};
+
+/** The bit-exact scalar set — the reference every wider set matches. */
+const KernelSet &scalarKernels();
+
+/** AVX2 set, or nullptr when the build lacks -mavx2 support. */
+const KernelSet *avx2KernelsOrNull();
+
+/** AVX-512 (F+DQ) set, or nullptr when not compiled in. */
+const KernelSet *avx512KernelsOrNull();
+
+/** Highest level this CPU can execute (CPUID probe). */
+Level detectCpuLevel();
+
+/** True when @p level is both compiled in and runnable on this CPU. */
+bool levelAvailable(Level level);
+
+/** Highest available level — the auto-dispatch choice. */
+Level bestAvailableLevel();
+
+/** Comma-separated available levels, for messages and banners. */
+std::string availableLevels();
+
+/**
+ * Resolve the level to run: TRINITY_SIMD_LEVEL when set (strictly
+ * parsed; fatal on an unknown value or an unavailable level), else
+ * bestAvailableLevel().
+ */
+Level resolveLevel();
+
+/** The KernelSet for @p level; fatal when the level is unavailable. */
+const KernelSet &kernelsForLevel(Level level);
+
+} // namespace simd
+} // namespace trinity
+
+#endif // TRINITY_BACKEND_SIMD_KERNELS_H

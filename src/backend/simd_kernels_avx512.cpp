@@ -1,0 +1,355 @@
+/**
+ * @file
+ * AVX-512 (F+DQ) KernelSet: 8-lane butterflies and element-wise
+ * lanes. Compiled with -mavx512f -mavx512dq via per-file CMake flags;
+ * degrades to a "not compiled in" stub otherwise.
+ *
+ * DQ's native 64-bit mullo plus mask registers shrink the modular
+ * primitives; the 64x64 high half is still composed from 32x32
+ * partials (no general mulhi_epu64 exists — IFMA would cap moduli at
+ * 52 bits, below this repo's 62-bit bound). Butterfly spans narrower
+ * than 8 lanes (t ∈ {1,2,4}) run the shared 256-bit stage kernels
+ * from simd_avx_inl.h, so the whole network stays vectorized.
+ */
+
+#include "backend/simd_kernels.h"
+
+#if defined(__AVX512F__) && defined(__AVX512DQ__)
+
+#include <immintrin.h>
+
+// GCC's avx512 headers expand plain intrinsics (_mm512_mul_epu32,
+// _mm512_srli_epi64, ...) through _mm512_undefined_epi32(), which
+// trips -Wmaybe-uninitialized falsely on every use site.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
+#include "backend/simd_avx_inl.h"
+#include "poly/ntt.h"
+
+namespace trinity {
+namespace simd {
+
+namespace {
+
+inline __m512i
+loadu512(const u64 *p)
+{
+    return _mm512_loadu_si512(p);
+}
+
+inline void
+storeu512(u64 *p, __m512i v)
+{
+    _mm512_storeu_si512(p, v);
+}
+
+inline __m512i
+bcast512(u64 x)
+{
+    return _mm512_set1_epi64(static_cast<long long>(x));
+}
+
+/** High 64 bits of the unsigned 64x64 product per lane. */
+inline __m512i
+mulhi64x8(__m512i a, __m512i b)
+{
+    const __m512i m32 = bcast512(0xffffffffULL);
+    __m512i a_hi = _mm512_srli_epi64(a, 32);
+    __m512i b_hi = _mm512_srli_epi64(b, 32);
+    __m512i ll = _mm512_mul_epu32(a, b);
+    __m512i lh = _mm512_mul_epu32(a, b_hi);
+    __m512i hl = _mm512_mul_epu32(a_hi, b);
+    __m512i hh = _mm512_mul_epu32(a_hi, b_hi);
+    __m512i cross = _mm512_add_epi64(
+        _mm512_add_epi64(_mm512_srli_epi64(ll, 32),
+                         _mm512_and_si512(lh, m32)),
+        _mm512_and_si512(hl, m32));
+    return _mm512_add_epi64(
+        _mm512_add_epi64(hh, _mm512_srli_epi64(cross, 32)),
+        _mm512_add_epi64(_mm512_srli_epi64(lh, 32),
+                         _mm512_srli_epi64(hl, 32)));
+}
+
+/** a + b mod q for reduced inputs (mask-subtract, unsigned compare). */
+inline __m512i
+addmodx8(__m512i a, __m512i b, __m512i q)
+{
+    __m512i s = _mm512_add_epi64(a, b);
+    __mmask8 ge = _mm512_cmpge_epu64_mask(s, q);
+    return _mm512_mask_sub_epi64(s, ge, s, q);
+}
+
+/** a - b mod q for reduced inputs. */
+inline __m512i
+submodx8(__m512i a, __m512i b, __m512i q)
+{
+    __m512i d = _mm512_sub_epi64(a, b);
+    __mmask8 borrow = _mm512_cmplt_epu64_mask(a, b);
+    return _mm512_mask_add_epi64(d, borrow, d, q);
+}
+
+/** -a mod q (0 stays 0). */
+inline __m512i
+negmodx8(__m512i a, __m512i q)
+{
+    __mmask8 nz = _mm512_test_epi64_mask(a, a);
+    return _mm512_mask_sub_epi64(_mm512_setzero_si512(), nz, q, a);
+}
+
+/** Shoup multiply by constant w, exact canonical result. */
+inline __m512i
+mulshoupx8(__m512i a, __m512i w, __m512i wpre, __m512i q)
+{
+    __m512i quot = mulhi64x8(a, wpre);
+    __m512i r = _mm512_sub_epi64(_mm512_mullo_epi64(a, w),
+                                 _mm512_mullo_epi64(quot, q));
+    __mmask8 ge = _mm512_cmpge_epu64_mask(r, q);
+    return _mm512_mask_sub_epi64(r, ge, r, q);
+}
+
+/** Exact (z_hi·2^64 + z_lo) mod q — reduce128() lane-parallel. */
+inline __m512i
+barrett128x8(__m512i z_lo, __m512i z_hi, __m512i q, __m512i b_lo,
+             __m512i b_hi)
+{
+    const __m512i one = bcast512(1);
+    __m512i c_ll = mulhi64x8(z_lo, b_lo);
+    __m512i lh_lo = _mm512_mullo_epi64(z_lo, b_hi);
+    __m512i lh_hi = mulhi64x8(z_lo, b_hi);
+    __m512i hl_lo = _mm512_mullo_epi64(z_hi, b_lo);
+    __m512i hl_hi = mulhi64x8(z_hi, b_lo);
+    __m512i hh_lo = _mm512_mullo_epi64(z_hi, b_hi);
+    __m512i s1 = _mm512_add_epi64(c_ll, lh_lo);
+    __mmask8 carry1 = _mm512_cmplt_epu64_mask(s1, c_ll);
+    __m512i s2 = _mm512_add_epi64(s1, hl_lo);
+    __mmask8 carry2 = _mm512_cmplt_epu64_mask(s2, hl_lo);
+    __m512i q_est = _mm512_add_epi64(
+        hh_lo, _mm512_add_epi64(lh_hi, hl_hi));
+    q_est = _mm512_mask_add_epi64(q_est, carry1, q_est, one);
+    q_est = _mm512_mask_add_epi64(q_est, carry2, q_est, one);
+    __m512i r =
+        _mm512_sub_epi64(z_lo, _mm512_mullo_epi64(q_est, q));
+    __mmask8 ge = _mm512_cmpge_epu64_mask(r, q);
+    return _mm512_mask_sub_epi64(r, ge, r, q);
+}
+
+void
+nttForwardAvx512(const NttTable &table, u64 *a)
+{
+    const size_t n = table.n();
+    if (n < 8) {
+        table.forward(a);
+        return;
+    }
+    const u64 *tw = table.psiBr().data();
+    const u64 *twp = table.psiBrPrecon().data();
+    const __m512i q = bcast512(table.modulus().value());
+    const __m256i q4 = bcast256(table.modulus().value());
+    size_t t = n;
+    for (size_t m = 1; m < n; m <<= 1) {
+        t >>= 1;
+        if (t >= 8) {
+            for (size_t i = 0; i < m; ++i) {
+                __m512i s = bcast512(tw[m + i]);
+                __m512i sp = bcast512(twp[m + i]);
+                u64 *p = a + 2 * i * t;
+                for (size_t j = 0; j < t; j += 8) {
+                    __m512i u = loadu512(p + j);
+                    __m512i v =
+                        mulshoupx8(loadu512(p + j + t), s, sp, q);
+                    storeu512(p + j, addmodx8(u, v, q));
+                    storeu512(p + j + t, submodx8(u, v, q));
+                }
+            }
+        } else if (t == 4) {
+            fwdStageVecYmm(a, m, t, tw, twp, q4);
+        } else if (t == 2) {
+            fwdStageT2Ymm(a, m, tw, twp, q4);
+        } else {
+            fwdStageT1Ymm(a, m, tw, twp, q4);
+        }
+    }
+}
+
+void
+nttInverseAvx512(const NttTable &table, u64 *a)
+{
+    const size_t n = table.n();
+    if (n < 8) {
+        table.inverse(a);
+        return;
+    }
+    const u64 *tw = table.ipsiBr().data();
+    const u64 *twp = table.ipsiBrPrecon().data();
+    const __m512i q = bcast512(table.modulus().value());
+    const __m256i q4 = bcast256(table.modulus().value());
+    size_t t = 1;
+    for (size_t m = n; m > 1; m >>= 1) {
+        size_t h = m >> 1;
+        if (t >= 8) {
+            for (size_t i = 0; i < h; ++i) {
+                __m512i s = bcast512(tw[h + i]);
+                __m512i sp = bcast512(twp[h + i]);
+                u64 *p = a + 2 * i * t;
+                for (size_t j = 0; j < t; j += 8) {
+                    __m512i u = loadu512(p + j);
+                    __m512i v = loadu512(p + j + t);
+                    storeu512(p + j, addmodx8(u, v, q));
+                    storeu512(p + j + t,
+                              mulshoupx8(submodx8(u, v, q), s, sp, q));
+                }
+            }
+        } else if (t == 4) {
+            invStageVecYmm(a, h, t, tw, twp, q4);
+        } else if (t == 2) {
+            invStageT2Ymm(a, h, tw, twp, q4);
+        } else {
+            invStageT1Ymm(a, h, tw, twp, q4);
+        }
+        t <<= 1;
+    }
+    const __m512i s = bcast512(table.nInv());
+    const __m512i sp = bcast512(table.nInvPrecon());
+    for (size_t j = 0; j < n; j += 8) {
+        storeu512(a + j, mulshoupx8(loadu512(a + j), s, sp, q));
+    }
+}
+
+void
+addAvx512(u64 *dst, const u64 *a, const u64 *b, const Modulus &mod,
+          size_t n)
+{
+    const __m512i q = bcast512(mod.value());
+    size_t c = 0;
+    for (; c + 8 <= n; c += 8) {
+        storeu512(dst + c,
+                  addmodx8(loadu512(a + c), loadu512(b + c), q));
+    }
+    for (; c < n; ++c) {
+        dst[c] = mod.add(a[c], b[c]);
+    }
+}
+
+void
+subAvx512(u64 *dst, const u64 *a, const u64 *b, const Modulus &mod,
+          size_t n)
+{
+    const __m512i q = bcast512(mod.value());
+    size_t c = 0;
+    for (; c + 8 <= n; c += 8) {
+        storeu512(dst + c,
+                  submodx8(loadu512(a + c), loadu512(b + c), q));
+    }
+    for (; c < n; ++c) {
+        dst[c] = mod.sub(a[c], b[c]);
+    }
+}
+
+void
+negAvx512(u64 *dst, const u64 *a, const Modulus &mod, size_t n)
+{
+    const __m512i q = bcast512(mod.value());
+    size_t c = 0;
+    for (; c + 8 <= n; c += 8) {
+        storeu512(dst + c, negmodx8(loadu512(a + c), q));
+    }
+    for (; c < n; ++c) {
+        dst[c] = mod.neg(a[c]);
+    }
+}
+
+void
+mulAvx512(u64 *dst, const u64 *a, const u64 *b, const Modulus &mod,
+          size_t n)
+{
+    const __m512i q = bcast512(mod.value());
+    const __m512i b_lo = bcast512(mod.barrettLo());
+    const __m512i b_hi = bcast512(mod.barrettHi());
+    size_t c = 0;
+    for (; c + 8 <= n; c += 8) {
+        __m512i x = loadu512(a + c);
+        __m512i y = loadu512(b + c);
+        storeu512(dst + c,
+                  barrett128x8(_mm512_mullo_epi64(x, y),
+                               mulhi64x8(x, y), q, b_lo, b_hi));
+    }
+    for (; c < n; ++c) {
+        dst[c] = mod.mul(a[c], b[c]);
+    }
+}
+
+void
+mulAddAvx512(u64 *dst, const u64 *a, const u64 *b, const Modulus &mod,
+             size_t n)
+{
+    const __m512i q = bcast512(mod.value());
+    const __m512i b_lo = bcast512(mod.barrettLo());
+    const __m512i b_hi = bcast512(mod.barrettHi());
+    const __m512i one = bcast512(1);
+    size_t c = 0;
+    for (; c + 8 <= n; c += 8) {
+        __m512i x = loadu512(a + c);
+        __m512i y = loadu512(b + c);
+        __m512i z_lo = _mm512_mullo_epi64(x, y);
+        __m512i z_hi = mulhi64x8(x, y);
+        __m512i d = loadu512(dst + c);
+        __m512i s = _mm512_add_epi64(z_lo, d);
+        __mmask8 carry = _mm512_cmplt_epu64_mask(s, d);
+        z_hi = _mm512_mask_add_epi64(z_hi, carry, z_hi, one);
+        storeu512(dst + c, barrett128x8(s, z_hi, q, b_lo, b_hi));
+    }
+    for (; c < n; ++c) {
+        dst[c] = mod.mulAdd(a[c], b[c], dst[c]);
+    }
+}
+
+void
+scalarMulAvx512(u64 *dst, const u64 *src, u64 scalar,
+                const Modulus &mod, size_t n)
+{
+    u64 pre = mod.shoupPrecompute(scalar);
+    const __m512i q = bcast512(mod.value());
+    const __m512i w = bcast512(scalar);
+    const __m512i wp = bcast512(pre);
+    size_t c = 0;
+    for (; c + 8 <= n; c += 8) {
+        storeu512(dst + c, mulshoupx8(loadu512(src + c), w, wp, q));
+    }
+    for (; c < n; ++c) {
+        dst[c] = mod.mulShoup(src[c], scalar, pre);
+    }
+}
+
+} // namespace
+
+const KernelSet *
+avx512KernelsOrNull()
+{
+    static const KernelSet set = {
+        Level::Avx512, 8,         nttForwardAvx512, nttInverseAvx512,
+        addAvx512,     subAvx512, negAvx512,        mulAvx512,
+        mulAddAvx512,  scalarMulAvx512,
+    };
+    return &set;
+}
+
+} // namespace simd
+} // namespace trinity
+
+#else // !(__AVX512F__ && __AVX512DQ__)
+
+namespace trinity {
+namespace simd {
+
+const KernelSet *
+avx512KernelsOrNull()
+{
+    return nullptr;
+}
+
+} // namespace simd
+} // namespace trinity
+
+#endif // __AVX512F__ && __AVX512DQ__

@@ -45,6 +45,8 @@ resolveThreadCount(size_t threads)
 
 ThreadPoolBackend::ThreadPoolBackend(size_t threads)
 {
+    // SIMD within each limb job; threads across the jobs of a batch.
+    useKernels(simd::kernelsForLevel(simd::resolveLevel()));
     size_t total = resolveThreadCount(threads);
     // The submitting thread always participates, so spawn total-1.
     workers_.reserve(total - 1);

@@ -1,10 +1,14 @@
 /**
  * @file
  * Multithreaded batch engine: fans limb jobs of a batch across a
- * persistent worker pool. The kernels themselves are the same code the
- * serial reference runs and every job touches a disjoint destination
- * limb, so results are bit-identical to SerialBackend regardless of
- * scheduling.
+ * persistent worker pool — threads across limbs — while each job's
+ * span executes through the dispatched SIMD KernelSet — SIMD within a
+ * limb (the ROADMAP's two-axis composition). Every job touches a
+ * disjoint destination limb and every kernel set computes the exact
+ * canonical residues of the scalar reference, so results are
+ * bit-identical to SerialBackend regardless of scheduling or lane
+ * width. TRINITY_SIMD_LEVEL=scalar recovers the pure thread-pool
+ * engine of PR 1.
  */
 
 #ifndef TRINITY_BACKEND_THREAD_POOL_BACKEND_H
@@ -37,6 +41,21 @@ class ThreadPoolBackend final : public PolyBackend
 
     const char *name() const override { return "threads"; }
     size_t threadCount() const override { return workers_.size() + 1; }
+
+    /**
+     * Both parallelism axes want feeding: enough jobs per batch to
+     * occupy every worker, and deep enough spans per fused request
+     * stream to keep each worker's vector lanes busy. Scale the base
+     * hint by half the lane width (empirically lanes saturate before
+     * jobs-per-lane does once threads already slice the batch).
+     */
+    size_t
+    preferredBatch() const override
+    {
+        size_t base = PolyBackend::preferredBatch();
+        size_t lanes = kernels().lanes;
+        return lanes > 1 ? base * (lanes / 2) : base;
+    }
 
   protected:
     void parallelFor(size_t count,

@@ -10,6 +10,8 @@
 #include <cctype>
 #include <cerrno>
 #include <cstdlib>
+#include <cstring>
+#include <string>
 
 #include "common/logging.h"
 #include "common/types.h"
@@ -40,6 +42,39 @@ envU64(const char *name, u64 &out)
     }
     out = static_cast<u64>(parsed);
     return true;
+}
+
+/**
+ * Read env var @p name as one of @p count fixed choices. Returns false
+ * when the variable is unset; on a match sets @p outIndex to the
+ * matching choice's index. Anything else is fatal with a message
+ * listing every valid value — engine knobs must never silently fall
+ * back on a typo (TRINITY_SIMD_LEVEL=axv2 running scalar would
+ * invalidate a benchmark run without anyone noticing).
+ */
+inline bool
+envChoice(const char *name, const char *const *choices, size_t count,
+          size_t &outIndex)
+{
+    const char *env = std::getenv(name);
+    if (env == nullptr) {
+        return false;
+    }
+    for (size_t i = 0; i < count; ++i) {
+        if (std::strcmp(env, choices[i]) == 0) {
+            outIndex = i;
+            return true;
+        }
+    }
+    std::string valid;
+    for (size_t i = 0; i < count; ++i) {
+        if (!valid.empty()) {
+            valid += ", ";
+        }
+        valid += choices[i];
+    }
+    trinity_fatal("invalid %s value '%s': expected one of %s", name, env,
+                  valid.c_str());
 }
 
 } // namespace trinity

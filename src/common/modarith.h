@@ -34,6 +34,12 @@ class Modulus
     /** The raw modulus value. */
     u64 value() const { return value_; }
 
+    /** High/low words of floor(2^128 / q) — the Barrett constant.
+     *  Exposed so vectorized engines can run the exact reduce128()
+     *  recurrence lane-parallel and stay bit-identical to it. */
+    u64 barrettHi() const { return barrettHi_; }
+    u64 barrettLo() const { return barrettLo_; }
+
     /** Number of significant bits in the modulus. */
     u32 bits() const;
 

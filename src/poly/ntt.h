@@ -40,6 +40,19 @@ class NttTable
     /** The primitive 2N-th root of unity psi used by this table. */
     u64 psi() const { return psi_; }
 
+    /** Bit-reversed forward twiddles psi^{bitrev(i)} and their Shoup
+     *  preconditioners — the exact tables forwardCore() walks, exposed
+     *  so SIMD engines can run the same butterfly network over wider
+     *  lanes without rebuilding (or re-deriving) any constants. */
+    const std::vector<u64> &psiBr() const { return psiBr_; }
+    const std::vector<u64> &psiBrPrecon() const { return psiBrPrecon_; }
+    /** Bit-reversed inverse twiddles psi^{-bitrev(i)} + preconditioners. */
+    const std::vector<u64> &ipsiBr() const { return ipsiBr_; }
+    const std::vector<u64> &ipsiBrPrecon() const { return ipsiBrPrecon_; }
+    /** N^{-1} mod q and its Shoup preconditioner (inverse scaling). */
+    u64 nInv() const { return nInv_; }
+    u64 nInvPrecon() const { return nInvPrecon_; }
+
     /** In-place forward negacyclic NTT: natural -> bit-reversed order. */
     void forward(u64 *a) const;
     void forward(std::vector<u64> &a) const { forward(a.data()); }

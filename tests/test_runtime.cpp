@@ -2,8 +2,8 @@
  * @file
  * Serving-runtime tests: bit-exactness of the batched PBS pipeline
  * against sequential bootstrapping (on whatever engine TRINITY_BACKEND
- * selects — CI sweeps serial/threads/sim), mixed test vectors in one
- * batch, queue aggregation under concurrent submitters, the
+ * selects — CI sweeps serial/threads/simd/sim), mixed test vectors in
+ * one batch, queue aggregation under concurrent submitters, the
  * batch-size/deadline policy, and the backend batch-sizing hints.
  */
 
@@ -209,7 +209,7 @@ TEST_F(RuntimeFixture, DestructorDrainsQueuedRequests)
 TEST(RuntimeOptions, EnginesReportPositiveBatchHints)
 {
     auto &reg = BackendRegistry::instance();
-    for (const char *name : {"serial", "threads"}) {
+    for (const char *name : {"serial", "threads", "simd"}) {
         auto engine = reg.create(name);
         EXPECT_GE(engine->preferredBatch(), engine->threadCount())
             << name;
