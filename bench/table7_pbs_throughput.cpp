@@ -11,15 +11,19 @@
  */
 
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "accel/configs.h"
 #include "accel/reported.h"
+#include "backend/command_stream.h"
 #include "backend/registry.h"
 #include "backend/sim_backend.h"
+#include "backend/thread_pool_backend.h"
 #include "bench/bench_util.h"
 #include "runtime/batched_pbs.h"
+#include "sim/machine.h"
 #include "workload/tfhe_ops.h"
 
 using namespace trinity;
@@ -54,31 +58,55 @@ measureCpuPbsOps(TfheGateBootstrapper &gb, const Budget &bd)
     return 1000.0 * iters / t.elapsedMs();
 }
 
+/** Sim pricing of one fused batch: amortized accelerator OPS plus
+ *  the sequential-charge and stream-overlapped makespans. */
+struct SimPricing
+{
+    double ops = 0;
+    double seqCycles = 0;
+    double overlappedCycles = 0;
+};
+
+/** One full-width lockstep execution of @p cts: the bench sweeps the
+ *  lockstep width B explicitly, so bypass run()'s preferredBatch()
+ *  chunking (a B=32 row must measure 32-wide lockstep, not four
+ *  8-wide chunks). */
+std::vector<LweCiphertext>
+runFullWidth(const runtime::BatchedBootstrapper &bb,
+             const std::vector<LweCiphertext> &cts)
+{
+    runtime::PbsBatch batch;
+    for (const auto &ct : cts) {
+        batch.add(ct, bb.signTestVector());
+    }
+    return bb.runChunked(batch, 0);
+}
+
 /** Batched throughput through the serving runtime at batch size B.
- *  If @p sim_ops is non-null, additionally prices one fused batch on
+ *  If @p sim is non-null, additionally prices one fused batch on
  *  the Trinity-TFHE machine model (latency = max(compute, transfer)
  *  ledger cycles) and returns the amortized accelerator OPS. */
 double
 measureBatchedPbsOps(TfheGateBootstrapper &gb,
                      const runtime::BatchedBootstrapper &bb, size_t B,
-                     const Budget &bd, double *sim_ops)
+                     const Budget &bd, SimPricing *sim)
 {
     std::vector<LweCiphertext> cts;
     cts.reserve(B);
     for (size_t i = 0; i < B; ++i) {
         cts.push_back(gb.encryptBit(i % 2 == 0));
     }
-    std::vector<LweCiphertext> out = bb.bootstrapSignBatch(cts); // warm
+    std::vector<LweCiphertext> out = runFullWidth(bb, cts); // warm
     Timer t;
     int batches = 0;
     while (batches < bd.minIters ||
            (t.elapsedMs() < bd.budgetMs && batches < bd.maxIters)) {
-        out = bb.bootstrapSignBatch(out);
+        out = runFullWidth(bb, out);
         ++batches;
     }
     double ops = 1000.0 * static_cast<double>(batches * B) /
                  t.elapsedMs();
-    if (sim_ops != nullptr) {
+    if (sim != nullptr) {
         // Re-run one fused batch under a real SimBackend: the
         // Ntt/Intt events only exist behind the ObservedBackend
         // decorator, so a bare observer would miss most of the work.
@@ -88,12 +116,38 @@ measureBatchedPbsOps(TfheGateBootstrapper &gb,
                                              accel::trinityTfhe(4)));
         SimBackend &sb = *activeSimBackend();
         sb.ledger().reset();
-        out = bb.bootstrapSignBatch(out);
-        *sim_ops = static_cast<double>(B) /
-                   sb.seconds(sb.ledger().latencyCycles());
+        out = runFullWidth(bb, out);
+        sim->ops = static_cast<double>(B) /
+                   sb.seconds(sb.ledger().overlappedLatencyCycles());
+        sim->seqCycles = sb.ledger().computeCycles();
+        sim->overlappedCycles = sb.ledger().overlappedCycles();
         reg.select(prev);
     }
     return ops;
+}
+
+/** Sync-vs-stream A/B on a freshly built thread-pool engine: the same
+ *  fused batch, first with eager record-order execution forced (every
+ *  recorded command a blocking per-command barrier — narrower batches
+ *  than PR 4's fused per-stage dispatches, so this isolates what the
+ *  pipelined executor buys over a barrier per command, not a
+ *  comparison against the old wide-batch path), then with the
+ *  pipelined command-stream executor. */
+void
+measureThreadsSyncVsStream(TfheGateBootstrapper &gb, size_t B,
+                           const Budget &bd, double *sync_ops,
+                           double *stream_ops)
+{
+    auto &reg = BackendRegistry::instance();
+    std::string prev = activeBackend().name();
+    reg.use(std::make_unique<ThreadPoolBackend>());
+    runtime::BatchedBootstrapper bb(gb);
+    overrideStreams(0);
+    *sync_ops = measureBatchedPbsOps(gb, bb, B, bd, nullptr);
+    overrideStreams(1);
+    *stream_ops = measureBatchedPbsOps(gb, bb, B, bd, nullptr);
+    overrideStreams(-1);
+    reg.select(prev);
 }
 
 } // namespace
@@ -131,16 +185,30 @@ main(int argc, char **argv)
             "measured");
         double best_ops = 0;
         for (size_t B : batch_sizes) {
-            double sim_ops = 0;
+            SimPricing sim;
             double ops = measureBatchedPbsOps(
-                gb, bb, B, batch_budget,
-                B == max_b ? &sim_ops : nullptr);
+                gb, bb, B, batch_budget, B == max_b ? &sim : nullptr);
             row("Batched-CPU B=" + std::to_string(B), p.name, ops, "OPS",
                 "measured");
             if (B == max_b) {
                 best_ops = ops;
                 row("Trinity-TFHE batched B=" + std::to_string(B),
-                    p.name, sim_ops, "OPS", "sim-priced");
+                    p.name, sim.ops, "OPS", "sim-priced");
+                // Sync-vs-stream makespans of the fused batch on the
+                // machine model: sequential charging vs the live
+                // list-scheduled stream, with the static scheduler's
+                // idealized makespan alongside.
+                std::string metric = p.name + " B=" +
+                                     std::to_string(B) + " makespan";
+                row("PBS-batch sync charge", metric, sim.seqCycles,
+                    "cyc", "sim-priced");
+                row("PBS-batch stream overlap", metric,
+                    sim.overlappedCycles, "cyc", "sim-priced");
+                row("PBS-batch static schedule", metric,
+                    sim::schedule(pbsBatchGraph(p, B),
+                                  accel::trinityTfhe(4))
+                        .makespanCycles,
+                    "cyc", "modelled");
             }
         }
         char speedup[128];
@@ -148,6 +216,22 @@ main(int argc, char **argv)
                       "%s: batched B=%zu speedup over per-call baseline "
                       "= %.2fx",
                       p.name.c_str(), max_b, best_ops / baseline);
+        note(speedup);
+        // Live stage-overlap A/B on the thread-pool engine: the same
+        // lockstep batch with a blocking barrier per recorded command
+        // vs the pipelined command-stream executor.
+        double sync_ops = 0;
+        double stream_ops = 0;
+        measureThreadsSyncVsStream(gb, max_b, batch_budget, &sync_ops,
+                                   &stream_ops);
+        row("Threads sync B=" + std::to_string(max_b), p.name, sync_ops,
+            "OPS", "measured");
+        row("Threads stream B=" + std::to_string(max_b), p.name,
+            stream_ops, "OPS", "measured");
+        std::snprintf(speedup, sizeof speedup,
+                      "%s: stream executor speedup over per-command "
+                      "blocking execution on threads = %.2fx",
+                      p.name.c_str(), stream_ops / sync_ops);
         note(speedup);
     }
     for (const auto &p : sets) {

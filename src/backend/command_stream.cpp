@@ -1,0 +1,417 @@
+#include "backend/command_stream.h"
+
+#include <atomic>
+
+#include "backend/kernel_events.h"
+#include "common/env.h"
+#include "common/logging.h"
+
+namespace trinity {
+
+namespace {
+
+/** -1: follow TRINITY_STREAMS; 0/1: forced by overrideStreams(). */
+std::atomic<int> g_streamsOverride{-1};
+
+} // namespace
+
+bool
+streamsEnabled()
+{
+    int forced = g_streamsOverride.load(std::memory_order_relaxed);
+    if (forced >= 0) {
+        return forced != 0;
+    }
+    static const bool enabled = [] {
+        static const char *const choices[] = {"on", "off"};
+        size_t idx = 0;
+        if (envChoice("TRINITY_STREAMS", choices, 2, idx)) {
+            return idx == 0;
+        }
+        return true;
+    }();
+    return enabled;
+}
+
+void
+overrideStreams(int mode)
+{
+    g_streamsOverride.store(mode < 0 ? -1 : (mode != 0 ? 1 : 0),
+                            std::memory_order_relaxed);
+}
+
+CommandStream::CommandStream(PolyBackend &owner) : owner_(owner)
+{
+    // Ids start at 1 so 0 can mean "no stream" in caller-side caches.
+    static std::atomic<u64> next_id{1};
+    id_ = next_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+CommandStream::Command::clearPayload(bool keep_events)
+{
+    ntt = {};
+    elt = {};
+    mad = {};
+    smul = {};
+    aut = {};
+    bconvIn = {};
+    bconvOut = {};
+    fn = nullptr;
+    if (!keep_events) {
+        events = {};
+    }
+}
+
+size_t
+CommandStream::Command::jobCount() const
+{
+    switch (op) {
+    case Op::NttFwd:
+    case Op::NttInv:
+        return ntt.size();
+    case Op::Mul:
+    case Op::Add:
+    case Op::Sub:
+    case Op::Neg:
+        return elt.size();
+    case Op::MulAdd:
+        return mad.size();
+    case Op::ScalarMul:
+        return smul.size();
+    case Op::Auto:
+        return aut.size();
+    case Op::BConv:
+        // The two BConv passes carry an internal barrier, so the
+        // command schedules as one unit and runs inline on a worker.
+        return 1;
+    case Op::Task:
+        return taskCount;
+    case Op::Fence:
+        return 0;
+    }
+    return 0;
+}
+
+Job
+CommandStream::record(Command c, std::vector<Job> deps)
+{
+    if (submitted_) {
+        trinity_fatal("CommandStream: recording after submit() — a "
+                      "stream records once, then executes");
+    }
+    trinity_assert(cmds_.size() < Job::kInvalid,
+                   "CommandStream: too many commands");
+    c.deps.reserve(deps.size());
+    for (Job d : deps) {
+        if (!d.valid()) {
+            continue; // first-iteration handles
+        }
+        trinity_assert(d.id < cmds_.size(),
+                       "CommandStream: dependency on a job not "
+                       "recorded in this stream");
+        c.deps.push_back(d.id);
+    }
+    // Stamp the record-time op scope into the kernel metadata so
+    // deferred executors attribute work to the operation that
+    // recorded it, not to whatever runs at execution time.
+    for (KernelEvent &ev : c.events) {
+        ev.scope = currentOpScope();
+    }
+    cmds_.push_back(std::move(c));
+    onRecord(cmds_.back());
+    return Job{static_cast<u32>(cmds_.size() - 1)};
+}
+
+Job
+CommandStream::nttForward(std::vector<NttJob> jobs, std::vector<Job> deps)
+{
+    Command c;
+    c.op = Op::NttFwd;
+    if (recordEvents_) {
+        c.events = {kernel_events::ntt(jobs.data(), jobs.size(), true)};
+    }
+    c.ntt = std::move(jobs);
+    return record(std::move(c), std::move(deps));
+}
+
+Job
+CommandStream::nttInverse(std::vector<NttJob> jobs, std::vector<Job> deps)
+{
+    Command c;
+    c.op = Op::NttInv;
+    if (recordEvents_) {
+        c.events = {
+            kernel_events::ntt(jobs.data(), jobs.size(), false)};
+    }
+    c.ntt = std::move(jobs);
+    return record(std::move(c), std::move(deps));
+}
+
+Job
+CommandStream::pointwiseMul(std::vector<EltwiseJob> jobs,
+                            std::vector<Job> deps)
+{
+    Command c;
+    c.op = Op::Mul;
+    if (recordEvents_) {
+        c.events = {kernel_events::eltwise(
+            sim::KernelType::ModMul, jobs.data(), jobs.size(), 24)};
+    }
+    c.elt = std::move(jobs);
+    return record(std::move(c), std::move(deps));
+}
+
+Job
+CommandStream::add(std::vector<EltwiseJob> jobs, std::vector<Job> deps)
+{
+    Command c;
+    c.op = Op::Add;
+    if (recordEvents_) {
+        c.events = {kernel_events::eltwise(
+            sim::KernelType::ModAdd, jobs.data(), jobs.size(), 24)};
+    }
+    c.elt = std::move(jobs);
+    return record(std::move(c), std::move(deps));
+}
+
+Job
+CommandStream::sub(std::vector<EltwiseJob> jobs, std::vector<Job> deps)
+{
+    Command c;
+    c.op = Op::Sub;
+    if (recordEvents_) {
+        c.events = {kernel_events::eltwise(
+            sim::KernelType::ModAdd, jobs.data(), jobs.size(), 24)};
+    }
+    c.elt = std::move(jobs);
+    return record(std::move(c), std::move(deps));
+}
+
+Job
+CommandStream::neg(std::vector<EltwiseJob> jobs, std::vector<Job> deps)
+{
+    Command c;
+    c.op = Op::Neg;
+    if (recordEvents_) {
+        c.events = {kernel_events::eltwise(
+            sim::KernelType::ModAdd, jobs.data(), jobs.size(), 16)};
+    }
+    c.elt = std::move(jobs);
+    return record(std::move(c), std::move(deps));
+}
+
+Job
+CommandStream::mulAdd(std::vector<MulAddJob> jobs, std::vector<Job> deps)
+{
+    Command c;
+    c.op = Op::MulAdd;
+    if (recordEvents_) {
+        c.events = {kernel_events::mulAdd(jobs.data(), jobs.size())};
+    }
+    c.mad = std::move(jobs);
+    return record(std::move(c), std::move(deps));
+}
+
+Job
+CommandStream::scalarMul(std::vector<ScalarMulJob> jobs,
+                         std::vector<Job> deps)
+{
+    Command c;
+    c.op = Op::ScalarMul;
+    if (recordEvents_) {
+        c.events = {
+            kernel_events::scalarMul(jobs.data(), jobs.size())};
+    }
+    c.smul = std::move(jobs);
+    return record(std::move(c), std::move(deps));
+}
+
+Job
+CommandStream::automorphism(std::vector<AutoJob> jobs,
+                            std::vector<Job> deps)
+{
+    Command c;
+    c.op = Op::Auto;
+    if (recordEvents_) {
+        c.events = {
+            kernel_events::automorphism(jobs.data(), jobs.size())};
+    }
+    c.aut = std::move(jobs);
+    return record(std::move(c), std::move(deps));
+}
+
+Job
+CommandStream::baseConvert(const BConvPlan &plan,
+                           std::vector<const u64 *> in,
+                           std::vector<u64 *> out, size_t n,
+                           std::vector<Job> deps)
+{
+    trinity_assert(in.size() == plan.numFrom && out.size() == plan.numTo,
+                   "baseConvert: limb pointer count mismatch");
+    Command c;
+    c.op = Op::BConv;
+    if (recordEvents_) {
+        c.events = {kernel_events::baseConvert(plan, n)};
+    }
+    c.plan = plan;
+    c.bconvIn = std::move(in);
+    c.bconvOut = std::move(out);
+    c.bconvN = n;
+    return record(std::move(c), std::move(deps));
+}
+
+Job
+CommandStream::task(size_t count, std::function<void(size_t)> fn,
+                    std::vector<Job> deps,
+                    std::vector<KernelEvent> events)
+{
+    Command c;
+    c.op = Op::Task;
+    c.taskCount = count;
+    c.fn = std::move(fn);
+    c.events = std::move(events);
+    return record(std::move(c), std::move(deps));
+}
+
+Event
+CommandStream::fence()
+{
+    Command c;
+    c.op = Op::Fence;
+    std::vector<Job> deps;
+    deps.reserve(cmds_.size());
+    for (size_t i = 0; i < cmds_.size(); ++i) {
+        deps.push_back(Job{static_cast<u32>(i)});
+    }
+    return record(std::move(c), std::move(deps));
+}
+
+void
+CommandStream::submit()
+{
+    if (submitted_) {
+        trinity_fatal("CommandStream: submit() called twice");
+    }
+    submitted_ = true;
+    onSubmit();
+}
+
+void
+CommandStream::wait()
+{
+    if (!submitted_) {
+        trinity_fatal("wait() on an unsubmitted CommandStream (%zu "
+                      "recorded commands would never run) — call "
+                      "submit() first",
+                      cmds_.size());
+    }
+    onWait();
+}
+
+void
+CommandStream::executeBlocking(PolyBackend &b, const Command &c)
+{
+    switch (c.op) {
+    case Op::NttFwd:
+        b.nttForwardBatch(c.ntt.data(), c.ntt.size());
+        break;
+    case Op::NttInv:
+        b.nttInverseBatch(c.ntt.data(), c.ntt.size());
+        break;
+    case Op::Mul:
+        b.pointwiseMulBatch(c.elt.data(), c.elt.size());
+        break;
+    case Op::Add:
+        b.addBatch(c.elt.data(), c.elt.size());
+        break;
+    case Op::Sub:
+        b.subBatch(c.elt.data(), c.elt.size());
+        break;
+    case Op::Neg:
+        b.negBatch(c.elt.data(), c.elt.size());
+        break;
+    case Op::MulAdd:
+        b.mulAddBatch(c.mad.data(), c.mad.size());
+        break;
+    case Op::ScalarMul:
+        b.scalarMulBatch(c.smul.data(), c.smul.size());
+        break;
+    case Op::Auto:
+        b.automorphismBatch(c.aut.data(), c.aut.size());
+        break;
+    case Op::BConv:
+        b.baseConvert(c.plan, c.bconvIn.data(), c.bconvOut.data(),
+                      c.bconvN);
+        break;
+    case Op::Task:
+        b.run(c.taskCount, c.fn);
+        break;
+    case Op::Fence:
+        break;
+    }
+}
+
+void
+CommandStream::executeJob(PolyBackend &b, const Command &c, size_t i)
+{
+    switch (c.op) {
+    case Op::NttFwd:
+        b.nttForwardBatch(&c.ntt[i], 1);
+        break;
+    case Op::NttInv:
+        b.nttInverseBatch(&c.ntt[i], 1);
+        break;
+    case Op::Mul:
+        b.pointwiseMulBatch(&c.elt[i], 1);
+        break;
+    case Op::Add:
+        b.addBatch(&c.elt[i], 1);
+        break;
+    case Op::Sub:
+        b.subBatch(&c.elt[i], 1);
+        break;
+    case Op::Neg:
+        b.negBatch(&c.elt[i], 1);
+        break;
+    case Op::MulAdd:
+        b.mulAddBatch(&c.mad[i], 1);
+        break;
+    case Op::ScalarMul:
+        b.scalarMulBatch(&c.smul[i], 1);
+        break;
+    case Op::Auto:
+        b.automorphismBatch(&c.aut[i], 1);
+        break;
+    case Op::BConv:
+        b.baseConvert(c.plan, c.bconvIn.data(), c.bconvOut.data(),
+                      c.bconvN);
+        break;
+    case Op::Task:
+        c.fn(i);
+        break;
+    case Op::Fence:
+        break;
+    }
+}
+
+void
+EagerStream::onRecord(Command &c)
+{
+    // The blocking path announced escape-hatch kernels via explicit
+    // emitKernel() calls before run(); replay the recorded metadata so
+    // observers see the same events in the same order. Named batch ops
+    // emit through the engine's own decorator (if any), exactly as a
+    // direct blocking call would.
+    if (c.op == Op::Task && profilingActive()) {
+        for (const KernelEvent &ev : c.events) {
+            emitKernelPrestamped(ev); // scope stamped at record
+        }
+    }
+    executeBlocking(owner_, c);
+    // Nothing reads the command after execution; drop the payload so
+    // a long recording does not accumulate every job vector/closure.
+    c.clearPayload(/*keep_events=*/false);
+}
+
+} // namespace trinity

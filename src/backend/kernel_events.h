@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Shared derivation of KernelEvents from batch job descriptors — the
+ * single source of truth for how each batched entry point maps onto an
+ * accelerator kernel class and its off-chip byte volume. Used by the
+ * ObservedBackend decorator (blocking path) and by CommandStream
+ * recording (async path) so both report identical volumes for the
+ * same work.
+ */
+
+#ifndef TRINITY_BACKEND_KERNEL_EVENTS_H
+#define TRINITY_BACKEND_KERNEL_EVENTS_H
+
+#include "backend/observer.h"
+#include "backend/poly_backend.h"
+
+namespace trinity {
+namespace kernel_events {
+
+/** Sum of job lengths for an array of jobs with an `n` member. */
+template <typename JobT>
+inline u64
+totalElems(const JobT *jobs, size_t count)
+{
+    u64 sum = 0;
+    for (size_t i = 0; i < count; ++i) {
+        sum += jobs[i].n;
+    }
+    return sum;
+}
+
+inline KernelEvent
+make(sim::KernelType type, u64 elements, u64 poly_len, u64 bytes_per_elem)
+{
+    KernelEvent ev;
+    ev.type = type;
+    ev.elements = elements;
+    ev.polyLen = poly_len;
+    ev.bytes = bytes_per_elem * elements;
+    return ev;
+}
+
+/** In-place transform: one read + one write per element. */
+inline KernelEvent
+ntt(const NttJob *jobs, size_t count, bool forward)
+{
+    u64 n = count > 0 ? jobs[0].table->n() : 0;
+    return make(forward ? sim::KernelType::Ntt : sim::KernelType::Intt,
+                count * n, n, 16);
+}
+
+/** Binary element-wise kernels: two operand reads + one write. */
+inline KernelEvent
+eltwise(sim::KernelType type, const EltwiseJob *jobs, size_t count,
+        u64 bytes_per_elem)
+{
+    return make(type, totalElems(jobs, count),
+                count > 0 ? jobs[0].n : 0, bytes_per_elem);
+}
+
+/** Accumulator read + write plus both operand reads. */
+inline KernelEvent
+mulAdd(const MulAddJob *jobs, size_t count)
+{
+    return make(sim::KernelType::Ip, totalElems(jobs, count),
+                count > 0 ? jobs[0].n : 0, 32);
+}
+
+inline KernelEvent
+scalarMul(const ScalarMulJob *jobs, size_t count)
+{
+    return make(sim::KernelType::ModMul, totalElems(jobs, count),
+                count > 0 ? jobs[0].n : 0, 16);
+}
+
+inline KernelEvent
+automorphism(const AutoJob *jobs, size_t count)
+{
+    return make(sim::KernelType::Auto, totalElems(jobs, count),
+                count > 0 ? jobs[0].n : 0, 16);
+}
+
+/** The BConv matrix product: k x l MACs per coefficient; traffic is
+ *  the limb matrix in and out, not the MAC volume. */
+inline KernelEvent
+baseConvert(const BConvPlan &plan, size_t n)
+{
+    KernelEvent ev;
+    ev.type = sim::KernelType::Bconv;
+    ev.elements = static_cast<u64>(n) * plan.numFrom * plan.numTo;
+    ev.polyLen = n;
+    ev.bytes = 8 * static_cast<u64>(n) * (plan.numFrom + plan.numTo);
+    return ev;
+}
+
+} // namespace kernel_events
+} // namespace trinity
+
+#endif // TRINITY_BACKEND_KERNEL_EVENTS_H

@@ -1,38 +1,15 @@
 #include "backend/observed_backend.h"
 
+#include "backend/kernel_events.h"
 #include "common/logging.h"
 
 namespace trinity {
 
 using sim::KernelType;
 
-namespace {
-
-/** Sum of job lengths for an array of jobs with an `n` member. */
-template <typename Job>
-u64
-totalElems(const Job *jobs, size_t count)
-{
-    u64 sum = 0;
-    for (size_t i = 0; i < count; ++i) {
-        sum += jobs[i].n;
-    }
-    return sum;
-}
-
-KernelEvent
-makeEvent(KernelType type, u64 elements, u64 poly_len,
-          u64 bytes_per_elem)
-{
-    KernelEvent ev;
-    ev.type = type;
-    ev.elements = elements;
-    ev.polyLen = poly_len;
-    ev.bytes = bytes_per_elem * elements;
-    return ev;
-}
-
-} // namespace
+// Event derivation lives in backend/kernel_events.h, shared with the
+// CommandStream recorder so the blocking and async paths report
+// identical volumes for the same work.
 
 ObservedBackend::ObservedBackend(std::unique_ptr<PolyBackend> inner)
     : inner_(std::move(inner))
@@ -44,9 +21,7 @@ void
 ObservedBackend::nttForwardBatch(const NttJob *jobs, size_t count)
 {
     if (profilingActive() && count > 0) {
-        u64 n = jobs[0].table->n();
-        // In-place transform: one read + one write per element.
-        emitKernel(makeEvent(KernelType::Ntt, count * n, n, 16));
+        emitKernel(kernel_events::ntt(jobs, count, true));
     }
     inner_->nttForwardBatch(jobs, count);
 }
@@ -55,8 +30,7 @@ void
 ObservedBackend::nttInverseBatch(const NttJob *jobs, size_t count)
 {
     if (profilingActive() && count > 0) {
-        u64 n = jobs[0].table->n();
-        emitKernel(makeEvent(KernelType::Intt, count * n, n, 16));
+        emitKernel(kernel_events::ntt(jobs, count, false));
     }
     inner_->nttInverseBatch(jobs, count);
 }
@@ -65,9 +39,8 @@ void
 ObservedBackend::pointwiseMulBatch(const EltwiseJob *jobs, size_t count)
 {
     if (profilingActive() && count > 0) {
-        u64 e = totalElems(jobs, count);
-        // Two operand reads + one result write.
-        emitKernel(makeEvent(KernelType::ModMul, e, jobs[0].n, 24));
+        emitKernel(
+            kernel_events::eltwise(KernelType::ModMul, jobs, count, 24));
     }
     inner_->pointwiseMulBatch(jobs, count);
 }
@@ -76,8 +49,8 @@ void
 ObservedBackend::addBatch(const EltwiseJob *jobs, size_t count)
 {
     if (profilingActive() && count > 0) {
-        u64 e = totalElems(jobs, count);
-        emitKernel(makeEvent(KernelType::ModAdd, e, jobs[0].n, 24));
+        emitKernel(
+            kernel_events::eltwise(KernelType::ModAdd, jobs, count, 24));
     }
     inner_->addBatch(jobs, count);
 }
@@ -86,8 +59,8 @@ void
 ObservedBackend::subBatch(const EltwiseJob *jobs, size_t count)
 {
     if (profilingActive() && count > 0) {
-        u64 e = totalElems(jobs, count);
-        emitKernel(makeEvent(KernelType::ModAdd, e, jobs[0].n, 24));
+        emitKernel(
+            kernel_events::eltwise(KernelType::ModAdd, jobs, count, 24));
     }
     inner_->subBatch(jobs, count);
 }
@@ -96,8 +69,8 @@ void
 ObservedBackend::negBatch(const EltwiseJob *jobs, size_t count)
 {
     if (profilingActive() && count > 0) {
-        u64 e = totalElems(jobs, count);
-        emitKernel(makeEvent(KernelType::ModAdd, e, jobs[0].n, 16));
+        emitKernel(
+            kernel_events::eltwise(KernelType::ModAdd, jobs, count, 16));
     }
     inner_->negBatch(jobs, count);
 }
@@ -106,9 +79,7 @@ void
 ObservedBackend::mulAddBatch(const MulAddJob *jobs, size_t count)
 {
     if (profilingActive() && count > 0) {
-        u64 e = totalElems(jobs, count);
-        // Accumulator read + write plus both operand reads.
-        emitKernel(makeEvent(KernelType::Ip, e, jobs[0].n, 32));
+        emitKernel(kernel_events::mulAdd(jobs, count));
     }
     inner_->mulAddBatch(jobs, count);
 }
@@ -117,8 +88,7 @@ void
 ObservedBackend::scalarMulBatch(const ScalarMulJob *jobs, size_t count)
 {
     if (profilingActive() && count > 0) {
-        u64 e = totalElems(jobs, count);
-        emitKernel(makeEvent(KernelType::ModMul, e, jobs[0].n, 16));
+        emitKernel(kernel_events::scalarMul(jobs, count));
     }
     inner_->scalarMulBatch(jobs, count);
 }
@@ -127,8 +97,7 @@ void
 ObservedBackend::automorphismBatch(const AutoJob *jobs, size_t count)
 {
     if (profilingActive() && count > 0) {
-        u64 e = totalElems(jobs, count);
-        emitKernel(makeEvent(KernelType::Auto, e, jobs[0].n, 16));
+        emitKernel(kernel_events::automorphism(jobs, count));
     }
     inner_->automorphismBatch(jobs, count);
 }
@@ -138,15 +107,7 @@ ObservedBackend::baseConvert(const BConvPlan &plan, const u64 *const *in,
                              u64 *const *out, size_t n)
 {
     if (profilingActive()) {
-        KernelEvent ev;
-        ev.type = KernelType::Bconv;
-        // The BConv matrix product: k x l MACs per coefficient.
-        ev.elements = static_cast<u64>(n) * plan.numFrom * plan.numTo;
-        ev.polyLen = n;
-        // Traffic is the limb matrix in and out, not the MAC volume.
-        ev.bytes = 8 * static_cast<u64>(n) *
-                   (plan.numFrom + plan.numTo);
-        emitKernel(ev);
+        emitKernel(kernel_events::baseConvert(plan, n));
     }
     inner_->baseConvert(plan, in, out, n);
 }

@@ -50,10 +50,16 @@ profilingActive()
 void
 emitKernel(KernelEvent ev)
 {
+    ev.scope = currentOpScope();
+    emitKernelPrestamped(ev);
+}
+
+void
+emitKernelPrestamped(const KernelEvent &ev)
+{
     if (!profilingActive()) {
         return;
     }
-    ev.scope = currentOpScope();
     std::lock_guard<std::mutex> lock(g_observerMtx);
     for (BackendObserver *obs : g_observers) {
         obs->onKernel(ev);

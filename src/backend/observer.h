@@ -73,6 +73,13 @@ bool profilingActive();
  */
 void emitKernel(KernelEvent ev);
 
+/**
+ * Deliver @p ev with its scope field untouched — for deferred
+ * executors replaying events recorded (and scope-stamped) earlier,
+ * where the emission-time scope may no longer be the recording one.
+ */
+void emitKernelPrestamped(const KernelEvent &ev);
+
 /** Convenience: emit type/elements with default 16 bytes/element. */
 void emitKernel(sim::KernelType type, u64 elements, u64 poly_len);
 

@@ -2,9 +2,16 @@
 
 #include <vector>
 
+#include "backend/command_stream.h"
 #include "common/logging.h"
 
 namespace trinity {
+
+std::unique_ptr<CommandStream>
+PolyBackend::newStream()
+{
+    return std::make_unique<EagerStream>(*this);
+}
 
 // The named limb kernels run through the installed simd::KernelSet
 // (scalar by default — the reference every wider set is bit-identical

@@ -28,6 +28,7 @@
 
 #include <cstddef>
 #include <functional>
+#include <memory>
 
 #include "backend/simd_kernels.h"
 #include "common/modarith.h"
@@ -35,6 +36,8 @@
 #include "poly/ntt.h"
 
 namespace trinity {
+
+class CommandStream;
 
 /** One in-place NTT over a single limb. */
 struct NttJob
@@ -139,6 +142,18 @@ class PolyBackend
         size_t t = threadCount();
         return t < 8 ? 8 : t;
     }
+
+    /**
+     * Open an asynchronous command stream (see
+     * backend/command_stream.h): callers record dependent batch jobs
+     * and the engine executes them with whatever overlap its executor
+     * supports. The default is the eager executor — every command
+     * runs at record time through the blocking entry points, so
+     * engines without their own executor behave exactly as before.
+     * Engines with real concurrency (thread pool) or a timing model
+     * (sim) override this with pipelined / overlap-priced executors.
+     */
+    virtual std::unique_ptr<CommandStream> newStream();
 
     /** Forward negacyclic NTT over a batch of limbs. */
     virtual void nttForwardBatch(const NttJob *jobs, size_t count);

@@ -58,6 +58,24 @@ class SimBackend final : public ObservedBackend
 
     const char *name() const override { return "sim"; }
 
+    /**
+     * Overlap-priced command stream: commands execute functionally on
+     * the inner engine at record time (bit-identical to the blocking
+     * path), and submit() charges the recorded DAG through
+     * Machine::canRun/charge with a live list-schedule — kernels on
+     * different pools overlap when their dependencies allow, exactly
+     * as sim::schedule() treats a static graph. The stream's makespan
+     * advances the ledger's overlapped estimate
+     * (TimingLedger::overlappedCycles) while the per-kernel cells stay
+     * identical to sequential charging. TRINITY_STREAMS=off falls
+     * back to the eager decorator path. Note: stream-recorded kernels
+     * are booked into this backend's ledger directly and are NOT
+     * delivered to other globally installed BackendObservers (the
+     * blocking path notifies every observer); run with streams off
+     * when an extra observer must see the full event stream.
+     */
+    std::unique_ptr<CommandStream> newStream() override;
+
     sim::TimingLedger &ledger() { return observer_.ledger(); }
     const sim::TimingLedger &ledger() const { return observer_.ledger(); }
     const sim::Machine &machine() const { return observer_.machine(); }

@@ -1,5 +1,8 @@
 #include "backend/thread_pool_backend.h"
 
+#include <deque>
+
+#include "backend/command_stream.h"
 #include "common/env.h"
 #include "common/logging.h"
 
@@ -41,7 +44,250 @@ resolveThreadCount(size_t threads)
     return threads == 0 ? hw : threads;
 }
 
+// ------------------------------------------------------------------
+// Coefficient-tiled NTT: split one transform across workers. Every
+// stage's butterflies touch disjoint (j, j+t) pairs, so a stage can be
+// chunked freely with a barrier between stages; and once the CT
+// network's block count reaches `tiles` the remaining stages decompose
+// into `tiles` independent contiguous regions (mirrored for the GS
+// inverse network, whose early stages are the local ones). All
+// arithmetic is the exact canonical butterfly of NttTable::forward/
+// inverse, so tiling never changes a single bit of the result.
+
+/** Butterflies [b0, b1) of forward stage m (t = n / 2m). */
+void
+forwardStageChunk(const NttTable &tb, u64 *a, size_t m, size_t b0,
+                  size_t b1)
+{
+    const Modulus &mod = tb.modulus();
+    const auto &tw = tb.psiBr();
+    const auto &twp = tb.psiBrPrecon();
+    size_t t = tb.n() / (2 * m);
+    for (size_t b = b0; b < b1; ++b) {
+        size_t i = b / t;
+        size_t j = 2 * i * t + (b % t);
+        u64 s = tw[m + i];
+        u64 sp = twp[m + i];
+        u64 u = a[j];
+        u64 v = mod.mulShoup(a[j + t], s, sp);
+        a[j] = mod.add(u, v);
+        a[j + t] = mod.sub(u, v);
+    }
+}
+
+/** Forward stages m = mFirst..n/2, blocks of region r of `tiles`. */
+void
+forwardRegion(const NttTable &tb, u64 *a, size_t m_first, size_t tiles,
+              size_t r)
+{
+    size_t n = tb.n();
+    const Modulus &mod = tb.modulus();
+    const auto &tw = tb.psiBr();
+    const auto &twp = tb.psiBrPrecon();
+    size_t t = n / (2 * m_first);
+    for (size_t m = m_first; m < n; m <<= 1) {
+        size_t bpr = m / tiles; // blocks per region at this stage
+        for (size_t i = r * bpr; i < (r + 1) * bpr; ++i) {
+            u64 s = tw[m + i];
+            u64 sp = twp[m + i];
+            size_t j0 = 2 * i * t;
+            for (size_t j = j0; j < j0 + t; ++j) {
+                u64 u = a[j];
+                u64 v = mod.mulShoup(a[j + t], s, sp);
+                a[j] = mod.add(u, v);
+                a[j + t] = mod.sub(u, v);
+            }
+        }
+        t >>= 1;
+    }
+}
+
+/** Inverse stages m = n..2*tiles (h >= tiles), region r of `tiles`. */
+void
+inverseRegion(const NttTable &tb, u64 *a, size_t tiles, size_t r)
+{
+    size_t n = tb.n();
+    const Modulus &mod = tb.modulus();
+    const auto &tw = tb.ipsiBr();
+    const auto &twp = tb.ipsiBrPrecon();
+    size_t t = 1;
+    for (size_t m = n; m >= 2 * tiles; m >>= 1) {
+        size_t h = m >> 1;
+        size_t bpr = h / tiles;
+        for (size_t i = r * bpr; i < (r + 1) * bpr; ++i) {
+            u64 s = tw[h + i];
+            u64 sp = twp[h + i];
+            size_t j0 = 2 * i * t;
+            for (size_t j = j0; j < j0 + t; ++j) {
+                u64 u = a[j];
+                u64 v = a[j + t];
+                a[j] = mod.add(u, v);
+                a[j + t] = mod.mulShoup(mod.sub(u, v), s, sp);
+            }
+        }
+        t <<= 1;
+    }
+}
+
+/** Butterflies [b0, b1) of inverse stage m (h = m/2 < tiles). */
+void
+inverseStageChunk(const NttTable &tb, u64 *a, size_t m, size_t b0,
+                  size_t b1)
+{
+    const Modulus &mod = tb.modulus();
+    const auto &tw = tb.ipsiBr();
+    const auto &twp = tb.ipsiBrPrecon();
+    size_t h = m >> 1;
+    size_t t = tb.n() / m;
+    for (size_t b = b0; b < b1; ++b) {
+        size_t i = b / t;
+        size_t j = 2 * i * t + (b % t);
+        u64 s = tw[h + i];
+        u64 sp = twp[h + i];
+        u64 u = a[j];
+        u64 v = a[j + t];
+        a[j] = mod.add(u, v);
+        a[j + t] = mod.mulShoup(mod.sub(u, v), s, sp);
+    }
+}
+
+/** N^{-1} scaling of coefficients [c0, c1) (inverse epilogue). */
+void
+inverseScaleChunk(const NttTable &tb, u64 *a, size_t c0, size_t c1)
+{
+    const Modulus &mod = tb.modulus();
+    u64 s = tb.nInv();
+    u64 sp = tb.nInvPrecon();
+    for (size_t j = c0; j < c1; ++j) {
+        a[j] = mod.mulShoup(a[j], s, sp);
+    }
+}
+
 } // namespace
+
+/**
+ * Pipelined command-stream executor: a dependency-counting ready
+ * queue drained by every pool worker (plus the submitting thread)
+ * through one parallelFor dispatch. Workers claim individual jobs of
+ * ready commands, so independent commands overlap freely — the NTT of
+ * lockstep step i+1 runs under the MAC of step i — and a whole
+ * recorded stream costs one pool wake/sleep cycle instead of one per
+ * stage. Mutual exclusion on the scheduling state establishes the
+ * happens-before edges of every dependency, so results stay
+ * bit-identical to eager record-order execution.
+ */
+class PipelinedStream final : public CommandStream
+{
+  public:
+    using CommandStream::CommandStream;
+
+    bool deferredExecution() const override { return true; }
+
+  protected:
+    void
+    onRecord(Command &) override
+    {
+        // Deferred: execution happens at submit().
+    }
+
+    void
+    onSubmit() override
+    {
+        // Blocking-path parity: escape-hatch kernels announce their
+        // recorded metadata in record order (named ops on this engine
+        // never emitted events — there is no decorator here). The
+        // events carry their record-time scope, so deliver them
+        // without the emission-time restamp.
+        if (profilingActive()) {
+            for (const Command &c : cmds_) {
+                if (c.op == Op::Task) {
+                    for (const KernelEvent &ev : c.events) {
+                        emitKernelPrestamped(ev);
+                    }
+                }
+            }
+        }
+        execute();
+    }
+
+  private:
+    void
+    execute()
+    {
+        size_t n = cmds_.size();
+        if (n == 0) {
+            return;
+        }
+        std::vector<size_t> next_job(n, 0);
+        std::vector<size_t> done_jobs(n, 0);
+        std::vector<size_t> deps_left(n, 0);
+        std::vector<std::vector<u32>> dependents(n);
+        std::deque<u32> ready;
+        size_t remaining = n;
+        std::mutex mtx;
+        std::condition_variable cv;
+
+        for (size_t i = 0; i < n; ++i) {
+            deps_left[i] = cmds_[i].deps.size();
+            for (u32 d : cmds_[i].deps) {
+                dependents[d].push_back(static_cast<u32>(i));
+            }
+        }
+        // Completion under the lock: retire the command and cascade —
+        // zero-job commands (fences) complete the moment they are
+        // unblocked instead of occupying the ready queue.
+        std::function<void(u32)> complete = [&](u32 id) {
+            --remaining;
+            for (u32 dep : dependents[id]) {
+                if (--deps_left[dep] == 0) {
+                    if (cmds_[dep].jobCount() == 0) {
+                        complete(dep);
+                    } else {
+                        ready.push_back(dep);
+                    }
+                }
+            }
+        };
+        for (size_t i = 0; i < n; ++i) {
+            if (deps_left[i] == 0 && cmds_[i].deps.empty()) {
+                if (cmds_[i].jobCount() == 0) {
+                    complete(static_cast<u32>(i));
+                } else {
+                    ready.push_back(static_cast<u32>(i));
+                }
+            }
+        }
+        PolyBackend &b = owner_;
+        b.run(b.threadCount(), [&](size_t) {
+            std::unique_lock<std::mutex> lk(mtx);
+            for (;;) {
+                if (remaining == 0) {
+                    cv.notify_all();
+                    return;
+                }
+                if (ready.empty()) {
+                    cv.wait(lk, [&] {
+                        return remaining == 0 || !ready.empty();
+                    });
+                    continue;
+                }
+                u32 id = ready.front();
+                size_t job = next_job[id]++;
+                size_t total = cmds_[id].jobCount();
+                if (next_job[id] >= total) {
+                    ready.pop_front();
+                }
+                lk.unlock();
+                executeJob(b, cmds_[id], job);
+                lk.lock();
+                if (++done_jobs[id] == total) {
+                    complete(id);
+                    cv.notify_all();
+                }
+            }
+        });
+    }
+};
 
 ThreadPoolBackend::ThreadPoolBackend(size_t threads)
 {
@@ -65,6 +311,113 @@ ThreadPoolBackend::~ThreadPoolBackend()
     for (auto &w : workers_) {
         w.join();
     }
+}
+
+std::unique_ptr<CommandStream>
+ThreadPoolBackend::newStream()
+{
+    // Pipelining needs workers to overlap onto; a re-entrant stream
+    // (recorded from inside a pool job) must not dispatch on the pool
+    // it is running on. Both degrade gracefully to eager execution,
+    // as does the TRINITY_STREAMS=off kill switch.
+    if (!streamsEnabled() || workers_.empty() || tls_in_worker) {
+        return std::make_unique<EagerStream>(*this);
+    }
+    return std::make_unique<PipelinedStream>(*this);
+}
+
+bool
+ThreadPoolBackend::nttBatchTiled(const NttJob *jobs, size_t count,
+                                 bool forward)
+{
+    // Tiling pays stage-barrier overhead to recruit idle workers, so
+    // engage it only when limb fan-out alone cannot feed the pool:
+    // few jobs relative to workers, a transform long enough to
+    // amortize the barriers, and scalar kernels (wider lanes already
+    // sweep a limb's span without any synchronization).
+    size_t workers = threadCount();
+    if (count == 0 || tls_in_worker || kernels().lanes != 1 ||
+        count * 2 > workers) {
+        return false;
+    }
+    size_t n = jobs[0].table->n();
+    if (n < 1024) {
+        return false;
+    }
+    for (size_t i = 1; i < count; ++i) {
+        if (jobs[i].table->n() != n) {
+            return false; // mixed lengths: uniform chunking impossible
+        }
+    }
+    size_t tiles = 1;
+    while (tiles * 2 * count <= workers) {
+        tiles <<= 1;
+    }
+    while (tiles > 1 && n / tiles < 256) {
+        tiles >>= 1;
+    }
+    if (tiles < 2) {
+        return false;
+    }
+    size_t units = count * tiles;
+    size_t bchunk = (n / 2) / tiles; // butterflies per chunk per stage
+    size_t cchunk = n / tiles;       // coefficients per region
+    if (forward) {
+        // Global stages (few large-span blocks), then independent
+        // contiguous regions for the bulk of the network.
+        for (size_t m = 1; m < tiles; m <<= 1) {
+            parallelFor(units, [&](size_t u) {
+                const NttJob &j = jobs[u / tiles];
+                size_t c = u % tiles;
+                forwardStageChunk(*j.table, j.data, m, c * bchunk,
+                                  (c + 1) * bchunk);
+            });
+        }
+        parallelFor(units, [&](size_t u) {
+            const NttJob &j = jobs[u / tiles];
+            forwardRegion(*j.table, j.data, tiles, tiles, u % tiles);
+        });
+    } else {
+        // Mirror image: independent regions first, then the global
+        // stages, then the N^{-1} scaling epilogue.
+        parallelFor(units, [&](size_t u) {
+            const NttJob &j = jobs[u / tiles];
+            inverseRegion(*j.table, j.data, tiles, u % tiles);
+        });
+        for (size_t m = tiles; m > 1; m >>= 1) {
+            parallelFor(units, [&](size_t u) {
+                const NttJob &j = jobs[u / tiles];
+                size_t c = u % tiles;
+                inverseStageChunk(*j.table, j.data, m, c * bchunk,
+                                  (c + 1) * bchunk);
+            });
+        }
+        parallelFor(units, [&](size_t u) {
+            const NttJob &j = jobs[u / tiles];
+            size_t c = u % tiles;
+            inverseScaleChunk(*j.table, j.data, c * cchunk,
+                              (c + 1) * cchunk);
+        });
+    }
+    return true;
+}
+
+void
+ThreadPoolBackend::nttForwardBatch(const NttJob *jobs, size_t count)
+{
+    if (nttBatchTiled(jobs, count, true)) {
+        return;
+    }
+    PolyBackend::nttForwardBatch(jobs, count);
+}
+
+void
+ThreadPoolBackend::nttInverseBatch(const NttJob *jobs, size_t count)
+{
+    if (nttBatchTiled(jobs, count, false)) {
+        return;
+    }
+    PolyBackend::nttInverseBatch(jobs, count);
 }
 
 void

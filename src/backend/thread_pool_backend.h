@@ -9,6 +9,17 @@
  * bit-identical to SerialBackend regardless of scheduling or lane
  * width. TRINITY_SIMD_LEVEL=scalar recovers the pure thread-pool
  * engine of PR 1.
+ *
+ * Two paths widen beyond plain batch fan-out:
+ *  - newStream() returns a pipelined executor: recorded commands run
+ *    on the pool the moment their dependencies resolve, so e.g. the
+ *    NTT of blind-rotation step i+1 overlaps the MAC of step i
+ *    instead of waiting behind a per-stage barrier;
+ *  - underfull NTT batches (fewer limb jobs than workers, as in
+ *    TFHE's N=1024 PBS shapes) are coefficient-tiled: each transform
+ *    splits across workers stage by stage, exploiting that every NTT
+ *    stage's butterflies are independent and that the tail (head) of
+ *    the CT (GS) network decomposes into disjoint sub-blocks.
  */
 
 #ifndef TRINITY_BACKEND_THREAD_POOL_BACKEND_H
@@ -42,6 +53,16 @@ class ThreadPoolBackend final : public PolyBackend
     const char *name() const override { return "threads"; }
     size_t threadCount() const override { return workers_.size() + 1; }
 
+    /** Pipelined command-stream executor (dependency-counting ready
+     *  queue over the pool); eager when TRINITY_STREAMS=off, when the
+     *  pool has no workers, or when called from inside a pool job. */
+    std::unique_ptr<CommandStream> newStream() override;
+
+    /** Coefficient-tiled when the batch cannot feed every worker —
+     *  see nttBatchTiled() in the implementation. */
+    void nttForwardBatch(const NttJob *jobs, size_t count) override;
+    void nttInverseBatch(const NttJob *jobs, size_t count) override;
+
     /**
      * Both parallelism axes want feeding: enough jobs per batch to
      * occupy every worker, and deep enough spans per fused request
@@ -64,6 +85,7 @@ class ThreadPoolBackend final : public PolyBackend
   private:
     void workerLoop();
     void drainCurrent();
+    bool nttBatchTiled(const NttJob *jobs, size_t count, bool forward);
 
     std::vector<std::thread> workers_;
 

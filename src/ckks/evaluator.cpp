@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "backend/command_stream.h"
 #include "backend/observer.h"
 #include "backend/registry.h"
 #include "common/logging.h"
@@ -119,6 +120,20 @@ CkksEvaluator::keySwitch(const RnsPoly &d, const CkksEvalKey &evk,
     acc0.setDomain(Domain::Eval);
     acc1.setDomain(Domain::Eval);
 
+    // The beta digit pipelines are recorded as one command stream:
+    // each digit's copy/BConv -> NTT -> inner product chain only
+    // depends on the previous digit through the shared accumulators,
+    // so a pipelined engine runs digit j+1's BConv and NTTs under
+    // digit j's MACs instead of synchronizing per batch. The digit
+    // buffers live in `fulls` (reserved up front — recorded pointers
+    // must stay stable) until wait() returns; engines that execute at
+    // record time consume each digit before the next records, so one
+    // buffer is reused for all digits there.
+    auto stream = activeBackend().newStream();
+    size_t nbuf = stream->deferredExecution() ? beta : 1;
+    std::vector<RnsPoly> fulls;
+    fulls.reserve(nbuf);
+    Job prev_mac{};
     for (size_t j = 0; j < beta; ++j) {
         auto [begin, end] = ctx_->digitRange(level, j);
         // Assemble the extended-basis polynomial in one flat buffer:
@@ -126,12 +141,20 @@ CkksEvaluator::keySwitch(const RnsPoly &d, const CkksEvalKey &evk,
         // the rest is produced by BConv (line 4) writing directly into
         // the target limbs — conv outputs are ordered (q limbs
         // excluding digit, then special primes).
-        RnsPoly full(n, ext_basis);
+        if (fulls.size() < nbuf) {
+            fulls.emplace_back(n, ext_basis);
+        }
+        RnsPoly &full = fulls[j < nbuf ? j : 0];
+        Job copy = stream->task(
+            end - begin,
+            [&full, &d_coeff, begin, n](size_t i) {
+                std::memcpy(full.limbData(begin + i),
+                            d_coeff.limbData(begin + i),
+                            n * sizeof(u64));
+            });
         std::vector<const u64 *> ins;
         ins.reserve(end - begin);
         for (size_t i = begin; i < end; ++i) {
-            std::memcpy(full.limbData(i), d_coeff.limbData(i),
-                        n * sizeof(u64));
             ins.push_back(d_coeff.limbData(i));
         }
         std::vector<u64 *> outs;
@@ -144,12 +167,21 @@ CkksEvaluator::keySwitch(const RnsPoly &d, const CkksEvalKey &evk,
         for (size_t t = 0; t < alpha; ++t) {
             outs.push_back(full.limbData(nq + t));
         }
-        ctx_->modUpConverter(level, j).convertPointers(ins.data(),
-                                                       outs.data(), n);
+        Job conv = stream->baseConvert(
+            ctx_->modUpConverter(level, j).plan(), std::move(ins),
+            std::move(outs), n);
         // Batched NTT over every extended-basis limb (line 5), then
         // the inner product with both evk components (line 9) as one
-        // fused multiply-accumulate batch.
-        full.toEval();
+        // fused multiply-accumulate batch chained on the previous
+        // digit (the accumulators are read-modify-write).
+        full.setDomain(Domain::Eval);
+        std::vector<NttJob> ntt_jobs;
+        ntt_jobs.reserve(next);
+        for (size_t t = 0; t < next; ++t) {
+            ntt_jobs.push_back(
+                {full.limbData(t), &full.nttTableAt(t)});
+        }
+        Job ntt = stream->nttForward(std::move(ntt_jobs), {copy, conv});
         std::vector<MulAddJob> jobs;
         jobs.reserve(2 * next);
         for (size_t t = 0; t < next; ++t) {
@@ -162,8 +194,10 @@ CkksEvaluator::keySwitch(const RnsPoly &d, const CkksEvalKey &evk,
                             evk.digits[j].a.limbData(evk_limb),
                             &full.modulusAt(t), n});
         }
-        activeBackend().mulAddBatch(jobs.data(), jobs.size());
+        prev_mac = stream->mulAdd(std::move(jobs), {ntt, prev_mac});
     }
+    stream->submit();
+    stream->wait();
 
     // iNTT (line 11) and ModDown (line 12): subtract the base-converted
     // special part and multiply by P^{-1}.

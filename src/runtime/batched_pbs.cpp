@@ -1,5 +1,8 @@
 #include "runtime/batched_pbs.h"
 
+#include <algorithm>
+
+#include "backend/registry.h"
 #include "common/logging.h"
 
 namespace trinity {
@@ -8,13 +11,42 @@ namespace runtime {
 std::vector<LweCiphertext>
 BatchedBootstrapper::run(const PbsBatch &batch) const
 {
+    // Lockstep width follows the engine's appetite: wider adds
+    // working-set pressure without adding parallelism once every
+    // worker/lane is fed, so an oversized aggregation executes as
+    // consecutive preferred-width chunks. Each chunk's blind rotation
+    // is recorded as one command stream (TfheBootstrapper::pbsBatch),
+    // so the engine still sees deep fused job streams per chunk.
+    return runChunked(batch, activeBackend().preferredBatch());
+}
+
+std::vector<LweCiphertext>
+BatchedBootstrapper::runChunked(const PbsBatch &batch,
+                                size_t maxChunk) const
+{
     trinity_assert(batch.inputs.size() == batch.testVectors.size(),
                    "PbsBatch inputs/testVectors size mismatch (%zu vs "
                    "%zu)",
                    batch.inputs.size(), batch.testVectors.size());
-    return gb_.bootstrapper().pbsBatch(
-        batch.inputs.data(), batch.testVectors.data(), batch.size(),
-        gb_.bootstrapKey(), gb_.keySwitchKey());
+    size_t total = batch.size();
+    const TfheBootstrapper &boot = gb_.bootstrapper();
+    if (maxChunk == 0 || total <= maxChunk) {
+        return boot.pbsBatch(batch.inputs.data(),
+                             batch.testVectors.data(), total,
+                             gb_.bootstrapKey(), gb_.keySwitchKey());
+    }
+    std::vector<LweCiphertext> out;
+    out.reserve(total);
+    for (size_t off = 0; off < total; off += maxChunk) {
+        size_t width = std::min(maxChunk, total - off);
+        std::vector<LweCiphertext> part = boot.pbsBatch(
+            batch.inputs.data() + off, batch.testVectors.data() + off,
+            width, gb_.bootstrapKey(), gb_.keySwitchKey());
+        for (auto &ct : part) {
+            out.push_back(std::move(ct));
+        }
+    }
+    return out;
 }
 
 std::vector<LweCiphertext>

@@ -53,8 +53,20 @@ class BatchedBootstrapper
     {
     }
 
-    /** Execute one aggregated batch; out[j] answers request j. */
+    /**
+     * Execute one aggregated batch; out[j] answers request j.
+     * Oversized aggregations (a deadline flush can hand over more
+     * requests than the engine wants in flight) are split into
+     * lockstep chunks of at most the active engine's
+     * preferredBatch() hint rather than executed as one arbitrarily
+     * wide lockstep batch — chunking only re-groups independent
+     * requests, so results stay bit-identical.
+     */
     std::vector<LweCiphertext> run(const PbsBatch &batch) const;
+
+    /** run() with an explicit chunk width (0 = unsplit). */
+    std::vector<LweCiphertext> runChunked(const PbsBatch &batch,
+                                          size_t maxChunk) const;
 
     /** Sign bootstrap (the gate workhorse) of many ciphertexts —
      *  bit-identical to bootstrapSign() per ciphertext. */

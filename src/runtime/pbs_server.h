@@ -12,12 +12,21 @@
  * of single bootstraps.
  *
  * Policy knobs (env defaults, overridable per ServerOptions):
- *   TRINITY_RUNTIME_BATCH        max requests fused into one batch
- *                                (default: the active engine's
+ *   TRINITY_RUNTIME_BATCH        max requests aggregated into one
+ *                                batch (default: the active engine's
  *                                preferredBatch() hint, floor 8)
  *   TRINITY_RUNTIME_MAX_WAIT_US  how long the worker holds an
  *                                underfull batch open, microseconds
  *                                (default 200)
+ *
+ * TRINITY_RUNTIME_BATCH bounds *aggregation* (queueing latency and
+ * result batching); lockstep *execution* width is the engine's
+ * business — BatchedBootstrapper::run() splits an aggregation wider
+ * than preferredBatch() into consecutive lockstep chunks, so raising
+ * the knob above the hint amortizes queueing overhead without
+ * widening the working set per chunk. Call
+ * BatchedBootstrapper::runChunked() directly to control lockstep
+ * width explicitly (benches do).
  */
 
 #ifndef TRINITY_RUNTIME_PBS_SERVER_H

@@ -1,6 +1,8 @@
 #include "sim/machine.h"
 
 #include <algorithm>
+#include <queue>
+#include <utility>
 
 #include "common/logging.h"
 
@@ -48,37 +50,109 @@ Machine::charge(KernelType t, u64 elems, u64 poly_len) const
     return busyCycles(k) + pool(route(t).pool).latency;
 }
 
+double
+scheduleNodes(const std::vector<SchedNode> &nodes, size_t pool_count)
+{
+    size_t n = nodes.size();
+    std::vector<double> finish(n, 0);
+    std::vector<double> ready(n, 0);
+    std::vector<size_t> deps_left(n, 0);
+    std::vector<std::vector<size_t>> dependents(n);
+    for (size_t i = 0; i < n; ++i) {
+        for (size_t d : nodes[i].deps) {
+            trinity_assert(d < i, "schedule graph not topological");
+            deps_left[i] += 1;
+            dependents[d].push_back(i);
+        }
+    }
+    // One FIFO-ordered ready list per pool, kept sorted by ready time
+    // lazily via a min-heap of (readyTime, index). Among the heads of
+    // all pools, issue the node with the earliest feasible start
+    // max(readyTime, pool watermark); index breaks ties, so equal
+    // graphs schedule deterministically.
+    using Cand = std::pair<double, size_t>; // (readyTime, node)
+    std::vector<std::priority_queue<Cand, std::vector<Cand>,
+                                    std::greater<Cand>>>
+        queues(pool_count + 1); // last slot: pool-less ordering nodes
+    std::vector<double> pool_free(pool_count, 0);
+    auto slotOf = [&](size_t i) {
+        return nodes[i].pool == SchedNode::kNoPool ? pool_count
+                                                   : nodes[i].pool;
+    };
+    for (size_t i = 0; i < n; ++i) {
+        if (deps_left[i] == 0) {
+            queues[slotOf(i)].push({0.0, i});
+        }
+    }
+    double makespan = 0;
+    for (size_t issued = 0; issued < n; ++issued) {
+        // Pick the pool whose head candidate can start earliest.
+        double best_start = 0;
+        size_t best_node = n;
+        for (size_t q = 0; q < queues.size(); ++q) {
+            if (queues[q].empty()) {
+                continue;
+            }
+            auto [r, i] = queues[q].top();
+            double start =
+                q < pool_count ? std::max(r, pool_free[q]) : r;
+            if (best_node == n || start < best_start ||
+                (start == best_start && i < best_node)) {
+                best_start = start;
+                best_node = i;
+            }
+        }
+        trinity_assert(best_node < n, "schedule graph has a cycle");
+        size_t i = best_node;
+        queues[slotOf(i)].pop();
+        const SchedNode &node = nodes[i];
+        finish[i] = best_start + node.busy + node.latency;
+        if (node.pool != SchedNode::kNoPool) {
+            // The pipeline fill delays dependents but does not occupy
+            // the pool.
+            pool_free[node.pool] = best_start + node.busy;
+        }
+        makespan = std::max(makespan, finish[i]);
+        for (size_t dep : dependents[i]) {
+            ready[dep] = std::max(ready[dep], finish[i]);
+            if (--deps_left[dep] == 0) {
+                queues[slotOf(dep)].push({ready[dep], dep});
+            }
+        }
+    }
+    return makespan;
+}
+
 SimResult
 schedule(const KernelGraph &graph, const Machine &machine)
 {
     const auto &kernels = graph.kernels();
     size_t n = kernels.size();
-    std::vector<double> finish(n, 0);
-    std::map<std::string, double> pool_free;
     SimResult result;
 
-    // Kernels are stored in topological order by construction (deps
-    // always reference earlier indices); verify as we go.
+    // Map pools to dense indices and kernels to SchedNodes, then run
+    // the shared earliest-start scheduler.
+    std::map<std::string, size_t> pool_ids;
+    std::vector<SchedNode> nodes;
+    nodes.reserve(n);
     for (size_t i = 0; i < n; ++i) {
         const Kernel &k = kernels[i];
-        double ready = 0;
-        for (size_t d : k.deps) {
-            trinity_assert(d < i, "kernel graph not topological");
-            ready = std::max(ready, finish[d]);
-        }
         const Route &r = machine.route(k.type);
         const Pool &p = machine.pool(r.pool);
-        double dur = machine.busyCycles(k);
-        double start = std::max(ready, pool_free[p.name]);
-        finish[i] = start + dur + p.latency;
-        pool_free[p.name] = start + dur;
+        auto [it, inserted] =
+            pool_ids.emplace(p.name, pool_ids.size());
+        SchedNode node;
+        node.pool = it->second;
+        node.busy = machine.busyCycles(k);
+        node.latency = p.latency;
+        node.deps = k.deps;
+        nodes.push_back(std::move(node));
         // Utilization accounting uses raw work / capacity (the fraction
         // of datapath slots doing useful work).
         result.busy[p.name] += static_cast<double>(k.elements) *
                                r.costFactor / p.elemsPerCycle;
-        result.makespanCycles = std::max(result.makespanCycles,
-                                         finish[i]);
     }
+    result.makespanCycles = scheduleNodes(nodes, pool_ids.size());
     return result;
 }
 

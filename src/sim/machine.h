@@ -101,9 +101,35 @@ struct SimResult
 };
 
 /**
- * Event-driven list scheduler: issues kernels in topological order,
- * serializing kernels that share a pool and honoring dependency
- * edges. Kernels on different pools overlap freely — this is what
+ * One schedulable unit for the event-driven list scheduler: busy
+ * cycles on a pool (kNoPool for pure ordering nodes), a pipeline
+ * latency that delays dependents without occupying the pool, and
+ * dependency edges to earlier nodes.
+ */
+struct SchedNode
+{
+    static constexpr size_t kNoPool = static_cast<size_t>(-1);
+    size_t pool = kNoPool;
+    double busy = 0;
+    double latency = 0;
+    std::vector<size_t> deps;
+};
+
+/**
+ * Event-driven earliest-start list schedule over @p nodes (deps must
+ * reference earlier indices): among all ready nodes, the one that can
+ * start earliest issues first (index order breaks ties), so a
+ * late-ready kernel never blocks an earlier-ready one from an idle
+ * pool. Nodes sharing a pool serialize on its busy time; the latency
+ * delays dependents only. Returns the makespan.
+ */
+double scheduleNodes(const std::vector<SchedNode> &nodes,
+                     size_t pool_count);
+
+/**
+ * Event-driven list scheduler: serializes kernels that share a pool,
+ * honors dependency edges, and issues ready kernels earliest-start
+ * first. Kernels on different pools overlap freely — this is what
  * lets the NTT/MAC balance (Fig. 2) show up as idle time on fixed
  * designs and full overlap on Trinity.
  */

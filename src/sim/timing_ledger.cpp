@@ -25,6 +25,20 @@ TimingLedger::record(const std::string &scope, KernelType type,
     }
 }
 
+void
+TimingLedger::recordSpan(double cycles)
+{
+    std::lock_guard<std::mutex> lock(mtx_);
+    spanCycles_ += cycles;
+}
+
+double
+TimingLedger::overlappedCycles() const
+{
+    std::lock_guard<std::mutex> lock(mtx_);
+    return spanCycles_;
+}
+
 std::map<KernelType, LedgerCell>
 TimingLedger::byKernel() const
 {
@@ -109,6 +123,7 @@ TimingLedger::reset()
     std::lock_guard<std::mutex> lock(mtx_);
     cells_.clear();
     poolBusy_.clear();
+    spanCycles_ = 0;
 }
 
 void
@@ -132,9 +147,11 @@ TimingLedger::report(std::FILE *out) const
         std::fprintf(out, "  %s=%.0f", pool.c_str(), cycles);
     }
     std::fprintf(out,
-                 "\ncompute=%.0f cycles, transfer=%.0f cycles, "
+                 "\ncompute=%.0f cycles (stream-overlapped makespan "
+                 "%.0f), transfer=%.0f cycles, "
                  "latency (overlapped)=%.0f cycles\n",
-                 computeCycles(), transferCycles(), latencyCycles());
+                 computeCycles(), overlappedCycles(), transferCycles(),
+                 overlappedLatencyCycles());
 }
 
 } // namespace sim

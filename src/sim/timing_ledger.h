@@ -43,6 +43,16 @@ class TimingLedger
     void record(const std::string &scope, KernelType type, u64 elems,
                 double cycles, const std::string &pool);
 
+    /**
+     * Advance the overlapped live-makespan estimate by @p cycles.
+     * Eagerly charged batches advance it by their full compute
+     * charge (no overlap information exists for them); a recorded
+     * command stream advances it once, by the list-scheduled makespan
+     * of its whole DAG — so overlappedCycles() <= computeCycles(),
+     * with the gap measuring the cross-pool overlap streams exposed.
+     */
+    void recordSpan(double cycles);
+
     /** Totals per kernel class (all scopes). */
     std::map<KernelType, LedgerCell> byKernel() const;
 
@@ -64,11 +74,24 @@ class TimingLedger
     /** Total cycles of HbmXfer + NocXfer charges. */
     double transferCycles() const;
 
+    /** Overlapped live-makespan estimate (see recordSpan). Equals
+     *  computeCycles() when nothing ran through command streams. */
+    double overlappedCycles() const;
+
     /** Latency model: compute and transfer streams fully overlap. */
     double
     latencyCycles() const
     {
         double c = computeCycles();
+        double t = transferCycles();
+        return c > t ? c : t;
+    }
+
+    /** latencyCycles() with stream overlap applied to compute. */
+    double
+    overlappedLatencyCycles() const
+    {
+        double c = overlappedCycles();
         double t = transferCycles();
         return c > t ? c : t;
     }
@@ -86,6 +109,7 @@ class TimingLedger
     /** scope -> kernel -> cell; "" holds unscoped charges. */
     std::map<std::string, std::map<KernelType, LedgerCell>> cells_;
     std::map<std::string, double> poolBusy_;
+    double spanCycles_ = 0; ///< overlapped live-makespan accumulator
 };
 
 } // namespace sim

@@ -338,6 +338,23 @@ TfheContext::cmuxRotateBatch(const GgswCiphertext &ggsw,
                              GlweCiphertext *accs, const u64 *rotations,
                              size_t count, CmuxBatchScratch &sc) const
 {
+    // Thin record-and-wait wrapper: one step recorded into a fresh
+    // stream. Serving paths that run many steps record them all into
+    // one stream instead (see TfheBootstrapper::blindRotateBatch) so
+    // consecutive steps pipeline.
+    auto stream = activeBackend().newStream();
+    recordCmuxRotateBatch(*stream, ggsw, accs, rotations, count, sc);
+    stream->submit();
+    stream->wait();
+}
+
+void
+TfheContext::recordCmuxRotateBatch(CommandStream &stream,
+                                   const GgswCiphertext &ggsw,
+                                   GlweCiphertext *accs,
+                                   const u64 *rotations, size_t count,
+                                   CmuxBatchScratch &sc) const
+{
     trinity_assert(ggsw.inEval,
                    "GGSW must be in the NTT domain (call ggswToEval)");
     size_t n = params_.bigN;
@@ -351,120 +368,148 @@ TfheContext::cmuxRotateBatch(const GgswCiphertext &ggsw,
                    "cmuxRotateBatch: unsupported gadget shape");
 
     // A zero rotation is a no-op CMux (the sequential path skips it);
-    // run the step over the active requests only.
+    // record the step over the active requests only.
     sc.active.clear();
     for (size_t j = 0; j < count; ++j) {
         if (rotations[j] % two_n != 0) {
             sc.active.push_back(j);
         }
     }
-    size_t b = sc.active.size();
-    if (b == 0) {
+    if (sc.active.empty()) {
         return;
     }
-    // Grow the workspace lazily: the first step of a serving batch
-    // allocates, every later step reuses the same buffers.
-    while (sc.prod.size() < b) {
+    // Size the workspace per request slot on first use. Later steps
+    // of the same batch reuse the same regions — the per-slot job
+    // chain orders that reuse — and never grow them, so every pointer
+    // recorded into the stream stays stable.
+    while (sc.prod.size() < count) {
         sc.prod.push_back(glweTrivial(Poly(n, params_.q)));
     }
-    while (sc.dec.size() < b * rows) {
+    while (sc.dec.size() < count * rows) {
         sc.dec.emplace_back(n, params_.q);
     }
-
-    // (1+2) Rotator, CMux difference, and gadget decomposition fused
-    // into one gather pass per limb: the difference
-    //     diff_j[x] = (acc_j * X^{t_j})[x] - acc_j[x]
-    // is decomposed the moment it is produced, so it is never
-    // materialized — the batch's live working set is just the
-    // decomposition limbs, the products, and the accumulators.
-    emitKernel(sim::KernelType::Rotate, b * comps * n, n);
-    emitKernel(sim::KernelType::ModAdd, b * comps * n, n);
-    emitKernel(sim::KernelType::Decomp, b * comps * n, n);
-    activeBackend().run(b * comps, [&](size_t idx) {
-        size_t slot = idx / comps;
-        size_t c = idx % comps;
-        const Poly &src = glweComp(accs[sc.active[slot]], c);
-        trinity_assert(src.domain() == Domain::Coeff,
-                       "blind-rotation accumulator must be in "
-                       "coefficient domain");
-        u64 t = rotations[sc.active[slot]] % two_n;
-        const u64 *s = src.coeffs().data();
-        i64 digits[16]; // lb <= rows <= 16, asserted above
-        for (size_t x = 0; x < n; ++x) {
-            // Negacyclic gather of (acc * X^t)[x].
-            size_t i0 = (x + two_n - t) % two_n;
-            u64 rot = i0 < n ? s[i0] : mod_.neg(s[i0 - n]);
-            decomposeScalar(mod_.sub(rot, s[x]), digits);
-            for (u32 l = 0; l < lb; ++l) {
-                sc.dec[slot * rows + c * lb + l][x] =
-                    toResidue(digits[l], params_.q);
-            }
-        }
-    });
-
-    // (3) Forward NTTs of all b * rows decomposed limbs as one batch.
-    sc.jobs.clear();
-    sc.jobs.reserve(b * rows);
-    for (size_t r = 0; r < b * rows; ++r) {
-        Poly &p = sc.dec[r];
-        p.setDomain(Domain::Eval);
-        sc.jobs.push_back({p.coeffs().data(), &p.nttTable()});
+    if (sc.lastJob.size() < count) {
+        sc.lastJob.resize(count);
     }
-    activeBackend().nttForwardBatch(sc.jobs.data(), sc.jobs.size());
+    if (sc.boundStream != stream.id()) {
+        // Job handles are indices into one stream's command list; a
+        // fresh stream starts fresh chains.
+        sc.lastJob.assign(sc.lastJob.size(), Job{});
+        sc.boundStream = stream.id();
+    }
 
-    // (4) External-product MACs against the shared GGSW rows, with
-    // lazy reduction: each output coefficient accumulates its rows'
-    // products in 128 bits and reduces once, replacing `rows` Barrett
-    // reductions per coefficient with one. Exact — rows * (q-1)^2
-    // never overflows (asserted above) and reduce128 handles any
-    // 128-bit input — so the reduced sum is bit-identical to the
-    // sequential mulAdd chain of externalProduct().
-    emitKernel(sim::KernelType::Ip,
-               static_cast<u64>(b) * rows * comps * n, n);
-    activeBackend().run(b * comps, [&](size_t idx) {
-        size_t slot = idx / comps;
-        size_t c = idx % comps;
-        Poly &dst = glweComp(sc.prod[slot], c);
-        dst.setDomain(Domain::Eval);
-        const u64 *dec_ptr[16];
-        const u64 *rhs_ptr[16];
-        for (size_t t = 0; t < rows; ++t) {
-            dec_ptr[t] = sc.dec[slot * rows + t].coeffs().data();
-            rhs_ptr[t] = glweComp(ggsw.rows[t], c).coeffs().data();
-        }
-        u64 *out = dst.coeffs().data();
-        for (size_t i = 0; i < n; ++i) {
-            u128 acc = 0;
-            for (size_t t = 0; t < rows; ++t) {
-                acc += static_cast<u128>(dec_ptr[t][i]) * rhs_ptr[t][i];
-            }
-            out[i] = mod_.reduce128(acc);
-        }
-    });
+    // Per active request j, one five-command chain. Distinct requests
+    // share no buffers (scratch is slot-indexed), so a pipelined
+    // engine overlaps them freely — request A can be in its MACs
+    // while request B is still decomposing, and across recorded
+    // steps the NTTs of step i+1 run under the MACs of step i.
+    for (size_t j : sc.active) {
+        u64 t = rotations[j] % two_n;
 
-    // (5) Inverse NTTs of all b * (k+1) product limbs as one batch.
-    sc.jobs.clear();
-    sc.jobs.reserve(b * comps);
-    for (size_t slot = 0; slot < b; ++slot) {
+        // (1+2) Rotator, CMux difference, and gadget decomposition
+        // fused into one gather pass per limb: the difference
+        //     diff_j[x] = (acc_j * X^{t_j})[x] - acc_j[x]
+        // is decomposed the moment it is produced, so it is never
+        // materialized — the working set is just the decomposition
+        // limbs, the products, and the accumulators. Depends on the
+        // slot's previous accumulate (RAW on accs[j], WAW on the
+        // slot's scratch region).
+        Job dec = stream.task(
+            comps,
+            [this, accs, j, t, &sc, n, two_n, rows, lb](size_t c) {
+                const Poly &src = glweComp(accs[j], c);
+                trinity_assert(src.domain() == Domain::Coeff,
+                               "blind-rotation accumulator must be in "
+                               "coefficient domain");
+                const u64 *s = src.coeffs().data();
+                i64 digits[16]; // lb <= rows <= 16, asserted above
+                for (size_t x = 0; x < n; ++x) {
+                    // Negacyclic gather of (acc * X^t)[x].
+                    size_t i0 = (x + two_n - t) % two_n;
+                    u64 rot = i0 < n ? s[i0] : mod_.neg(s[i0 - n]);
+                    decomposeScalar(mod_.sub(rot, s[x]), digits);
+                    for (u32 l = 0; l < lb; ++l) {
+                        sc.dec[j * rows + c * lb + l][x] =
+                            toResidue(digits[l], params_.q);
+                    }
+                }
+            },
+            {sc.lastJob[j]},
+            {{sim::KernelType::Rotate, comps * n, n, 16 * comps * n},
+             {sim::KernelType::ModAdd, comps * n, n, 16 * comps * n},
+             {sim::KernelType::Decomp, comps * n, n, 16 * comps * n}});
+
+        // (3) Forward NTTs of the slot's `rows` decomposed limbs.
+        std::vector<NttJob> fwd;
+        fwd.reserve(rows);
+        for (size_t r = 0; r < rows; ++r) {
+            Poly &p = sc.dec[j * rows + r];
+            p.setDomain(Domain::Eval);
+            fwd.push_back({p.coeffs().data(), &p.nttTable()});
+        }
+        Job ntt = stream.nttForward(std::move(fwd), {dec});
+
+        // (4) External-product MACs against the shared GGSW rows,
+        // with lazy reduction: each output coefficient accumulates
+        // its rows' products in 128 bits and reduces once, replacing
+        // `rows` Barrett reductions per coefficient with one. Exact —
+        // rows * (q-1)^2 never overflows (asserted above) and
+        // reduce128 handles any 128-bit input — so the reduced sum is
+        // bit-identical to the sequential mulAdd chain of
+        // externalProduct().
         for (size_t c = 0; c < comps; ++c) {
-            Poly &p = glweComp(sc.prod[slot], c);
-            p.setDomain(Domain::Coeff);
-            sc.jobs.push_back({p.coeffs().data(), &p.nttTable()});
+            glweComp(sc.prod[j], c).setDomain(Domain::Eval);
         }
-    }
-    activeBackend().nttInverseBatch(sc.jobs.data(), sc.jobs.size());
+        Job mac = stream.task(
+            comps,
+            [this, &ggsw, j, &sc, n, rows](size_t c) {
+                Poly &dst = glweComp(sc.prod[j], c);
+                const u64 *dec_ptr[16];
+                const u64 *rhs_ptr[16];
+                for (size_t r = 0; r < rows; ++r) {
+                    dec_ptr[r] = sc.dec[j * rows + r].coeffs().data();
+                    rhs_ptr[r] =
+                        glweComp(ggsw.rows[r], c).coeffs().data();
+                }
+                u64 *out = dst.coeffs().data();
+                for (size_t i = 0; i < n; ++i) {
+                    u128 acc = 0;
+                    for (size_t r = 0; r < rows; ++r) {
+                        acc += static_cast<u128>(dec_ptr[r][i]) *
+                               rhs_ptr[r][i];
+                    }
+                    out[i] = mod_.reduce128(acc);
+                }
+            },
+            {ntt},
+            {{sim::KernelType::Ip,
+              static_cast<u64>(rows) * comps * n, n,
+              16 * static_cast<u64>(rows) * comps * n}});
 
-    // (6) CMux accumulate: acc_j += prod_j.
-    emitKernel(sim::KernelType::ModAdd, b * comps * n, n);
-    activeBackend().run(b * comps, [&](size_t idx) {
-        size_t slot = idx / comps;
-        size_t c = idx % comps;
-        Poly &dst = glweComp(accs[sc.active[slot]], c);
-        const Poly &src = glweComp(sc.prod[slot], c);
-        for (size_t i = 0; i < n; ++i) {
-            dst[i] = mod_.add(dst[i], src[i]);
+        // (5) Inverse NTTs of the slot's (k+1) product limbs.
+        std::vector<NttJob> inv;
+        inv.reserve(comps);
+        for (size_t c = 0; c < comps; ++c) {
+            Poly &p = glweComp(sc.prod[j], c);
+            p.setDomain(Domain::Coeff);
+            inv.push_back({p.coeffs().data(), &p.nttTable()});
         }
-    });
+        Job intt = stream.nttInverse(std::move(inv), {mac});
+
+        // (6) CMux accumulate: acc_j += prod_j.
+        sc.lastJob[j] = stream.task(
+            comps,
+            [this, accs, j, &sc](size_t c) {
+                Poly &dst = glweComp(accs[j], c);
+                const Poly &src = glweComp(sc.prod[j], c);
+                size_t len = dst.n();
+                for (size_t i = 0; i < len; ++i) {
+                    dst[i] = mod_.add(dst[i], src[i]);
+                }
+            },
+            {intt},
+            {{sim::KernelType::ModAdd, comps * n, n, 16 * comps * n}});
+    }
 }
 
 GlweCiphertext

@@ -223,16 +223,25 @@ TfheBootstrapper::blindRotateBatch(const LweCiphertext *const *cts,
     }
     // Lockstep over the LWE mask: step i applies bsk_i to every
     // request at once, so the GGSW rows are read once per step for
-    // the whole batch instead of once per request.
+    // the whole batch instead of once per request. All n_lwe steps
+    // are recorded into ONE command stream: each request carries its
+    // own dependency chain through the steps, so a pipelined engine
+    // runs the NTTs of step i+1 under the MACs of step i (and the
+    // timing backend prices exactly that overlap). Rotation amounts
+    // are captured at record time, so the rot buffer is reusable
+    // per step. The scratch outlives the stream (declared first).
     CmuxBatchScratch scratch;
+    auto stream = activeBackend().newStream();
     std::vector<u64> rot(count);
     for (size_t i = 0; i < bsk.bsk.size(); ++i) {
         for (size_t j = 0; j < count; ++j) {
             rot[j] = modSwitch(cts[j]->a[i]);
         }
-        ctx_->cmuxRotateBatch(bsk.bsk[i], accs.data(), rot.data(), count,
-                              scratch);
+        ctx_->recordCmuxRotateBatch(*stream, bsk.bsk[i], accs.data(),
+                                    rot.data(), count, scratch);
     }
+    stream->submit();
+    stream->wait();
     return accs;
 }
 

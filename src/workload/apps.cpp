@@ -210,11 +210,18 @@ conversionGraph(size_t n, size_t level, size_t dnum, size_t nslot)
                           {g.size() - 1}, "conv.acc");
     };
 
-    // PackLWEs tree: nslot leaves -> log2(nslot) combine levels; the
-    // combines within a level are independent (the scheduler overlaps
-    // them), across levels they chain.
+    // PackLWEs tree: nslot leaves -> log2(nslot) combine levels.
+    // Combines within a level are data-independent, but the measured
+    // implementation executes the repacking loop one combine at a
+    // time (each HRotate walks the whole keyswitch pipeline before
+    // the next starts), so the combines chain — leaving the
+    // scheduler to overlap only the stages *inside* each combine
+    // across pools. Without this serialization the earliest-start
+    // scheduler would fuse whole tree levels and land ~3x below the
+    // paper's Table IX latencies.
     std::vector<size_t> layer(nslot, SIZE_MAX); // SIZE_MAX = no dep
     size_t width = nslot;
+    size_t prev_combine = SIZE_MAX;
     while (width > 1) {
         std::vector<size_t> next;
         for (size_t i = 0; i < width; i += 2) {
@@ -225,6 +232,9 @@ conversionGraph(size_t n, size_t level, size_t dnum, size_t nslot)
             if (layer[i + 1] != SIZE_MAX) {
                 deps.push_back(layer[i + 1]);
             }
+            if (prev_combine != SIZE_MAX) {
+                deps.push_back(prev_combine);
+            }
             // Rotate(ct_odd, N/h) on the Rotator + two adds + HRotate.
             size_t rot = g.addAfter(KernelType::Rotate,
                                     static_cast<u64>(2) * nq * n, n,
@@ -232,7 +242,8 @@ conversionGraph(size_t n, size_t level, size_t dnum, size_t nslot)
             size_t add = g.addAfter(KernelType::ModAdd,
                                     static_cast<u64>(4) * nq * n, n,
                                     {rot}, "conv.addsub");
-            next.push_back(add_hrotate({add}));
+            prev_combine = add_hrotate({add});
+            next.push_back(prev_combine);
         }
         layer = std::move(next);
         width /= 2;

@@ -22,21 +22,24 @@ namespace workload {
 sim::KernelGraph pbsGraph(const TfheParams &p);
 
 /**
- * Lockstep batched PBS DAG: the kernels of @p batch independent
- * bootstraps fused step by step into single wide nodes — the job
- * stream the serving runtime (src/runtime/) issues. Pipeline fills
- * are paid once per fused node instead of once per request, which is
- * the modelled source of per-batch amortization; pbsBatchGraph(p, 1)
- * equals pbsGraph(p).
+ * Pipelined batched PBS DAG: @p batch independent bootstraps, each
+ * carrying its own dependency chain through the n_lwe blind-rotation
+ * steps — the command stream the serving runtime (src/runtime/)
+ * records (see TfheContext::recordCmuxRotateBatch). Only a request's
+ * own steps chain, so the scheduler overlaps stages of different
+ * requests across pools (the NTT of one request's step under the MAC
+ * of another's); ModSwitch and SampleExtract/KeySwitch remain fused
+ * batch-wide at the ends. pbsBatchGraph(p, 1) equals pbsGraph(p).
  */
 sim::KernelGraph pbsBatchGraph(const TfheParams &p, size_t batch);
 
 /**
- * Throughput of the fused batched stream in operations per second:
- * batch requests per scheduled end-to-end makespan of pbsBatchGraph.
- * Unlike the steady-state bound of pbsThroughputOps, this includes
- * each node's pipeline fill, so it rises with batch toward that bound
- * — the modelled per-batch amortization.
+ * Throughput of the pipelined batched stream in operations per
+ * second: batch requests per scheduled end-to-end makespan of
+ * pbsBatchGraph. Unlike the steady-state bound of pbsThroughputOps,
+ * this includes pipeline fills and dependency stalls, so it rises
+ * with batch toward that bound as cross-request overlap fills the
+ * pools.
  */
 double pbsBatchThroughputOps(const sim::Machine &m, const TfheParams &p,
                              size_t batch);

@@ -95,6 +95,39 @@ TEST_F(RuntimeFixture, MixedTestVectorsInOneBatch)
     }
 }
 
+TEST_F(RuntimeFixture, OversizedBatchesSplitPerChunkBitExact)
+{
+    // An aggregation wider than the engine's appetite executes as
+    // consecutive lockstep chunks; chunking regroups independent
+    // requests only, so any chunk width gives identical bytes.
+    BatchedBootstrapper bb(*gb);
+    std::vector<LweCiphertext> cts;
+    std::vector<bool> bits;
+    for (size_t i = 0; i < 11; ++i) {
+        bits.push_back((i % 4) != 2);
+        cts.push_back(gb->encryptBit(bits.back()));
+    }
+    PbsBatch batch;
+    for (const auto &ct : cts) {
+        batch.add(ct, gb->signVector());
+    }
+    std::vector<LweCiphertext> whole = bb.runChunked(batch, 0);
+    for (size_t chunk : {1u, 3u, 4u, 16u}) {
+        std::vector<LweCiphertext> split = bb.runChunked(batch, chunk);
+        ASSERT_EQ(split.size(), whole.size()) << "chunk " << chunk;
+        for (size_t i = 0; i < whole.size(); ++i) {
+            EXPECT_TRUE(sameCiphertext(split[i], whole[i]))
+                << "chunk " << chunk << " request " << i;
+        }
+    }
+    // The default path caps lockstep width at preferredBatch().
+    std::vector<LweCiphertext> deflt = bb.run(batch);
+    for (size_t i = 0; i < whole.size(); ++i) {
+        EXPECT_TRUE(sameCiphertext(deflt[i], whole[i])) << i;
+        EXPECT_EQ(gb->decryptBit(deflt[i]), bits[i]) << i;
+    }
+}
+
 TEST_F(RuntimeFixture, EmptyAndSingletonBatches)
 {
     BatchedBootstrapper bb(*gb);
