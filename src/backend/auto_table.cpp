@@ -1,0 +1,62 @@
+#include "backend/auto_table.h"
+
+#include <map>
+#include <mutex>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace trinity {
+
+AutoTable::AutoTable(size_t n, u64 g) : perm_(n), signMask_(n), g_(g)
+{
+    trinity_assert(n > 0, "automorphism table needs n > 0");
+    trinity_assert(g % 2 == 1, "automorphism index must be odd");
+    u64 two_n = 2 * static_cast<u64>(n);
+    u64 step = g % two_n;
+    // Walk the forward map incrementally: e(c+1) = e(c) + g (mod 2n),
+    // replacing the per-coefficient multiply-and-divide. g is odd and
+    // coprime to 2n, so each output slot is written exactly once.
+    u64 e = 0;
+    for (size_t c = 0; c < n; ++c) {
+        if (e < n) {
+            perm_[e] = c;
+            signMask_[e] = 0;
+        } else {
+            perm_[e - n] = c;
+            signMask_[e - n] = ~u64{0};
+        }
+        e += step;
+        if (e >= two_n) {
+            e -= two_n;
+        }
+    }
+}
+
+std::shared_ptr<const AutoTable>
+AutoTableCache::get(size_t n, u64 g)
+{
+    // Same discipline as NttTableCache: the map is only touched under
+    // the mutex, while the O(n) construction runs outside it so a cold
+    // key does not serialize every other thread. Two threads racing on
+    // the same cold key build the table twice; the first emplace wins
+    // and the loser's copy is dropped — tables are immutable, so
+    // correctness is unaffected.
+    static std::map<std::pair<size_t, u64>,
+                    std::shared_ptr<const AutoTable>> cache;
+    static std::mutex mtx;
+    auto key = std::make_pair(n, g);
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        auto it = cache.find(key);
+        if (it != cache.end()) {
+            return it->second;
+        }
+    }
+    auto table = std::make_shared<const AutoTable>(n, g);
+    std::lock_guard<std::mutex> lock(mtx);
+    auto [it, inserted] = cache.emplace(key, table);
+    return it->second;
+}
+
+} // namespace trinity

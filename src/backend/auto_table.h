@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Precomputed gather tables for the Galois automorphism X -> X^g on
+ * the negacyclic ring R_q[X]/(X^n + 1), cached per (n, g) the same way
+ * NttTableCache caches twiddle tables per (n, q).
+ *
+ * The forward map sends coefficient c to exponent e = (c*g) mod 2n:
+ * dst[e] = src[c] when e < n, dst[e - n] = -src[c] otherwise. Walking
+ * outputs instead of inputs turns the kernel into a pure gather —
+ * dst[c] = +-src[perm[c]] — with the sign carried as a full 64-bit
+ * lane mask (0 or ~0) so vector engines can blend the negated lane
+ * without a branch. The per-coefficient (c*g) % 2n divide of the old
+ * scalar body disappears into table construction, which builds the
+ * permutation with one add-and-wrap per coefficient.
+ */
+
+#ifndef TRINITY_BACKEND_AUTO_TABLE_H
+#define TRINITY_BACKEND_AUTO_TABLE_H
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+
+namespace trinity {
+
+class AutoTable
+{
+  public:
+    /** Build the gather tables for X -> X^g over n coefficients.
+     *  @param g odd automorphism index (gcd(g, 2n) = 1). */
+    AutoTable(size_t n, u64 g);
+
+    size_t n() const { return perm_.size(); }
+    u64 g() const { return g_; }
+
+    /** Source index per output coefficient: dst[c] reads src[perm[c]]. */
+    const u64 *perm() const { return perm_.data(); }
+
+    /** Per-output negate flag as a full lane mask: 0 keeps the gathered
+     *  value, ~0 selects its modular negation. */
+    const u64 *signMask() const { return signMask_.data(); }
+
+  private:
+    std::vector<u64> perm_;
+    std::vector<u64> signMask_;
+    u64 g_;
+};
+
+/**
+ * Process-wide cache of automorphism tables keyed by (n, g). CKKS
+ * rotations reuse a handful of generators across every call, so the
+ * O(n) construction happens once per key; tables are immutable and
+ * shared, so concurrent backend workers may hit the cache freely.
+ */
+class AutoTableCache
+{
+  public:
+    static std::shared_ptr<const AutoTable> get(size_t n, u64 g);
+};
+
+} // namespace trinity
+
+#endif // TRINITY_BACKEND_AUTO_TABLE_H

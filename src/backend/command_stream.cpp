@@ -85,6 +85,10 @@ CommandStream::Command::jobCount() const
         // The two BConv passes carry an internal barrier, so the
         // command schedules as one unit and runs inline on a worker.
         return 1;
+    case Op::BConvP1:
+        return plan.numFrom; // one scaling job per source limb
+    case Op::BConvP2:
+        return bconvTiles; // coefficient-tile jobs of one target limb
     case Op::Task:
         return taskCount;
     case Op::Fence:
@@ -261,6 +265,56 @@ CommandStream::baseConvert(const BConvPlan &plan,
     return record(std::move(c), std::move(deps));
 }
 
+namespace {
+
+/** Pass-2 tile length: small enough that one target limb's matrix
+ *  product splits across several workers at common ring sizes, large
+ *  enough that a tile amortizes its scheduling overhead. */
+constexpr size_t kBConvTile = 1024;
+
+} // namespace
+
+std::vector<Job>
+CommandStream::baseConvertPhased(const BConvPlan &plan,
+                                 std::vector<const u64 *> in,
+                                 std::vector<u64 *> out, size_t n,
+                                 std::vector<Job> deps)
+{
+    trinity_assert(in.size() == plan.numFrom && out.size() == plan.numTo,
+                   "baseConvertPhased: limb pointer count mismatch");
+    scratch_.emplace_back(plan.numFrom * n);
+    u64 *v = scratch_.back().data();
+
+    Command p1;
+    p1.op = Op::BConvP1;
+    if (recordEvents_) {
+        p1.events = {kernel_events::baseConvertPass1(plan, n)};
+    }
+    p1.plan = plan;
+    p1.bconvIn = std::move(in);
+    p1.bconvV = v;
+    p1.bconvN = n;
+    Job pass1 = record(std::move(p1), std::move(deps));
+
+    std::vector<Job> handles(plan.numTo);
+    for (size_t j = 0; j < plan.numTo; ++j) {
+        Command p2;
+        p2.op = Op::BConvP2;
+        if (recordEvents_) {
+            p2.events = {kernel_events::baseConvertPass2(plan, n)};
+        }
+        p2.plan = plan;
+        p2.bconvOut = {out[j]};
+        p2.bconvV = v;
+        p2.bconvN = n;
+        p2.bconvLimb = j;
+        p2.bconvTile = kBConvTile;
+        p2.bconvTiles = (n + kBConvTile - 1) / kBConvTile;
+        handles[j] = record(std::move(p2), {pass1});
+    }
+    return handles;
+}
+
 Job
 CommandStream::task(size_t count, std::function<void(size_t)> fn,
                     std::vector<Job> deps,
@@ -344,6 +398,28 @@ CommandStream::executeBlocking(PolyBackend &b, const Command &c)
         b.baseConvert(c.plan, c.bconvIn.data(), c.bconvOut.data(),
                       c.bconvN);
         break;
+    case Op::BConvP1: {
+        std::vector<BConvPass1Job> jobs(c.plan.numFrom);
+        for (size_t i = 0; i < c.plan.numFrom; ++i) {
+            jobs[i] = {c.bconvV + i * c.bconvN, c.bconvIn[i],
+                       c.plan.qhatInv[i],       c.plan.qhatInvPrecon[i],
+                       &c.plan.fromMods[i],     c.bconvN};
+        }
+        b.baseConvertPass1Batch(jobs.data(), jobs.size());
+        break;
+    }
+    case Op::BConvP2: {
+        BConvPass2Job j = {c.bconvOut[0],
+                           c.bconvV,
+                           c.bconvN,
+                           c.plan.numFrom,
+                           c.plan.qhatModP + c.bconvLimb,
+                           c.plan.numTo,
+                           &c.plan.toMods[c.bconvLimb],
+                           c.bconvN};
+        b.baseConvertPass2Batch(&j, 1);
+        break;
+    }
     case Op::Task:
         b.run(c.taskCount, c.fn);
         break;
@@ -387,6 +463,31 @@ CommandStream::executeJob(PolyBackend &b, const Command &c, size_t i)
         b.baseConvert(c.plan, c.bconvIn.data(), c.bconvOut.data(),
                       c.bconvN);
         break;
+    case Op::BConvP1: {
+        BConvPass1Job j = {c.bconvV + i * c.bconvN,
+                           c.bconvIn[i],
+                           c.plan.qhatInv[i],
+                           c.plan.qhatInvPrecon[i],
+                           &c.plan.fromMods[i],
+                           c.bconvN};
+        b.baseConvertPass1Batch(&j, 1);
+        break;
+    }
+    case Op::BConvP2: {
+        size_t c0 = i * c.bconvTile;
+        size_t len = c.bconvN - c0 < c.bconvTile ? c.bconvN - c0
+                                                 : c.bconvTile;
+        BConvPass2Job j = {c.bconvOut[0] + c0,
+                           c.bconvV + c0,
+                           c.bconvN,
+                           c.plan.numFrom,
+                           c.plan.qhatModP + c.bconvLimb,
+                           c.plan.numTo,
+                           &c.plan.toMods[c.bconvLimb],
+                           len};
+        b.baseConvertPass2Batch(&j, 1);
+        break;
+    }
     case Op::Task:
         c.fn(i);
         break;
@@ -412,6 +513,156 @@ EagerStream::onRecord(Command &c)
     // Nothing reads the command after execution; drop the payload so
     // a long recording does not accumulate every job vector/closure.
     c.clearPayload(/*keep_events=*/false);
+}
+
+bool
+CoalescingEagerStream::coalescible(Op op)
+{
+    switch (op) {
+    case Op::NttFwd:
+    case Op::NttInv:
+    case Op::Mul:
+    case Op::Add:
+    case Op::Sub:
+    case Op::Neg:
+    case Op::MulAdd:
+    case Op::ScalarMul:
+    case Op::Auto:
+        return true;
+    default:
+        // BConv/BConvP1/BConvP2 carry per-command pointers beyond the
+        // job vectors; Task closures and fences have no batch form.
+        return false;
+    }
+}
+
+bool
+CoalescingEagerStream::depInWindow(const Command &c) const
+{
+    for (u32 d : c.deps) {
+        for (u32 w : window_) {
+            if (d == w) {
+                return true;
+            }
+        }
+    }
+    return false;
+}
+
+void
+CoalescingEagerStream::executeNow(Command &c)
+{
+    if (c.op == Op::Task && profilingActive()) {
+        for (const KernelEvent &ev : c.events) {
+            emitKernelPrestamped(ev); // scope stamped at record
+        }
+    }
+    executeBlocking(owner_, c);
+    c.clearPayload(/*keep_events=*/false);
+}
+
+void
+CoalescingEagerStream::flush()
+{
+    if (window_.empty()) {
+        return;
+    }
+    if (window_.size() == 1) {
+        executeNow(cmds_[window_[0]]);
+        window_.clear();
+        return;
+    }
+    // Window members are mutually independent commands of one op;
+    // concatenating their job vectors in record order and issuing one
+    // wide batch call is exactly the dispatch a single wide recording
+    // would have made.
+    switch (windowOp_) {
+    case Op::NttFwd:
+    case Op::NttInv: {
+        std::vector<NttJob> all;
+        for (u32 w : window_) {
+            all.insert(all.end(), cmds_[w].ntt.begin(),
+                       cmds_[w].ntt.end());
+        }
+        if (windowOp_ == Op::NttFwd) {
+            owner_.nttForwardBatch(all.data(), all.size());
+        } else {
+            owner_.nttInverseBatch(all.data(), all.size());
+        }
+        break;
+    }
+    case Op::Mul:
+    case Op::Add:
+    case Op::Sub:
+    case Op::Neg: {
+        std::vector<EltwiseJob> all;
+        for (u32 w : window_) {
+            all.insert(all.end(), cmds_[w].elt.begin(),
+                       cmds_[w].elt.end());
+        }
+        if (windowOp_ == Op::Mul) {
+            owner_.pointwiseMulBatch(all.data(), all.size());
+        } else if (windowOp_ == Op::Add) {
+            owner_.addBatch(all.data(), all.size());
+        } else if (windowOp_ == Op::Sub) {
+            owner_.subBatch(all.data(), all.size());
+        } else {
+            owner_.negBatch(all.data(), all.size());
+        }
+        break;
+    }
+    case Op::MulAdd: {
+        std::vector<MulAddJob> all;
+        for (u32 w : window_) {
+            all.insert(all.end(), cmds_[w].mad.begin(),
+                       cmds_[w].mad.end());
+        }
+        owner_.mulAddBatch(all.data(), all.size());
+        break;
+    }
+    case Op::ScalarMul: {
+        std::vector<ScalarMulJob> all;
+        for (u32 w : window_) {
+            all.insert(all.end(), cmds_[w].smul.begin(),
+                       cmds_[w].smul.end());
+        }
+        owner_.scalarMulBatch(all.data(), all.size());
+        break;
+    }
+    case Op::Auto: {
+        std::vector<AutoJob> all;
+        for (u32 w : window_) {
+            all.insert(all.end(), cmds_[w].aut.begin(),
+                       cmds_[w].aut.end());
+        }
+        owner_.automorphismBatch(all.data(), all.size());
+        break;
+    }
+    default:
+        trinity_fatal("CoalescingEagerStream: non-batchable op in "
+                      "coalescing window");
+    }
+    for (u32 w : window_) {
+        cmds_[w].clearPayload(/*keep_events=*/false);
+    }
+    window_.clear();
+}
+
+void
+CoalescingEagerStream::onRecord(Command &c)
+{
+    u32 idx = static_cast<u32>(cmds_.size() - 1);
+    if (!coalescible(c.op)) {
+        flush();
+        executeNow(c);
+        return;
+    }
+    if (!window_.empty() &&
+        (c.op != windowOp_ || depInWindow(c))) {
+        flush();
+    }
+    windowOp_ = c.op;
+    window_.push_back(idx);
 }
 
 } // namespace trinity

@@ -112,6 +112,24 @@ class CommandStream
                     std::vector<Job> deps = {});
 
     /**
+     * Phase-chunked BConv recording: one pass-1 command (a job per
+     * source limb, writing stream-owned scratch) followed by one
+     * pass-2 command per *target limb*, each split into coefficient-
+     * tile jobs and depending only on pass 1. Returns the per-target-
+     * limb pass-2 handles, so a caller can hang each output limb's
+     * follow-up (its NTT in hybrid keyswitch) off just the command
+     * that produces it — the executor then spreads the k x l matrix
+     * product across the pool and overlaps finished limbs' NTTs with
+     * the tail of the conversion, instead of serializing behind one
+     * monolithic BConv unit. Results are bit-identical to
+     * baseConvert() on every engine.
+     */
+    std::vector<Job> baseConvertPhased(const BConvPlan &plan,
+                                       std::vector<const u64 *> in,
+                                       std::vector<u64 *> out, size_t n,
+                                       std::vector<Job> deps = {});
+
+    /**
      * Record an untyped parallel task (the streamed counterpart of the
      * run() escape hatch): fn(0..count) with the engine's parallelism,
      * disjoint state per index. @p events announces the kernels the
@@ -170,6 +188,8 @@ class CommandStream
         ScalarMul,
         Auto,
         BConv,
+        BConvP1, ///< phase-chunked pass 1: one job per source limb
+        BConvP2, ///< phase-chunked pass 2: one target limb, tile jobs
         Task,
         Fence,
     };
@@ -187,6 +207,10 @@ class CommandStream
         std::vector<const u64 *> bconvIn;
         std::vector<u64 *> bconvOut;
         size_t bconvN = 0;
+        u64 *bconvV = nullptr;   ///< stream-owned pass-1 scratch
+        size_t bconvLimb = 0;    ///< BConvP2: target limb index
+        size_t bconvTile = 0;    ///< BConvP2: coefficients per tile job
+        size_t bconvTiles = 0;   ///< BConvP2: number of tile jobs
         size_t taskCount = 0;
         std::function<void(size_t)> fn;
         /** Kernel metadata (scope stamped at record time) — what the
@@ -239,6 +263,11 @@ class CommandStream
     Job record(Command c, std::vector<Job> deps);
 
     u64 id_;
+    /** Pass-1 scratch rows owned by the stream so phased BConv data
+     *  stays valid until wait() on deferred executors. One entry per
+     *  baseConvertPhased() call; the outer vector may grow (entries
+     *  are separate heap blocks, so recorded pointers stay stable). */
+    std::vector<std::vector<u64>> scratch_;
 };
 
 /**
@@ -255,6 +284,49 @@ class EagerStream final : public CommandStream
 
   protected:
     void onRecord(Command &c) override;
+};
+
+/**
+ * Width-restoring eager executor: commands still run in record order
+ * on the recording thread, but adjacent commands of the same batchable
+ * op whose dependencies do not cross are held in a window and executed
+ * as ONE wide batch call when the window closes (different op, a
+ * dependency into the window, fence/submit).
+ *
+ * Rationale: recording sites tuned for pipelined executors split work
+ * into narrow per-limb commands so the dependency graph is fine-
+ * grained (hybrid keyswitch records one NTT command per conversion
+ * output limb). On an engine that executes eagerly that granularity
+ * is pure overhead — l dispatches of 1 job instead of one dispatch of
+ * l jobs, defeating the engine's cross-job scheduling. Coalescing
+ * restores the wide batches without the recording site caring which
+ * executor it talks to. Window members are mutually independent by
+ * construction, so batch-call job order equals record order and
+ * results stay bit-identical.
+ *
+ * Reports deferredExecution() = true: a buffered command's payload is
+ * read at flush time, so recording sites must keep per-command buffers
+ * distinct, exactly as for a pipelined executor.
+ */
+class CoalescingEagerStream final : public CommandStream
+{
+  public:
+    using CommandStream::CommandStream;
+
+    bool deferredExecution() const override { return true; }
+
+  protected:
+    void onRecord(Command &c) override;
+    void onSubmit() override { flush(); }
+
+  private:
+    static bool coalescible(Op op);
+    bool depInWindow(const Command &c) const;
+    void flush();
+    void executeNow(Command &c);
+
+    std::vector<u32> window_; ///< buffered command indices, one op
+    Op windowOp_ = Op::Fence;
 };
 
 } // namespace trinity

@@ -93,6 +93,38 @@ baseConvert(const BConvPlan &plan, size_t n)
     return ev;
 }
 
+// Phase-chunked BConv splits one monolithic event into 1 + numTo
+// events whose totals equal the monolithic derivation exactly, so an
+// A/B of the two recordings measures scheduling, never accounting:
+// the monolithic event prices only the k x l MAC volume (pass-1 Shoup
+// scaling was never charged compute), so pass 1 keeps elements = 0 and
+// carries the k source limbs' traffic, while each per-target-limb
+// pass-2 event charges its n*k MAC row and its own limb written back.
+
+/** BConv pass 1 (Shoup scaling of the k source limbs). */
+inline KernelEvent
+baseConvertPass1(const BConvPlan &plan, size_t n)
+{
+    KernelEvent ev;
+    ev.type = sim::KernelType::Bconv;
+    ev.elements = 0;
+    ev.polyLen = n;
+    ev.bytes = 8 * static_cast<u64>(n) * plan.numFrom;
+    return ev;
+}
+
+/** BConv pass 2 for one target limb (the k-deep MAC row). */
+inline KernelEvent
+baseConvertPass2(const BConvPlan &plan, size_t n)
+{
+    KernelEvent ev;
+    ev.type = sim::KernelType::Bconv;
+    ev.elements = static_cast<u64>(n) * plan.numFrom;
+    ev.polyLen = n;
+    ev.bytes = 8 * static_cast<u64>(n);
+    return ev;
+}
+
 } // namespace kernel_events
 } // namespace trinity
 

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "backend/auto_table.h"
 #include "backend/command_stream.h"
 #include "common/logging.h"
 
@@ -13,12 +14,13 @@ PolyBackend::newStream()
     return std::make_unique<EagerStream>(*this);
 }
 
-// The named limb kernels run through the installed simd::KernelSet
-// (scalar by default — the reference every wider set is bit-identical
-// to), scheduled across jobs by parallelFor(). Automorphism and BConv
-// keep dedicated scalar bodies: both are permutation/matrix shapes the
-// accelerator maps onto AutoU / CU structures rather than plain lanes,
-// and neither is on the measured hot path the SIMD sets target.
+// Every named limb kernel — including the automorphism gather and the
+// two BConv passes — runs through the installed simd::KernelSet
+// (scalar by default, the reference every wider set is bit-identical
+// to), scheduled across jobs by parallelFor(). Automorphism fetches
+// its permutation/sign tables from AutoTableCache so the per-call cost
+// is a pure gather; BConv decomposes into the pass-1 Shoup scaling and
+// the pass-2 matrix product the accelerator maps onto CU arrays.
 
 void
 PolyBackend::nttForwardBatch(const NttJob *jobs, size_t count)
@@ -93,19 +95,42 @@ PolyBackend::scalarMulBatch(const ScalarMulJob *jobs, size_t count)
 void
 PolyBackend::automorphismBatch(const AutoJob *jobs, size_t count)
 {
+    if (count == 0) {
+        return;
+    }
+    // RnsPoly batches share one (n, g) across all limbs — resolve the
+    // table once outside the parallel region so workers never contend
+    // on the cache mutex for the common case.
+    auto shared = AutoTableCache::get(jobs[0].n, jobs[0].g);
     parallelFor(count, [&](size_t i) {
         const AutoJob &j = jobs[i];
-        size_t two_n = 2 * j.n;
-        for (size_t c = 0; c < j.n; ++c) {
-            u64 e = (static_cast<u64>(c) * j.g) % two_n;
-            if (e < j.n) {
-                j.dst[e] = j.src[c];
-            } else {
-                j.dst[e - j.n] = j.mod->neg(j.src[c]);
-            }
-        }
+        auto table = (j.n == shared->n() && j.g == shared->g())
+                         ? shared
+                         : AutoTableCache::get(j.n, j.g);
+        kernels().automorphism(j.dst, j.src, table->perm(),
+                               table->signMask(), *j.mod, j.n);
     });
 }
+
+namespace {
+
+/**
+ * Thread-local pass-1 scratch for the blocking baseConvert. Grows
+ * monotonically and is reused across calls, replacing the per-call
+ * k*n-element vector that dominated small-ring BConv cost. Per-thread
+ * so nested pool workers calling baseConvert stay isolated.
+ */
+u64 *
+bconvScratch(size_t elems)
+{
+    static thread_local std::vector<u64> scratch;
+    if (scratch.size() < elems) {
+        scratch.resize(elems);
+    }
+    return scratch.data();
+}
+
+} // namespace
 
 void
 PolyBackend::baseConvert(const BConvPlan &plan, const u64 *const *in,
@@ -114,29 +139,37 @@ PolyBackend::baseConvert(const BConvPlan &plan, const u64 *const *in,
     size_t k = plan.numFrom;
     size_t l = plan.numTo;
     // Pass 1 (element-wise): v_i = [x_i * (Q/q_i)^{-1}]_{q_i}.
-    std::vector<u64> v(k * n);
+    u64 *v = bconvScratch(k * n);
     parallelFor(k, [&](size_t i) {
-        const Modulus &qi = plan.fromMods[i];
-        u64 w = plan.qhatInv[i];
-        u64 pre = plan.qhatInvPrecon[i];
-        u64 *vi = v.data() + i * n;
-        const u64 *xi = in[i];
-        for (size_t c = 0; c < n; ++c) {
-            vi[c] = qi.mulShoup(xi[c], w, pre);
-        }
+        kernels().bconvPass1(v + i * n, in[i], plan.qhatInv[i],
+                             plan.qhatInvPrecon[i], plan.fromMods[i],
+                             n);
     });
     // Pass 2 (the matrix product): y_j = sum_i v_i * (Q/q_i) mod p_j.
     parallelFor(l, [&](size_t j) {
-        const Modulus &pj = plan.toMods[j];
-        u64 *yj = out[j];
-        for (size_t c = 0; c < n; ++c) {
-            u128 acc = 0;
-            for (size_t i = 0; i < k; ++i) {
-                acc += static_cast<u128>(pj.reduce(v[i * n + c])) *
-                       plan.qhatModP[i * l + j];
-            }
-            yj[c] = pj.reduce128(acc);
-        }
+        kernels().bconvPass2(out[j], v, n, k, plan.qhatModP + j, l,
+                             plan.toMods[j], n);
+    });
+}
+
+void
+PolyBackend::baseConvertPass1Batch(const BConvPass1Job *jobs,
+                                   size_t count)
+{
+    parallelFor(count, [&](size_t i) {
+        const BConvPass1Job &j = jobs[i];
+        kernels().bconvPass1(j.v, j.x, j.w, j.wPrecon, *j.mod, j.n);
+    });
+}
+
+void
+PolyBackend::baseConvertPass2Batch(const BConvPass2Job *jobs,
+                                   size_t count)
+{
+    parallelFor(count, [&](size_t i) {
+        const BConvPass2Job &j = jobs[i];
+        kernels().bconvPass2(j.y, j.v, j.vStride, j.k, j.w, j.wStride,
+                             *j.mod, j.n);
     });
 }
 

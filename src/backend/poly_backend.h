@@ -109,6 +109,38 @@ struct BConvPlan
 };
 
 /**
+ * BConv pass 1 for one source limb: v[c] = x[c] * w mod *mod, with w
+ * Shoup-preconditioned by the plan. Independent per source limb.
+ */
+struct BConvPass1Job
+{
+    u64 *v;        ///< scratch row for this source limb
+    const u64 *x;  ///< source limb coefficients
+    u64 w;         ///< qhatInv[i]
+    u64 wPrecon;   ///< Shoup preconditioner for w
+    const Modulus *mod;
+    size_t n;
+};
+
+/**
+ * BConv pass 2 for one target limb over a coefficient tile:
+ * y[c] = reduce128(sum_i reduce(v[i*vStride + c]) * w[i*wStride]).
+ * Tiles of the same target limb write disjoint spans, so a batch may
+ * mix tiles of many (limb, coefficient-range) pairs freely.
+ */
+struct BConvPass2Job
+{
+    u64 *y;          ///< target limb span (tile base)
+    const u64 *v;    ///< pass-1 scratch (tile base)
+    size_t vStride;  ///< row stride of v (full n, even for tiles)
+    size_t k;        ///< number of source limbs summed
+    const u64 *w;    ///< qhatModP column base for this target limb
+    size_t wStride;  ///< row stride of w (numTo)
+    const Modulus *mod;
+    size_t n;        ///< tile length
+};
+
+/**
  * Abstract polynomial execution engine.
  *
  * The batched entry points have default implementations that express
@@ -177,10 +209,19 @@ class PolyBackend
 
     /**
      * HPS base conversion (BConv): k coefficient-domain source limbs
-     * in[0..k) to l target limbs out[0..l), each of length n.
+     * in[0..k) to l target limbs out[0..l), each of length n. Runs
+     * both passes through the phased batch entry points below over
+     * backend-owned thread-local scratch (no per-call allocation).
      */
     virtual void baseConvert(const BConvPlan &plan, const u64 *const *in,
                              u64 *const *out, size_t n);
+
+    /** BConv pass 1 (Shoup scaling) over a batch of source limbs. */
+    virtual void baseConvertPass1Batch(const BConvPass1Job *jobs,
+                                       size_t count);
+    /** BConv pass 2 (matrix product) over a batch of limb tiles. */
+    virtual void baseConvertPass2Batch(const BConvPass2Job *jobs,
+                                       size_t count);
 
     /**
      * Escape hatch for fused kernels the named entry points do not

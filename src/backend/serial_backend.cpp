@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Reference implementations of the kernels the optimized engines
+ * reimplement with tables, lazy folds, and vector lanes. These are
+ * the seed recurrences, kept deliberately direct: correctness is
+ * visible at a glance, and the equivalence tests pin every other
+ * engine to these outputs bit for bit.
+ */
+
+#include "backend/serial_backend.h"
+
+#include <vector>
+
+namespace trinity {
+
+void
+SerialBackend::automorphismBatch(const AutoJob *jobs, size_t count)
+{
+    for (size_t i = 0; i < count; ++i) {
+        const AutoJob &j = jobs[i];
+        size_t two_n = 2 * j.n;
+        for (size_t c = 0; c < j.n; ++c) {
+            u64 e = (static_cast<u64>(c) * j.g) % two_n;
+            if (e < j.n) {
+                j.dst[e] = j.src[c];
+            } else {
+                j.dst[e - j.n] = j.mod->neg(j.src[c]);
+            }
+        }
+    }
+}
+
+void
+SerialBackend::baseConvert(const BConvPlan &plan, const u64 *const *in,
+                           u64 *const *out, size_t n)
+{
+    size_t k = plan.numFrom;
+    size_t l = plan.numTo;
+    // Pass 1 (element-wise): v_i = [x_i * (Q/q_i)^{-1}]_{q_i}.
+    std::vector<u64> v(k * n);
+    for (size_t i = 0; i < k; ++i) {
+        const Modulus &qi = plan.fromMods[i];
+        u64 w = plan.qhatInv[i];
+        u64 pre = plan.qhatInvPrecon[i];
+        u64 *vi = v.data() + i * n;
+        const u64 *xi = in[i];
+        for (size_t c = 0; c < n; ++c) {
+            vi[c] = qi.mulShoup(xi[c], w, pre);
+        }
+    }
+    // Pass 2 (the matrix product): y_j = sum_i v_i * (Q/q_i) mod p_j.
+    // Every term is reduced before it enters the 128-bit accumulator,
+    // so the sum is trivially in range for any number of source limbs.
+    for (size_t j = 0; j < l; ++j) {
+        const Modulus &pj = plan.toMods[j];
+        u64 *yj = out[j];
+        for (size_t c = 0; c < n; ++c) {
+            u128 acc = 0;
+            for (size_t i = 0; i < k; ++i) {
+                acc += static_cast<u128>(pj.reduce(v[i * n + c])) *
+                       plan.qhatModP[i * l + j];
+            }
+            yj[c] = pj.reduce128(acc);
+        }
+    }
+}
+
+} // namespace trinity

@@ -18,6 +18,23 @@ class SerialBackend final : public PolyBackend
     const char *name() const override { return "serial"; }
     size_t threadCount() const override { return 1; }
 
+    /**
+     * Reference automorphism: the direct per-coefficient index map
+     * (c -> c*g mod 2n with the X^n = -1 sign), written without the
+     * cached gather tables the optimized engines use. Every table-
+     * driven implementation is verified bit for bit against this.
+     */
+    void automorphismBatch(const AutoJob *jobs, size_t count) override;
+
+    /**
+     * Reference BConv: Shoup-scaled pass 1 and a pass 2 that reduces
+     * every term before the 128-bit accumulate — the obviously-in-
+     * range recurrence, without the lazy chunked folds of the SIMD
+     * kernels (which must produce identical outputs).
+     */
+    void baseConvert(const BConvPlan &plan, const u64 *const *in,
+                     u64 *const *out, size_t n) override;
+
   protected:
     void
     parallelFor(size_t count,

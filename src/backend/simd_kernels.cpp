@@ -82,6 +82,51 @@ scalarMulScalar(u64 *dst, const u64 *src, u64 scalar, const Modulus &mod,
     }
 }
 
+void
+automorphismScalar(u64 *dst, const u64 *src, const u64 *perm,
+                   const u64 *sign, const Modulus &mod, size_t n)
+{
+    for (size_t c = 0; c < n; ++c) {
+        u64 x = src[perm[c]];
+        dst[c] = sign[c] ? mod.neg(x) : x;
+    }
+}
+
+void
+bconvPass1Scalar(u64 *v, const u64 *x, u64 w, u64 w_pre,
+                 const Modulus &mod, size_t n)
+{
+    for (size_t c = 0; c < n; ++c) {
+        v[c] = mod.mulShoup(x[c], w, w_pre);
+    }
+}
+
+void
+bconvPass2Scalar(u64 *y, const u64 *v, size_t v_stride, size_t k,
+                 const u64 *w, size_t w_stride, const Modulus &mod,
+                 size_t n)
+{
+    // Lazy accumulation: with v, w < 2^62 each product is < 2^124, so
+    // up to kBconvChunk = 16 raw products fit a u128 without wrapping;
+    // one exact fold per chunk replaces a reduction per term. The
+    // folded residue equals (sum_i v_i * w_i) mod q — the same value
+    // the term-by-term reduction produces — so outputs are unchanged.
+    for (size_t c = 0; c < n; ++c) {
+        u64 r = 0;
+        size_t i = 0;
+        while (i < k) {
+            size_t end = i + kBconvChunk < k ? i + kBconvChunk : k;
+            u128 acc = 0;
+            for (; i < end; ++i) {
+                acc += static_cast<u128>(v[i * v_stride + c]) *
+                       w[i * w_stride];
+            }
+            r = mod.add(r, mod.reduce128(acc));
+        }
+        y[c] = r;
+    }
+}
+
 const char *const kLevelNames[] = {"scalar", "avx2", "avx512"};
 
 const KernelSet *
@@ -104,9 +149,13 @@ const KernelSet &
 scalarKernels()
 {
     static const KernelSet set = {
-        Level::Scalar, 1,           nttForwardScalar, nttInverseScalar,
-        addScalar,     subScalar,   negScalar,        mulScalar,
-        mulAddScalar,  scalarMulScalar,
+        Level::Scalar,     1,
+        nttForwardScalar,  nttInverseScalar,
+        addScalar,         subScalar,
+        negScalar,         mulScalar,
+        mulAddScalar,      scalarMulScalar,
+        automorphismScalar, bconvPass1Scalar,
+        bconvPass2Scalar,
     };
     return set;
 }

@@ -7,7 +7,8 @@
  * doing modular butterflies and Barrett/Shoup multiplies in parallel;
  * the software counterpart is a KernelSet — one function pointer per
  * limb kernel (forward/inverse NTT, the Barrett-reduced element-wise
- * family, Shoup scalar multiply) — with scalar, AVX2, and AVX-512
+ * family, Shoup scalar multiply, the table-driven Galois automorphism
+ * gather, and the two BConv passes) — with scalar, AVX2, and AVX-512
  * implementations. Every implementation computes the exact canonical
  * residues the scalar reference produces, so engines composed from any
  * set are bit-identical.
@@ -74,7 +75,42 @@ struct KernelSet
     /** dst[i] = src[i] * scalar (mod q), Shoup with one precompute. */
     void (*scalarMul)(u64 *dst, const u64 *src, u64 scalar,
                       const Modulus &mod, size_t n);
+
+    /**
+     * Table-driven Galois automorphism (tables from AutoTableCache,
+     * see backend/auto_table.h): dst[c] = src[perm[c]], negated where
+     * signMask[c] is all-ones. dst must not alias src.
+     */
+    void (*automorphism)(u64 *dst, const u64 *src, const u64 *perm,
+                         const u64 *signMask, const Modulus &mod,
+                         size_t n);
+
+    /**
+     * BConv pass 1: v[c] = x[c] * w mod q, Shoup with the plan's
+     * precomputed preconditioner (qhatInv rows come preconditioned, so
+     * no per-call division happens here).
+     */
+    void (*bconvPass1)(u64 *v, const u64 *x, u64 w, u64 wPrecon,
+                       const Modulus &mod, size_t n);
+
+    /**
+     * BConv pass 2 for one target limb over an n-coefficient tile:
+     * y[c] = (sum_i v[i*vStride + c] * w[i*wStride]) mod q. Products
+     * accumulate raw (unreduced) in 128 bits for up to kBconvChunk
+     * terms — safe because v, w < 2^62 — with one exact Barrett fold
+     * per chunk. Every implementation computes the same fully reduced
+     * value, so lane width and chunk boundaries never change outputs.
+     */
+    void (*bconvPass2)(u64 *y, const u64 *v, size_t vStride, size_t k,
+                       const u64 *w, size_t wStride, const Modulus &mod,
+                       size_t n);
 };
+
+/**
+ * Max raw u128 products summed between pass-2 folds: 16 products of
+ * two values < 2^62 total < 2^128, so the accumulator cannot wrap.
+ */
+constexpr size_t kBconvChunk = 16;
 
 /** The bit-exact scalar set — the reference every wider set matches. */
 const KernelSet &scalarKernels();

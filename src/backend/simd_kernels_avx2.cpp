@@ -181,15 +181,111 @@ scalarMulAvx2(u64 *dst, const u64 *src, u64 scalar, const Modulus &mod,
     }
 }
 
+void
+automorphismAvx2(u64 *dst, const u64 *src, const u64 *perm,
+                 const u64 *sign, const Modulus &mod, size_t n)
+{
+    const __m256i q = bcast256(mod.value());
+    size_t c = 0;
+    for (; c + 4 <= n; c += 4) {
+        __m256i x = _mm256_i64gather_epi64(
+            reinterpret_cast<const long long *>(src),
+            loadu256(perm + c), 8);
+        // signMask lanes are 0 or ~0, so a byte blend selects exactly
+        // the lanes the table marked negated (0 stays 0 in negmodx4).
+        __m256i m = loadu256(sign + c);
+        storeu256(dst + c,
+                  _mm256_blendv_epi8(x, negmodx4(x, q), m));
+    }
+    for (; c < n; ++c) {
+        u64 x = src[perm[c]];
+        dst[c] = sign[c] ? mod.neg(x) : x;
+    }
+}
+
+void
+bconvPass1Avx2(u64 *v, const u64 *x, u64 w, u64 w_pre,
+               const Modulus &mod, size_t n)
+{
+    const __m256i q = bcast256(mod.value());
+    const __m256i wv = bcast256(w);
+    const __m256i wp = bcast256(w_pre);
+    size_t c = 0;
+    for (; c + 4 <= n; c += 4) {
+        storeu256(v + c, mulshoupx4(loadu256(x + c), wv, wp, q));
+    }
+    for (; c < n; ++c) {
+        v[c] = mod.mulShoup(x[c], w, w_pre);
+    }
+}
+
+void
+bconvPass2Avx2(u64 *y, const u64 *v, size_t v_stride, size_t k,
+               const u64 *w, size_t w_stride, const Modulus &mod,
+               size_t n)
+{
+    const __m256i q = bcast256(mod.value());
+    const __m256i b_lo = bcast256(mod.barrettLo());
+    const __m256i b_hi = bcast256(mod.barrettHi());
+    const __m256i one = bcast256(1);
+    const __m256i zero = _mm256_setzero_si256();
+    size_t c = 0;
+    for (; c + 4 <= n; c += 4) {
+        // Lazy accumulation: raw 128-bit products, one Barrett fold
+        // per kBconvChunk terms (v, w < 2^62 keeps the sum in range).
+        // The fold is an exact mod, so the running residue equals the
+        // scalar kernel's value no matter how the sum is chunked.
+        __m256i r = zero;
+        size_t i = 0;
+        while (i < k) {
+            size_t end = i + kBconvChunk < k ? i + kBconvChunk : k;
+            __m256i acc_lo = zero;
+            __m256i acc_hi = zero;
+            for (; i < end; ++i) {
+                __m256i z_hi, z_lo;
+                mul64widex4(loadu256(v + i * v_stride + c),
+                            bcast256(w[i * w_stride]), z_hi, z_lo);
+                __m256i s = _mm256_add_epi64(acc_lo, z_lo);
+                __m256i carry =
+                    _mm256_and_si256(cmpgtu64x4(acc_lo, s), one);
+                acc_lo = s;
+                acc_hi = _mm256_add_epi64(
+                    acc_hi, _mm256_add_epi64(z_hi, carry));
+            }
+            r = addmodx4(
+                r, barrett128x4(acc_lo, acc_hi, q, b_lo, b_hi), q);
+        }
+        storeu256(y + c, r);
+    }
+    for (; c < n; ++c) {
+        u64 r = 0;
+        size_t i = 0;
+        while (i < k) {
+            size_t end = i + kBconvChunk < k ? i + kBconvChunk : k;
+            u128 acc = 0;
+            for (; i < end; ++i) {
+                acc += static_cast<u128>(v[i * v_stride + c]) *
+                       w[i * w_stride];
+            }
+            r = mod.add(r, mod.reduce128(acc));
+        }
+        y[c] = r;
+    }
+}
+
 } // namespace
 
 const KernelSet *
 avx2KernelsOrNull()
 {
     static const KernelSet set = {
-        Level::Avx2, 4,       nttForwardAvx2, nttInverseAvx2,
-        addAvx2,     subAvx2, negAvx2,        mulAvx2,
-        mulAddAvx2,  scalarMulAvx2,
+        Level::Avx2,      4,
+        nttForwardAvx2,   nttInverseAvx2,
+        addAvx2,          subAvx2,
+        negAvx2,          mulAvx2,
+        mulAddAvx2,       scalarMulAvx2,
+        automorphismAvx2, bconvPass1Avx2,
+        bconvPass2Avx2,
     };
     return &set;
 }

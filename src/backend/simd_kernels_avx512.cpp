@@ -322,15 +322,113 @@ scalarMulAvx512(u64 *dst, const u64 *src, u64 scalar,
     }
 }
 
+void
+automorphismAvx512(u64 *dst, const u64 *src, const u64 *perm,
+                   const u64 *sign, const Modulus &mod, size_t n)
+{
+    const __m512i q = bcast512(mod.value());
+    size_t c = 0;
+    for (; c + 8 <= n; c += 8) {
+        __m512i x = _mm512_i64gather_epi64(loadu512(perm + c),
+                                           src, 8);
+        // signMask lanes are 0 or ~0; testing them yields the mask of
+        // lanes the table marked negated (0 stays 0 in negmodx8).
+        __mmask8 neg =
+            _mm512_test_epi64_mask(loadu512(sign + c),
+                                   loadu512(sign + c));
+        storeu512(dst + c,
+                  _mm512_mask_mov_epi64(x, neg, negmodx8(x, q)));
+    }
+    for (; c < n; ++c) {
+        u64 x = src[perm[c]];
+        dst[c] = sign[c] ? mod.neg(x) : x;
+    }
+}
+
+void
+bconvPass1Avx512(u64 *v, const u64 *x, u64 w, u64 w_pre,
+                 const Modulus &mod, size_t n)
+{
+    const __m512i q = bcast512(mod.value());
+    const __m512i wv = bcast512(w);
+    const __m512i wp = bcast512(w_pre);
+    size_t c = 0;
+    for (; c + 8 <= n; c += 8) {
+        storeu512(v + c, mulshoupx8(loadu512(x + c), wv, wp, q));
+    }
+    for (; c < n; ++c) {
+        v[c] = mod.mulShoup(x[c], w, w_pre);
+    }
+}
+
+void
+bconvPass2Avx512(u64 *y, const u64 *v, size_t v_stride, size_t k,
+                 const u64 *w, size_t w_stride, const Modulus &mod,
+                 size_t n)
+{
+    const __m512i q = bcast512(mod.value());
+    const __m512i b_lo = bcast512(mod.barrettLo());
+    const __m512i b_hi = bcast512(mod.barrettHi());
+    const __m512i one = bcast512(1);
+    const __m512i zero = _mm512_setzero_si512();
+    size_t c = 0;
+    for (; c + 8 <= n; c += 8) {
+        // Lazy accumulation: raw 128-bit products, one Barrett fold
+        // per kBconvChunk terms (v, w < 2^62 keeps the sum in range).
+        // The fold is an exact mod, so the running residue equals the
+        // scalar kernel's value no matter how the sum is chunked.
+        __m512i r = zero;
+        size_t i = 0;
+        while (i < k) {
+            size_t end = i + kBconvChunk < k ? i + kBconvChunk : k;
+            __m512i acc_lo = zero;
+            __m512i acc_hi = zero;
+            for (; i < end; ++i) {
+                __m512i vi = loadu512(v + i * v_stride + c);
+                __m512i wi = bcast512(w[i * w_stride]);
+                __m512i z_lo = _mm512_mullo_epi64(vi, wi);
+                __m512i z_hi = mulhi64x8(vi, wi);
+                __m512i s = _mm512_add_epi64(acc_lo, z_lo);
+                __mmask8 carry = _mm512_cmplt_epu64_mask(s, acc_lo);
+                acc_lo = s;
+                acc_hi = _mm512_add_epi64(acc_hi, z_hi);
+                acc_hi =
+                    _mm512_mask_add_epi64(acc_hi, carry, acc_hi, one);
+            }
+            r = addmodx8(
+                r, barrett128x8(acc_lo, acc_hi, q, b_lo, b_hi), q);
+        }
+        storeu512(y + c, r);
+    }
+    for (; c < n; ++c) {
+        u64 r = 0;
+        size_t i = 0;
+        while (i < k) {
+            size_t end = i + kBconvChunk < k ? i + kBconvChunk : k;
+            u128 acc = 0;
+            for (; i < end; ++i) {
+                acc += static_cast<u128>(v[i * v_stride + c]) *
+                       w[i * w_stride];
+            }
+            r = mod.add(r, mod.reduce128(acc));
+        }
+        y[c] = r;
+    }
+}
+
 } // namespace
 
 const KernelSet *
 avx512KernelsOrNull()
 {
     static const KernelSet set = {
-        Level::Avx512, 8,         nttForwardAvx512, nttInverseAvx512,
-        addAvx512,     subAvx512, negAvx512,        mulAvx512,
-        mulAddAvx512,  scalarMulAvx512,
+        Level::Avx512,      8,
+        nttForwardAvx512,   nttInverseAvx512,
+        addAvx512,          subAvx512,
+        negAvx512,          mulAvx512,
+        mulAddAvx512,       scalarMulAvx512,
+        automorphismAvx512, bconvPass1Avx512,
+        bconvPass2Avx512,
     };
     return &set;
 }

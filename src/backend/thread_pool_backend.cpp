@@ -1,6 +1,9 @@
 #include "backend/thread_pool_backend.h"
 
+#include <atomic>
 #include <deque>
+#include <memory>
+#include <utility>
 
 #include "backend/command_stream.h"
 #include "common/env.h"
@@ -166,15 +169,29 @@ inverseScaleChunk(const NttTable &tb, u64 *a, size_t c0, size_t c1)
 } // namespace
 
 /**
- * Pipelined command-stream executor: a dependency-counting ready
- * queue drained by every pool worker (plus the submitting thread)
- * through one parallelFor dispatch. Workers claim individual jobs of
- * ready commands, so independent commands overlap freely — the NTT of
- * lockstep step i+1 runs under the MAC of step i — and a whole
- * recorded stream costs one pool wake/sleep cycle instead of one per
- * stage. Mutual exclusion on the scheduling state establishes the
- * happens-before edges of every dependency, so results stay
- * bit-identical to eager record-order execution.
+ * Pipelined command-stream executor with per-worker deques and
+ * randomized work stealing. Every pool worker (plus the submitting
+ * thread) owns a deque of (command, job) pairs; a worker pops its own
+ * deque from the back (LIFO — the jobs it just unlocked are hot in its
+ * cache) and steals from random victims' fronts (FIFO — the oldest,
+ * coldest work travels). The former single mutex-guarded ready queue
+ * made every job claim a serialization point, which at ~μs job sizes
+ * (one limb kernel) throttled the pool; per-slot locks shrink the
+ * critical section to one deque operation and contended claims spread
+ * across nslots mutexes.
+ *
+ * Dependency tracking is atomic: each command counts completed jobs
+ * and unresolved dependencies; the worker finishing a command's last
+ * job resolves its dependents and pushes any newly-ready command's
+ * jobs onto its OWN deque (stealers rebalance if it is slow). Zero-job
+ * commands (fences) complete recursively at resolution. Idle workers
+ * probe random victims, then sweep every slot once against an epoch
+ * counter snapshotted under the idle lock — a pusher bumps the epoch
+ * after publishing work, so a worker only parks when its sweep saw a
+ * world no push has changed since (no lost wakeups). The seq_cst
+ * atomic chains and the deque mutexes establish the happens-before
+ * edges of every dependency, so results stay bit-identical to eager
+ * record-order execution and the executor is clean under TSan.
  */
 class PipelinedStream final : public CommandStream
 {
@@ -211,6 +228,14 @@ class PipelinedStream final : public CommandStream
     }
 
   private:
+    /** One worker's deque. Own pops take the back, steals take the
+     *  front; the mutex guards only the deque itself. */
+    struct Slot
+    {
+        std::mutex mtx;
+        std::deque<std::pair<u32, u32>> q; ///< (command, job) pairs
+    };
+
     void
     execute()
     {
@@ -218,72 +243,162 @@ class PipelinedStream final : public CommandStream
         if (n == 0) {
             return;
         }
-        std::vector<size_t> next_job(n, 0);
-        std::vector<size_t> done_jobs(n, 0);
-        std::vector<size_t> deps_left(n, 0);
+        PolyBackend &b = owner_;
+        const size_t nslots = b.threadCount();
+        std::vector<Slot> slots(nslots);
         std::vector<std::vector<u32>> dependents(n);
-        std::deque<u32> ready;
-        size_t remaining = n;
-        std::mutex mtx;
-        std::condition_variable cv;
+        std::unique_ptr<std::atomic<size_t>[]> deps_left(
+            new std::atomic<size_t>[n]);
+        std::unique_ptr<std::atomic<size_t>[]> done_jobs(
+            new std::atomic<size_t>[n]);
+        std::atomic<size_t> remaining{n};
+        std::mutex idle_mtx;
+        std::condition_variable idle_cv;
+        u64 epoch = 0; // guarded by idle_mtx
 
         for (size_t i = 0; i < n; ++i) {
-            deps_left[i] = cmds_[i].deps.size();
+            deps_left[i].store(cmds_[i].deps.size(),
+                               std::memory_order_relaxed);
+            done_jobs[i].store(0, std::memory_order_relaxed);
             for (u32 d : cmds_[i].deps) {
                 dependents[d].push_back(static_cast<u32>(i));
             }
         }
-        // Completion under the lock: retire the command and cascade —
-        // zero-job commands (fences) complete the moment they are
-        // unblocked instead of occupying the ready queue.
-        std::function<void(u32)> complete = [&](u32 id) {
-            --remaining;
+
+        // Publish-then-bump: work becomes visible in a deque first,
+        // the epoch moves second, so a sweep that saw the old epoch
+        // and found nothing can safely park — any later push bumps
+        // past its snapshot.
+        auto wakeAll = [&] {
+            {
+                std::lock_guard<std::mutex> lk(idle_mtx);
+                ++epoch;
+            }
+            idle_cv.notify_all();
+        };
+
+        auto pushJobs = [&](u32 id, size_t slot) {
+            size_t total = cmds_[id].jobCount();
+            {
+                std::lock_guard<std::mutex> lk(slots[slot].mtx);
+                for (size_t j = 0; j < total; ++j) {
+                    slots[slot].q.emplace_back(id,
+                                               static_cast<u32>(j));
+                }
+            }
+            wakeAll();
+        };
+
+        std::function<void(u32, size_t)> complete = [&](u32 id,
+                                                        size_t slot) {
             for (u32 dep : dependents[id]) {
-                if (--deps_left[dep] == 0) {
+                if (deps_left[dep].fetch_sub(1) == 1) {
                     if (cmds_[dep].jobCount() == 0) {
-                        complete(dep);
+                        complete(dep, slot); // fences cascade
                     } else {
-                        ready.push_back(dep);
+                        pushJobs(dep, slot);
                     }
                 }
             }
+            if (remaining.fetch_sub(1) == 1) {
+                wakeAll(); // unpark everyone for termination
+            }
         };
-        for (size_t i = 0; i < n; ++i) {
-            if (deps_left[i] == 0 && cmds_[i].deps.empty()) {
-                if (cmds_[i].jobCount() == 0) {
-                    complete(static_cast<u32>(i));
-                } else {
-                    ready.push_back(static_cast<u32>(i));
+
+        // Seed: jobs of dependency-free commands striped round-robin
+        // so the pool starts balanced without any stealing.
+        {
+            size_t r = 0;
+            for (size_t i = 0; i < n; ++i) {
+                if (!cmds_[i].deps.empty()) {
+                    continue;
+                }
+                size_t total = cmds_[i].jobCount();
+                if (total == 0) {
+                    complete(static_cast<u32>(i), 0);
+                    continue;
+                }
+                for (size_t j = 0; j < total; ++j, ++r) {
+                    Slot &s = slots[r % nslots];
+                    std::lock_guard<std::mutex> lk(s.mtx);
+                    s.q.emplace_back(static_cast<u32>(i),
+                                     static_cast<u32>(j));
                 }
             }
         }
-        PolyBackend &b = owner_;
-        b.run(b.threadCount(), [&](size_t) {
-            std::unique_lock<std::mutex> lk(mtx);
-            for (;;) {
-                if (remaining == 0) {
-                    cv.notify_all();
-                    return;
+
+        b.run(nslots, [&](size_t slot) {
+            u64 rng =
+                (static_cast<u64>(slot) + 1) * 0x9e3779b97f4a7c15ULL;
+            auto nextRand = [&rng] {
+                rng ^= rng << 13;
+                rng ^= rng >> 7;
+                rng ^= rng << 17;
+                return rng;
+            };
+            auto tryPop = [&](size_t s, bool own,
+                              std::pair<u32, u32> &out) {
+                Slot &sl = slots[s];
+                std::lock_guard<std::mutex> lk(sl.mtx);
+                if (sl.q.empty()) {
+                    return false;
                 }
-                if (ready.empty()) {
-                    cv.wait(lk, [&] {
-                        return remaining == 0 || !ready.empty();
-                    });
+                if (own) {
+                    out = sl.q.back();
+                    sl.q.pop_back();
+                } else {
+                    out = sl.q.front();
+                    sl.q.pop_front();
+                }
+                return true;
+            };
+            auto runJob = [&](const std::pair<u32, u32> &job) {
+                const Command &c = cmds_[job.first];
+                executeJob(b, c, job.second);
+                if (done_jobs[job.first].fetch_add(1) + 1 ==
+                    c.jobCount()) {
+                    complete(job.first, slot);
+                }
+            };
+            std::pair<u32, u32> job;
+            while (remaining.load() != 0) {
+                if (tryPop(slot, /*own=*/true, job)) {
+                    runJob(job);
                     continue;
                 }
-                u32 id = ready.front();
-                size_t job = next_job[id]++;
-                size_t total = cmds_[id].jobCount();
-                if (next_job[id] >= total) {
-                    ready.pop_front();
+                bool found = false;
+                for (size_t t = 0; t < 2 * nslots && !found; ++t) {
+                    size_t victim = nextRand() % nslots;
+                    if (victim == slot) {
+                        continue;
+                    }
+                    found = tryPop(victim, /*own=*/false, job);
                 }
-                lk.unlock();
-                executeJob(b, cmds_[id], job);
-                lk.lock();
-                if (++done_jobs[id] == total) {
-                    complete(id);
-                    cv.notify_all();
+                if (found) {
+                    runJob(job);
+                    continue;
                 }
+                // Park protocol: snapshot the epoch, sweep every slot
+                // once, and sleep only when the sweep came up empty —
+                // a push after the snapshot moves the epoch and the
+                // wait falls through immediately.
+                u64 seen;
+                {
+                    std::lock_guard<std::mutex> lk(idle_mtx);
+                    seen = epoch;
+                }
+                for (size_t s = 0; s < nslots && !found; ++s) {
+                    found = tryPop(s, /*own=*/s == slot, job);
+                }
+                if (found) {
+                    runJob(job);
+                    continue;
+                }
+                std::unique_lock<std::mutex> lk(idle_mtx);
+                idle_cv.wait(lk, [&] {
+                    return epoch != seen ||
+                           remaining.load() == 0;
+                });
             }
         });
     }
@@ -318,10 +433,13 @@ ThreadPoolBackend::newStream()
 {
     // Pipelining needs workers to overlap onto; a re-entrant stream
     // (recorded from inside a pool job) must not dispatch on the pool
-    // it is running on. Both degrade gracefully to eager execution,
-    // as does the TRINITY_STREAMS=off kill switch.
+    // it is running on. Both degrade to record-order execution — but
+    // through the coalescing eager executor, which fuses the narrow
+    // per-limb commands pipelining-tuned recording sites emit back
+    // into wide batches this engine can spread across the pool. The
+    // TRINITY_STREAMS=off kill switch takes the same path.
     if (!streamsEnabled() || workers_.empty() || tls_in_worker) {
-        return std::make_unique<EagerStream>(*this);
+        return std::make_unique<CoalescingEagerStream>(*this);
     }
     return std::make_unique<PipelinedStream>(*this);
 }

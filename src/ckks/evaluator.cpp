@@ -167,21 +167,41 @@ CkksEvaluator::keySwitch(const RnsPoly &d, const CkksEvalKey &evk,
         for (size_t t = 0; t < alpha; ++t) {
             outs.push_back(full.limbData(nq + t));
         }
-        Job conv = stream->baseConvert(
+        std::vector<Job> conv = stream->baseConvertPhased(
             ctx_->modUpConverter(level, j).plan(), std::move(ins),
             std::move(outs), n);
-        // Batched NTT over every extended-basis limb (line 5), then
-        // the inner product with both evk components (line 9) as one
-        // fused multiply-accumulate batch chained on the previous
-        // digit (the accumulators are read-modify-write).
+        // Per-limb NTT recording (line 5): the digit limbs hang off
+        // the copy, and each conversion output limb depends only on
+        // the pass-2 command that produced it, so its transform
+        // starts the moment that limb converts instead of after the
+        // whole BConv — the NTT of an early output limb overlaps the
+        // tail of the matrix product. Then the inner product with
+        // both evk components (line 9) as one fused multiply-
+        // accumulate batch chained on the previous digit (the
+        // accumulators are read-modify-write).
         full.setDomain(Domain::Eval);
-        std::vector<NttJob> ntt_jobs;
-        ntt_jobs.reserve(next);
-        for (size_t t = 0; t < next; ++t) {
-            ntt_jobs.push_back(
-                {full.limbData(t), &full.nttTableAt(t)});
+        std::vector<Job> ntts;
+        ntts.reserve(next);
+        {
+            std::vector<NttJob> digit_jobs;
+            digit_jobs.reserve(end - begin);
+            for (size_t t = begin; t < end; ++t) {
+                digit_jobs.push_back(
+                    {full.limbData(t), &full.nttTableAt(t)});
+            }
+            ntts.push_back(
+                stream->nttForward(std::move(digit_jobs), {copy}));
         }
-        Job ntt = stream->nttForward(std::move(ntt_jobs), {copy, conv});
+        size_t m = 0; // conv outputs are ordered like the t loop
+        for (size_t t = 0; t < next; ++t) {
+            if (t >= begin && t < end) {
+                continue; // digit limbs transformed above
+            }
+            ntts.push_back(stream->nttForward(
+                {{full.limbData(t), &full.nttTableAt(t)}},
+                {conv[m]}));
+            ++m;
+        }
         std::vector<MulAddJob> jobs;
         jobs.reserve(2 * next);
         for (size_t t = 0; t < next; ++t) {
@@ -194,7 +214,9 @@ CkksEvaluator::keySwitch(const RnsPoly &d, const CkksEvalKey &evk,
                             evk.digits[j].a.limbData(evk_limb),
                             &full.modulusAt(t), n});
         }
-        prev_mac = stream->mulAdd(std::move(jobs), {ntt, prev_mac});
+        std::vector<Job> mac_deps = std::move(ntts);
+        mac_deps.push_back(prev_mac);
+        prev_mac = stream->mulAdd(std::move(jobs), std::move(mac_deps));
     }
     stream->submit();
     stream->wait();

@@ -1,7 +1,10 @@
 #include "poly/poly.h"
 
+#include <cstring>
+
 #include "backend/observer.h"
 #include "backend/registry.h"
+#include "backend/simd_kernels.h"
 #include "common/bitops.h"
 #include "common/logging.h"
 
@@ -180,14 +183,27 @@ Poly::mulMonomial(u64 t) const
     emitKernel(sim::KernelType::Rotate, n_, n_);
     size_t two_n = 2 * n_;
     t %= two_n;
+    size_t tr = t % n_;
+    bool neg_first = t >= n_;
     Poly r(n_, mod_.value());
-    for (size_t i = 0; i < n_; ++i) {
-        u64 e = (i + t) % two_n;
-        if (e < n_) {
-            r.coeffs_[e] = coeffs_[i];
-        } else {
-            r.coeffs_[e - n_] = mod_.neg(coeffs_[i]);
-        }
+    // Same block decomposition as RnsPoly::mulMonomial: one memcpy'd
+    // block, one negated block through the dispatched neg kernel
+    // (wide lanes), the sign flipping when the rotation crosses
+    // X^n = -1. The neg runs direct, not via negBatch: the whole
+    // rotation is priced as the Rotate kernel emitted above, and a
+    // priced negBatch would double-count it as ModAdd.
+    size_t len1 = n_ - tr; // src[0..len1) -> dst[tr..n)
+    size_t len2 = tr;      // src[len1..n) -> dst[0..tr)
+    const u64 *src = coeffs_.data();
+    u64 *dst = r.coeffs_.data();
+    const simd::KernelSet &ks =
+        simd::kernelsForLevel(simd::resolveLevel());
+    if (neg_first) {
+        std::memcpy(dst, src + len1, len2 * sizeof(u64));
+        ks.neg(dst + tr, src, mod_, len1);
+    } else {
+        std::memcpy(dst + tr, src, len1 * sizeof(u64));
+        ks.neg(dst, src + len1, mod_, len2);
     }
     return r;
 }

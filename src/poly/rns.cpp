@@ -1,9 +1,11 @@
 #include "poly/rns.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "backend/observer.h"
 #include "backend/registry.h"
+#include "backend/simd_kernels.h"
 #include "common/logging.h"
 
 namespace trinity {
@@ -283,18 +285,33 @@ RnsPoly::mulMonomial(u64 t) const
     emitKernel(sim::KernelType::Rotate, numLimbs() * n_, n_);
     size_t two_n = 2 * n_;
     t %= two_n;
+    size_t tr = t % n_;
+    bool neg_first = t >= n_;
     RnsPoly r(n_, moduli());
+    // X^t rotation splits into two contiguous blocks: src[0..n-tr)
+    // lands at dst[tr..n) and src[n-tr..n) wraps to dst[0..tr), one
+    // of the two negated (which one flips when the rotation crosses
+    // X^n = -1). The sign-preserving block is a straight memcpy; the
+    // negated block runs through the neg kernel so wide lanes apply.
+    // No per-coefficient index arithmetic survives.
+    // Both blocks run inside the run() escape hatch: the rotation is
+    // priced as the one Rotate kernel emitted above (an accelerator
+    // rotates and sign-flips in a single unit), so the negated block
+    // calls the dispatched neg kernel directly instead of negBatch —
+    // wide lanes without a second, double-counted ModAdd event.
+    size_t len1 = n_ - tr; // src[0..len1) -> dst[tr..n)
+    size_t len2 = tr;      // src[len1..n) -> dst[0..tr)
+    const simd::KernelSet &ks =
+        simd::kernelsForLevel(simd::resolveLevel());
     activeBackend().run(numLimbs(), [&](size_t j) {
-        const Modulus &m = mods_[j];
         const u64 *src = limbData(j);
         u64 *dst = r.limbData(j);
-        for (size_t i = 0; i < n_; ++i) {
-            u64 e = (i + t) % two_n;
-            if (e < n_) {
-                dst[e] = src[i];
-            } else {
-                dst[e - n_] = m.neg(src[i]);
-            }
+        if (neg_first) {
+            std::memcpy(dst, src + len1, len2 * sizeof(u64));
+            ks.neg(dst + tr, src, mods_[j], len1);
+        } else {
+            std::memcpy(dst + tr, src, len1 * sizeof(u64));
+            ks.neg(dst, src + len1, mods_[j], len2);
         }
     });
     return r;
