@@ -169,6 +169,11 @@ main(int argc, char **argv)
                    "measured");
     }
     BackendRegistry::instance().select("serial");
-    bench::writeJsonReport(args, "micro_backend");
+    // Non-default ring sizes report under their own key so a CI run
+    // can merge several invocations (jq -s add clobbers duplicates).
+    bench::writeJsonReport(args, n == 4096
+                                     ? "micro_backend"
+                                     : "micro_backend_n" +
+                                           std::to_string(n));
     return 0;
 }

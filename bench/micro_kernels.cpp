@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "backend/auto_table.h"
+#include "backend/scratch_arena.h"
 #include "backend/serial_backend.h"
 #include "backend/simd_backend.h"
 #include "backend/simd_kernels.h"
@@ -199,7 +200,14 @@ main(int argc, char **argv)
         double auto_ms = cfg.autoMs();
         double p1_ms = cfg.p1Ms();
         double p2_ms = cfg.p2Ms();
-        double conv_ms = cfg.convMs();
+        // Allocation accounting next to the cycles: the full-BConv
+        // loop runs over the pooled scratch arena; with the slab
+        // warmed, every acquire should hit the pool. allocs/op is
+        // arena misses per conversion — 0 in steady state.
+        double conv_ms = cfg.convMs(); // warms the arena slab
+        ScratchArena::resetStats();
+        conv_ms = cfg.convMs();
+        auto arena = ScratchArena::stats();
         if (cfg.label == "serial") {
             base_auto = auto_ms;
             base_p1 = p1_ms;
@@ -219,6 +227,14 @@ main(int argc, char **argv)
         bench::row(cfg.label, "bconv.full.speedup",
                    conv_ms > 0 ? base_conv / conv_ms : 0, "x",
                    "measured");
+        bench::row(cfg.label, "bconv.allocs_per_op",
+                   reps > 0 ? static_cast<double>(arena.misses) / reps
+                            : 0,
+                   "allocs", "measured");
+        bench::row(cfg.label, "bconv.arena_hits_per_op",
+                   reps > 0 ? static_cast<double>(arena.hits) / reps
+                            : 0,
+                   "hits", "measured");
     }
     bench::writeJsonReport(args, "micro_kernels");
     return 0;

@@ -2,6 +2,7 @@
 
 #include <map>
 #include <mutex>
+#include <shared_mutex>
 #include <utility>
 
 #include "common/logging.h"
@@ -36,25 +37,26 @@ AutoTable::AutoTable(size_t n, u64 g) : perm_(n), signMask_(n), g_(g)
 std::shared_ptr<const AutoTable>
 AutoTableCache::get(size_t n, u64 g)
 {
-    // Same discipline as NttTableCache: the map is only touched under
-    // the mutex, while the O(n) construction runs outside it so a cold
-    // key does not serialize every other thread. Two threads racing on
-    // the same cold key build the table twice; the first emplace wins
-    // and the loser's copy is dropped — tables are immutable, so
-    // correctness is unaffected.
+    // Same discipline as NttTableCache: hits take a shared (reader)
+    // lock so the steady state never serializes the pool, while the
+    // O(n) construction runs outside any lock so a cold key does not
+    // stall every other thread. Two threads racing on the same cold
+    // key build the table twice; the first emplace wins and the
+    // loser's copy is dropped — tables are immutable, so correctness
+    // is unaffected.
     static std::map<std::pair<size_t, u64>,
                     std::shared_ptr<const AutoTable>> cache;
-    static std::mutex mtx;
+    static std::shared_mutex mtx;
     auto key = std::make_pair(n, g);
     {
-        std::lock_guard<std::mutex> lock(mtx);
+        std::shared_lock<std::shared_mutex> lock(mtx);
         auto it = cache.find(key);
         if (it != cache.end()) {
             return it->second;
         }
     }
     auto table = std::make_shared<const AutoTable>(n, g);
-    std::lock_guard<std::mutex> lock(mtx);
+    std::unique_lock<std::shared_mutex> lock(mtx);
     auto [it, inserted] = cache.emplace(key, table);
     return it->second;
 }

@@ -53,6 +53,8 @@ CommandStream::Command::clearPayload(bool keep_events)
     ntt = {};
     elt = {};
     mad = {};
+    nma = {};
+    nia = {};
     smul = {};
     aut = {};
     bconvIn = {};
@@ -77,6 +79,10 @@ CommandStream::Command::jobCount() const
         return elt.size();
     case Op::MulAdd:
         return mad.size();
+    case Op::NttMulAdd:
+        return nma.size();
+    case Op::NttInvAdd:
+        return nia.size();
     case Op::ScalarMul:
         return smul.size();
     case Op::Auto:
@@ -218,6 +224,39 @@ CommandStream::mulAdd(std::vector<MulAddJob> jobs, std::vector<Job> deps)
 }
 
 Job
+CommandStream::nttForwardMulAdd(std::vector<NttMulAddJob> jobs,
+                                std::vector<Job> deps)
+{
+    Command c;
+    c.op = Op::NttMulAdd;
+    if (recordEvents_) {
+        // Two chained events: the recorder links a command's events
+        // sequentially, so the sim prices the transform feeding the
+        // MAC exactly as the unfused NTT -> MulAdd pair would.
+        c.events = {
+            kernel_events::nttOfNttMulAdd(jobs.data(), jobs.size()),
+            kernel_events::ipOfNttMulAdd(jobs.data(), jobs.size())};
+    }
+    c.nma = std::move(jobs);
+    return record(std::move(c), std::move(deps));
+}
+
+Job
+CommandStream::nttInverseAdd(std::vector<NttInvAddJob> jobs,
+                             std::vector<Job> deps)
+{
+    Command c;
+    c.op = Op::NttInvAdd;
+    if (recordEvents_) {
+        c.events = {
+            kernel_events::inttOfNttInvAdd(jobs.data(), jobs.size()),
+            kernel_events::addOfNttInvAdd(jobs.data(), jobs.size())};
+    }
+    c.nia = std::move(jobs);
+    return record(std::move(c), std::move(deps));
+}
+
+Job
 CommandStream::scalarMul(std::vector<ScalarMulJob> jobs,
                          std::vector<Job> deps)
 {
@@ -282,7 +321,7 @@ CommandStream::baseConvertPhased(const BConvPlan &plan,
 {
     trinity_assert(in.size() == plan.numFrom && out.size() == plan.numTo,
                    "baseConvertPhased: limb pointer count mismatch");
-    scratch_.emplace_back(plan.numFrom * n);
+    scratch_.push_back(ScratchArena::local().acquire(plan.numFrom * n));
     u64 *v = scratch_.back().data();
 
     Command p1;
@@ -388,6 +427,12 @@ CommandStream::executeBlocking(PolyBackend &b, const Command &c)
     case Op::MulAdd:
         b.mulAddBatch(c.mad.data(), c.mad.size());
         break;
+    case Op::NttMulAdd:
+        b.nttForwardMulAddBatch(c.nma.data(), c.nma.size());
+        break;
+    case Op::NttInvAdd:
+        b.nttInverseAddBatch(c.nia.data(), c.nia.size());
+        break;
     case Op::ScalarMul:
         b.scalarMulBatch(c.smul.data(), c.smul.size());
         break;
@@ -452,6 +497,12 @@ CommandStream::executeJob(PolyBackend &b, const Command &c, size_t i)
         break;
     case Op::MulAdd:
         b.mulAddBatch(&c.mad[i], 1);
+        break;
+    case Op::NttMulAdd:
+        b.nttForwardMulAddBatch(&c.nma[i], 1);
+        break;
+    case Op::NttInvAdd:
+        b.nttInverseAddBatch(&c.nia[i], 1);
         break;
     case Op::ScalarMul:
         b.scalarMulBatch(&c.smul[i], 1);
@@ -526,6 +577,8 @@ CoalescingEagerStream::coalescible(Op op)
     case Op::Sub:
     case Op::Neg:
     case Op::MulAdd:
+    case Op::NttMulAdd:
+    case Op::NttInvAdd:
     case Op::ScalarMul:
     case Op::Auto:
         return true;
@@ -618,6 +671,24 @@ CoalescingEagerStream::flush()
                        cmds_[w].mad.end());
         }
         owner_.mulAddBatch(all.data(), all.size());
+        break;
+    }
+    case Op::NttMulAdd: {
+        std::vector<NttMulAddJob> all;
+        for (u32 w : window_) {
+            all.insert(all.end(), cmds_[w].nma.begin(),
+                       cmds_[w].nma.end());
+        }
+        owner_.nttForwardMulAddBatch(all.data(), all.size());
+        break;
+    }
+    case Op::NttInvAdd: {
+        std::vector<NttInvAddJob> all;
+        for (u32 w : window_) {
+            all.insert(all.end(), cmds_[w].nia.begin(),
+                       cmds_[w].nia.end());
+        }
+        owner_.nttInverseAddBatch(all.data(), all.size());
         break;
     }
     case Op::ScalarMul: {

@@ -49,6 +49,7 @@
 
 #include "backend/observer.h"
 #include "backend/poly_backend.h"
+#include "backend/scratch_arena.h"
 
 namespace trinity {
 
@@ -103,6 +104,15 @@ class CommandStream
     Job sub(std::vector<EltwiseJob> jobs, std::vector<Job> deps = {});
     Job neg(std::vector<EltwiseJob> jobs, std::vector<Job> deps = {});
     Job mulAdd(std::vector<MulAddJob> jobs, std::vector<Job> deps = {});
+    /** Fused forward NTT + multiply-accumulate (keyswitch digits):
+     *  prices as an Ntt event chained into an Ip event, matching the
+     *  unfused pair the fusion replaces. */
+    Job nttForwardMulAdd(std::vector<NttMulAddJob> jobs,
+                         std::vector<Job> deps = {});
+    /** Fused inverse NTT + accumulate (external-product epilogue):
+     *  prices as an Intt event chained into a ModAdd event. */
+    Job nttInverseAdd(std::vector<NttInvAddJob> jobs,
+                      std::vector<Job> deps = {});
     Job scalarMul(std::vector<ScalarMulJob> jobs,
                   std::vector<Job> deps = {});
     Job automorphism(std::vector<AutoJob> jobs,
@@ -185,6 +195,8 @@ class CommandStream
         Sub,
         Neg,
         MulAdd,
+        NttMulAdd, ///< fused forward NTT + multiply-accumulate
+        NttInvAdd, ///< fused inverse NTT + accumulate
         ScalarMul,
         Auto,
         BConv,
@@ -201,6 +213,8 @@ class CommandStream
         std::vector<NttJob> ntt;
         std::vector<EltwiseJob> elt;
         std::vector<MulAddJob> mad;
+        std::vector<NttMulAddJob> nma;
+        std::vector<NttInvAddJob> nia;
         std::vector<ScalarMulJob> smul;
         std::vector<AutoJob> aut;
         BConvPlan plan{};
@@ -266,8 +280,11 @@ class CommandStream
     /** Pass-1 scratch rows owned by the stream so phased BConv data
      *  stays valid until wait() on deferred executors. One entry per
      *  baseConvertPhased() call; the outer vector may grow (entries
-     *  are separate heap blocks, so recorded pointers stay stable). */
-    std::vector<std::vector<u64>> scratch_;
+     *  are separate slabs, so recorded pointers stay stable). Slabs
+     *  come from the recording thread's ScratchArena and return to it
+     *  when the stream dies — steady-state recording allocates
+     *  nothing. */
+    std::vector<ScratchBuffer> scratch_;
 };
 
 /**

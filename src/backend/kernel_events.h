@@ -66,6 +66,52 @@ mulAdd(const MulAddJob *jobs, size_t count)
                 count > 0 ? jobs[0].n : 0, 32);
 }
 
+// Fused epilogue commands derive one event per constituent kernel,
+// with the same volumes the unfused recording would produce — the
+// fusion saves CPU memory traffic, not priced accelerator work. The
+// recorder chains a command's events sequentially, so the sim still
+// prices NTT -> MAC as dependent work within the command.
+
+/** The transform half of a fused forward-NTT + multiply-accumulate. */
+inline KernelEvent
+nttOfNttMulAdd(const NttMulAddJob *jobs, size_t count)
+{
+    u64 n = count > 0 ? jobs[0].table->n() : 0;
+    return make(sim::KernelType::Ntt, count * n, n, 16);
+}
+
+/** The MAC half: one or two accumulators per job. */
+inline KernelEvent
+ipOfNttMulAdd(const NttMulAddJob *jobs, size_t count)
+{
+    u64 elems = 0;
+    for (size_t i = 0; i < count; ++i) {
+        elems += jobs[i].table->n() * (jobs[i].acc1 != nullptr ? 2 : 1);
+    }
+    return make(sim::KernelType::Ip, elems,
+                count > 0 ? jobs[0].table->n() : 0, 32);
+}
+
+/** The transform half of a fused inverse-NTT + accumulate. */
+inline KernelEvent
+inttOfNttInvAdd(const NttInvAddJob *jobs, size_t count)
+{
+    u64 n = count > 0 ? jobs[0].table->n() : 0;
+    return make(sim::KernelType::Intt, count * n, n, 16);
+}
+
+/** The accumulate half (two reads + one write per element). */
+inline KernelEvent
+addOfNttInvAdd(const NttInvAddJob *jobs, size_t count)
+{
+    u64 elems = 0;
+    for (size_t i = 0; i < count; ++i) {
+        elems += jobs[i].table->n();
+    }
+    return make(sim::KernelType::ModAdd, elems,
+                count > 0 ? jobs[0].table->n() : 0, 24);
+}
+
 inline KernelEvent
 scalarMul(const ScalarMulJob *jobs, size_t count)
 {

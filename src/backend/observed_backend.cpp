@@ -85,6 +85,28 @@ ObservedBackend::mulAddBatch(const MulAddJob *jobs, size_t count)
 }
 
 void
+ObservedBackend::nttForwardMulAddBatch(const NttMulAddJob *jobs,
+                                       size_t count)
+{
+    if (profilingActive() && count > 0) {
+        emitKernel(kernel_events::nttOfNttMulAdd(jobs, count));
+        emitKernel(kernel_events::ipOfNttMulAdd(jobs, count));
+    }
+    inner_->nttForwardMulAddBatch(jobs, count);
+}
+
+void
+ObservedBackend::nttInverseAddBatch(const NttInvAddJob *jobs,
+                                    size_t count)
+{
+    if (profilingActive() && count > 0) {
+        emitKernel(kernel_events::inttOfNttInvAdd(jobs, count));
+        emitKernel(kernel_events::addOfNttInvAdd(jobs, count));
+    }
+    inner_->nttInverseAddBatch(jobs, count);
+}
+
+void
 ObservedBackend::scalarMulBatch(const ScalarMulJob *jobs, size_t count)
 {
     if (profilingActive() && count > 0) {

@@ -39,6 +39,10 @@ class ObservedBackend : public PolyBackend
     void subBatch(const EltwiseJob *jobs, size_t count) override;
     void negBatch(const EltwiseJob *jobs, size_t count) override;
     void mulAddBatch(const MulAddJob *jobs, size_t count) override;
+    void nttForwardMulAddBatch(const NttMulAddJob *jobs,
+                               size_t count) override;
+    void nttInverseAddBatch(const NttInvAddJob *jobs,
+                            size_t count) override;
     void scalarMulBatch(const ScalarMulJob *jobs, size_t count) override;
     void automorphismBatch(const AutoJob *jobs, size_t count) override;
     void baseConvert(const BConvPlan &plan, const u64 *const *in,

@@ -4,6 +4,7 @@
 
 #include "backend/auto_table.h"
 #include "backend/command_stream.h"
+#include "backend/scratch_arena.h"
 #include "common/logging.h"
 
 namespace trinity {
@@ -84,6 +85,26 @@ PolyBackend::mulAddBatch(const MulAddJob *jobs, size_t count)
 }
 
 void
+PolyBackend::nttForwardMulAddBatch(const NttMulAddJob *jobs,
+                                   size_t count)
+{
+    parallelFor(count, [&](size_t i) {
+        const NttMulAddJob &j = jobs[i];
+        kernels().nttForwardMulAdd(*j.table, j.data, j.b0, j.acc0, j.b1,
+                                   j.acc1);
+    });
+}
+
+void
+PolyBackend::nttInverseAddBatch(const NttInvAddJob *jobs, size_t count)
+{
+    parallelFor(count, [&](size_t i) {
+        const NttInvAddJob &j = jobs[i];
+        kernels().nttInverseAdd(*j.table, j.data, j.acc);
+    });
+}
+
+void
 PolyBackend::scalarMulBatch(const ScalarMulJob *jobs, size_t count)
 {
     parallelFor(count, [&](size_t i) {
@@ -112,26 +133,6 @@ PolyBackend::automorphismBatch(const AutoJob *jobs, size_t count)
     });
 }
 
-namespace {
-
-/**
- * Thread-local pass-1 scratch for the blocking baseConvert. Grows
- * monotonically and is reused across calls, replacing the per-call
- * k*n-element vector that dominated small-ring BConv cost. Per-thread
- * so nested pool workers calling baseConvert stay isolated.
- */
-u64 *
-bconvScratch(size_t elems)
-{
-    static thread_local std::vector<u64> scratch;
-    if (scratch.size() < elems) {
-        scratch.resize(elems);
-    }
-    return scratch.data();
-}
-
-} // namespace
-
 void
 PolyBackend::baseConvert(const BConvPlan &plan, const u64 *const *in,
                          u64 *const *out, size_t n)
@@ -139,7 +140,11 @@ PolyBackend::baseConvert(const BConvPlan &plan, const u64 *const *in,
     size_t k = plan.numFrom;
     size_t l = plan.numTo;
     // Pass 1 (element-wise): v_i = [x_i * (Q/q_i)^{-1}]_{q_i}.
-    u64 *v = bconvScratch(k * n);
+    // Pooled scratch: after the first conversion of a given (k, n)
+    // shape on a thread, the slab comes from the arena — no per-call
+    // heap allocation in the BConv hot path.
+    ScratchBuffer slab = ScratchArena::local().acquire(k * n);
+    u64 *v = slab.data();
     parallelFor(k, [&](size_t i) {
         kernels().bconvPass1(v + i * n, in[i], plan.qhatInv[i],
                              plan.qhatInvPrecon[i], plan.fromMods[i],

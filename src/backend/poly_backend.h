@@ -69,6 +69,33 @@ struct MulAddJob
     size_t n;
 };
 
+/**
+ * One fused forward-NTT + multiply-accumulate: NTT(data) in place,
+ * then acc0[i] += data[i]*b0[i] and — when acc1 is non-null —
+ * acc1[i] += data[i]*b1[i]. The keyswitch inner loop in one job: the
+ * freshly transformed limb feeds both evk components while it is hot
+ * in cache instead of round-tripping through memory.
+ */
+struct NttMulAddJob
+{
+    u64 *data;             ///< limb to transform, length table->n()
+    const NttTable *table;
+    const u64 *b0;         ///< first multiplicand (eval domain)
+    u64 *acc0;             ///< first accumulator
+    const u64 *b1;         ///< second multiplicand, or nullptr
+    u64 *acc1;             ///< second accumulator, or nullptr
+};
+
+/** One fused inverse-NTT + accumulate: iNTT(data) in place, then
+ *  acc[i] = acc[i] + data[i] (mod table's modulus). The external-
+ *  product epilogue (CMux accumulate) in one job. */
+struct NttInvAddJob
+{
+    u64 *data;             ///< limb to inverse-transform
+    const NttTable *table;
+    u64 *acc;              ///< accumulator, length table->n()
+};
+
 /** One scalar multiply: dst[i] = src[i] * scalar (mod *mod). */
 struct ScalarMulJob
 {
@@ -202,6 +229,12 @@ class PolyBackend
     virtual void negBatch(const EltwiseJob *jobs, size_t count);
     /** dst += a ⊙ b per job (the keyswitch inner-product kernel). */
     virtual void mulAddBatch(const MulAddJob *jobs, size_t count);
+    /** Fused forward NTT + accumulate per job (keyswitch digits). */
+    virtual void nttForwardMulAddBatch(const NttMulAddJob *jobs,
+                                       size_t count);
+    /** Fused inverse NTT + accumulate per job (external products). */
+    virtual void nttInverseAddBatch(const NttInvAddJob *jobs,
+                                    size_t count);
     /** dst = src * scalar per job. */
     virtual void scalarMulBatch(const ScalarMulJob *jobs, size_t count);
     /** Galois automorphism per job (the AutoU kernel). */

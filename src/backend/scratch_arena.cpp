@@ -1,0 +1,81 @@
+#include "backend/scratch_arena.h"
+
+#include <atomic>
+
+namespace trinity {
+
+namespace {
+
+std::atomic<u64> g_hits{0};
+std::atomic<u64> g_misses{0};
+
+} // namespace
+
+ScratchBuffer &
+ScratchBuffer::operator=(ScratchBuffer &&other) noexcept
+{
+    if (this != &other) {
+        if (data_ != nullptr) {
+            ScratchArena::local().release(std::move(data_), size_);
+        }
+        data_ = std::move(other.data_);
+        size_ = other.size_;
+        other.size_ = 0;
+    }
+    return *this;
+}
+
+ScratchBuffer::~ScratchBuffer()
+{
+    if (data_ != nullptr) {
+        ScratchArena::local().release(std::move(data_), size_);
+    }
+}
+
+ScratchArena &
+ScratchArena::local()
+{
+    static thread_local ScratchArena arena;
+    return arena;
+}
+
+ScratchBuffer
+ScratchArena::acquire(size_t elems)
+{
+    if (elems == 0) {
+        return {};
+    }
+    auto it = pool_.find(elems);
+    if (it != pool_.end() && !it->second.empty()) {
+        std::unique_ptr<u64[]> slab = std::move(it->second.back());
+        it->second.pop_back();
+        g_hits.fetch_add(1, std::memory_order_relaxed);
+        return ScratchBuffer(std::move(slab), elems);
+    }
+    g_misses.fetch_add(1, std::memory_order_relaxed);
+    return ScratchBuffer(std::unique_ptr<u64[]>(new u64[elems]), elems);
+}
+
+void
+ScratchArena::release(std::unique_ptr<u64[]> data, size_t elems)
+{
+    pool_[elems].push_back(std::move(data));
+}
+
+ScratchArena::Stats
+ScratchArena::stats()
+{
+    Stats s;
+    s.hits = g_hits.load(std::memory_order_relaxed);
+    s.misses = g_misses.load(std::memory_order_relaxed);
+    return s;
+}
+
+void
+ScratchArena::resetStats()
+{
+    g_hits.store(0, std::memory_order_relaxed);
+    g_misses.store(0, std::memory_order_relaxed);
+}
+
+} // namespace trinity

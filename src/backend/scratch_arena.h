@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Thread-local pooled scratch arena for hot-path limb buffers.
+ *
+ * Keyswitch, BConv pass 1, and the batched bootstrapper all need
+ * limb-major u64 staging buffers sized by (limbs x n) per call; before
+ * the arena each call paid a heap allocation (and the stream layer
+ * kept per-stream vectors alive just to own them). The arena reuses
+ * size-bucketed slabs per thread: acquire() pops a slab of the exact
+ * byte size if one is pooled (hit) or mallocs a fresh one (miss), and
+ * the RAII ScratchBuffer returns it to the releasing thread's pool.
+ * Slabs released on a different thread than they were acquired on
+ * simply migrate — the pool is per-thread only to make the common
+ * path lock-free, not for correctness.
+ *
+ * Global hit/miss counters (relaxed atomics) feed the bench
+ * allocations-per-op rows and the zero-alloc-after-warmup test.
+ */
+
+#ifndef TRINITY_BACKEND_SCRATCH_ARENA_H
+#define TRINITY_BACKEND_SCRATCH_ARENA_H
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+
+namespace trinity {
+
+class ScratchArena;
+
+/**
+ * RAII handle to one pooled slab of `size()` u64 elements. Move-only;
+ * the destructor returns the slab to the current thread's arena.
+ * Contents are uninitialized on acquire (callers overwrite).
+ */
+class ScratchBuffer
+{
+  public:
+    ScratchBuffer() = default;
+    ScratchBuffer(ScratchBuffer &&other) noexcept
+        : data_(std::move(other.data_)), size_(other.size_)
+    {
+        other.size_ = 0;
+    }
+    ScratchBuffer &operator=(ScratchBuffer &&other) noexcept;
+    ScratchBuffer(const ScratchBuffer &) = delete;
+    ScratchBuffer &operator=(const ScratchBuffer &) = delete;
+    ~ScratchBuffer();
+
+    u64 *data() { return data_.get(); }
+    const u64 *data() const { return data_.get(); }
+    size_t size() const { return size_; }
+    explicit operator bool() const { return data_ != nullptr; }
+
+  private:
+    friend class ScratchArena;
+    ScratchBuffer(std::unique_ptr<u64[]> data, size_t size)
+        : data_(std::move(data)), size_(size)
+    {
+    }
+
+    std::unique_ptr<u64[]> data_;
+    size_t size_ = 0;
+};
+
+/** Per-thread slab pool. Use ScratchArena::local(). */
+class ScratchArena
+{
+  public:
+    /** Cumulative acquire outcomes across all threads. */
+    struct Stats
+    {
+        u64 hits = 0;   ///< acquire served from the pool
+        u64 misses = 0; ///< acquire paid a heap allocation
+    };
+
+    /** The calling thread's arena (created on first use). */
+    static ScratchArena &local();
+
+    /** A slab of exactly @p elems u64s — pooled when available. */
+    ScratchBuffer acquire(size_t elems);
+
+    /** Snapshot of the global hit/miss counters. */
+    static Stats stats();
+
+    /** Reset the global counters (bench/test bookkeeping). */
+    static void resetStats();
+
+    /** Drop every pooled slab on this thread (tests; memory cap). */
+    void clear() { pool_.clear(); }
+
+  private:
+    friend class ScratchBuffer;
+    void release(std::unique_ptr<u64[]> data, size_t elems);
+
+    /** Exact-size buckets: hot paths cycle a handful of distinct
+     *  shapes, so exact matching never over-allocates and stays O(log
+     *  buckets) without a size-class scheme. */
+    std::map<size_t, std::vector<std::unique_ptr<u64[]>>> pool_;
+};
+
+} // namespace trinity
+
+#endif // TRINITY_BACKEND_SCRATCH_ARENA_H

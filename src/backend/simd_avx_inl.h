@@ -330,6 +330,256 @@ invStageT2Ymm(u64 *a, size_t h, const u64 *tw, const u64 *twp,
     }
 }
 
+// ------------------------------------------------------------------
+// Butterfly-range stage variants for the stage-level entry points:
+// the same networks restricted to butterflies [bLo, bHi) of one
+// stage (butterfly b of a stage with span t lives at block i = b/t,
+// offset j = b%t). All loads/stores are unaligned, so vector groups
+// can start at any butterfly; only the shuffle stages need whole
+// blocks per group, handled with scalar edge butterflies.
+// ------------------------------------------------------------------
+
+/** One scalar CT butterfly b of a forward stage with span t. */
+inline void
+fwdButterflyScalar(const Modulus &mod, u64 *a, size_t m, size_t t,
+                   const u64 *tw, const u64 *twp, size_t b)
+{
+    size_t i = b / t;
+    size_t j = b % t;
+    u64 *p = a + 2 * i * t;
+    u64 u = p[j];
+    u64 v = mod.mulShoup(p[j + t], tw[m + i], twp[m + i]);
+    p[j] = mod.add(u, v);
+    p[j + t] = mod.sub(u, v);
+}
+
+/** One scalar GS butterfly b of an inverse stage with span t. */
+inline void
+invButterflyScalar(const Modulus &mod, u64 *a, size_t h, size_t t,
+                   const u64 *tw, const u64 *twp, size_t b)
+{
+    size_t i = b / t;
+    size_t j = b % t;
+    u64 *p = a + 2 * i * t;
+    u64 u = p[j];
+    u64 v = p[j + t];
+    p[j] = mod.add(u, v);
+    p[j + t] = mod.mulShoup(mod.sub(u, v), tw[h + i], twp[h + i]);
+}
+
+/** Forward stage range with t >= 4: per-block j-subranges, vector
+ *  body plus scalar tail inside each block. */
+inline void
+fwdStageRangeVecYmm(const Modulus &mod, u64 *a, size_t m, size_t t,
+                    const u64 *tw, const u64 *twp, __m256i q,
+                    size_t bLo, size_t bHi)
+{
+    size_t iLo = bLo / t;
+    size_t iHi = (bHi + t - 1) / t;
+    for (size_t i = iLo; i < iHi; ++i) {
+        __m256i s = bcast256(tw[m + i]);
+        __m256i sp = bcast256(twp[m + i]);
+        size_t lo = bLo > i * t ? bLo - i * t : 0;
+        size_t hi = bHi < (i + 1) * t ? bHi - i * t : t;
+        u64 *p = a + 2 * i * t;
+        size_t j = lo;
+        for (; j + 4 <= hi; j += 4) {
+            __m256i u = loadu256(p + j);
+            __m256i v = mulshoupx4(loadu256(p + j + t), s, sp, q);
+            storeu256(p + j, addmodx4(u, v, q));
+            storeu256(p + j + t, submodx4(u, v, q));
+        }
+        for (; j < hi; ++j) {
+            u64 u = p[j];
+            u64 v = mod.mulShoup(p[j + t], tw[m + i], twp[m + i]);
+            p[j] = mod.add(u, v);
+            p[j + t] = mod.sub(u, v);
+        }
+    }
+}
+
+/** Forward stage range with t == 2: a vector group covers two whole
+ *  blocks (butterflies [2i, 2i+4)), so at most one scalar head
+ *  butterfly aligns b to a block start. */
+inline void
+fwdStageRangeT2Ymm(const Modulus &mod, u64 *a, size_t m, const u64 *tw,
+                   const u64 *twp, __m256i q, size_t bLo, size_t bHi)
+{
+    size_t b = bLo;
+    for (; b < bHi && b % 2 != 0; ++b) {
+        fwdButterflyScalar(mod, a, m, 2, tw, twp, b);
+    }
+    for (; b + 4 <= bHi; b += 4) {
+        size_t i = b / 2;
+        u64 *p = a + 4 * i;
+        __m256i x = loadu256(p);
+        __m256i y = loadu256(p + 4);
+        __m256i u = _mm256_permute2x128_si256(x, y, 0x20);
+        __m256i v = _mm256_permute2x128_si256(x, y, 0x31);
+        __m128i t2 = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(tw + m + i));
+        __m128i tp2 = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(twp + m + i));
+        __m256i s = _mm256_permute4x64_epi64(
+            _mm256_castsi128_si256(t2), 0x50);
+        __m256i sp = _mm256_permute4x64_epi64(
+            _mm256_castsi128_si256(tp2), 0x50);
+        __m256i w = mulshoupx4(v, s, sp, q);
+        __m256i lo = addmodx4(u, w, q);
+        __m256i hi = submodx4(u, w, q);
+        storeu256(p, _mm256_permute2x128_si256(lo, hi, 0x20));
+        storeu256(p + 4, _mm256_permute2x128_si256(lo, hi, 0x31));
+    }
+    for (; b < bHi; ++b) {
+        fwdButterflyScalar(mod, a, m, 2, tw, twp, b);
+    }
+}
+
+/** Forward stage range with t == 1: butterfly b IS block b, so vector
+ *  groups of four start anywhere. */
+inline void
+fwdStageRangeT1Ymm(const Modulus &mod, u64 *a, size_t m, const u64 *tw,
+                   const u64 *twp, __m256i q, size_t bLo, size_t bHi)
+{
+    size_t b = bLo;
+    for (; b + 4 <= bHi; b += 4) {
+        u64 *p = a + 2 * b;
+        __m256i x = loadu256(p);
+        __m256i y = loadu256(p + 4);
+        __m256i u = _mm256_unpacklo_epi64(x, y);
+        __m256i v = _mm256_unpackhi_epi64(x, y);
+        __m256i s = _mm256_permute4x64_epi64(loadu256(tw + m + b), 0xD8);
+        __m256i sp =
+            _mm256_permute4x64_epi64(loadu256(twp + m + b), 0xD8);
+        __m256i w = mulshoupx4(v, s, sp, q);
+        __m256i lo = addmodx4(u, w, q);
+        __m256i hi = submodx4(u, w, q);
+        storeu256(p, _mm256_unpacklo_epi64(lo, hi));
+        storeu256(p + 4, _mm256_unpackhi_epi64(lo, hi));
+    }
+    for (; b < bHi; ++b) {
+        fwdButterflyScalar(mod, a, m, 1, tw, twp, b);
+    }
+}
+
+/** Inverse stage range with t >= 4. */
+inline void
+invStageRangeVecYmm(const Modulus &mod, u64 *a, size_t h, size_t t,
+                    const u64 *tw, const u64 *twp, __m256i q,
+                    size_t bLo, size_t bHi)
+{
+    size_t iLo = bLo / t;
+    size_t iHi = (bHi + t - 1) / t;
+    for (size_t i = iLo; i < iHi; ++i) {
+        __m256i s = bcast256(tw[h + i]);
+        __m256i sp = bcast256(twp[h + i]);
+        size_t lo = bLo > i * t ? bLo - i * t : 0;
+        size_t hi = bHi < (i + 1) * t ? bHi - i * t : t;
+        u64 *p = a + 2 * i * t;
+        size_t j = lo;
+        for (; j + 4 <= hi; j += 4) {
+            __m256i u = loadu256(p + j);
+            __m256i v = loadu256(p + j + t);
+            storeu256(p + j, addmodx4(u, v, q));
+            storeu256(p + j + t,
+                      mulshoupx4(submodx4(u, v, q), s, sp, q));
+        }
+        for (; j < hi; ++j) {
+            u64 u = p[j];
+            u64 v = p[j + t];
+            p[j] = mod.add(u, v);
+            p[j + t] =
+                mod.mulShoup(mod.sub(u, v), tw[h + i], twp[h + i]);
+        }
+    }
+}
+
+/** Inverse stage range with t == 1. */
+inline void
+invStageRangeT1Ymm(const Modulus &mod, u64 *a, size_t h, const u64 *tw,
+                   const u64 *twp, __m256i q, size_t bLo, size_t bHi)
+{
+    size_t b = bLo;
+    for (; b + 4 <= bHi; b += 4) {
+        u64 *p = a + 2 * b;
+        __m256i x = loadu256(p);
+        __m256i y = loadu256(p + 4);
+        __m256i u = _mm256_unpacklo_epi64(x, y);
+        __m256i v = _mm256_unpackhi_epi64(x, y);
+        __m256i s = _mm256_permute4x64_epi64(loadu256(tw + h + b), 0xD8);
+        __m256i sp =
+            _mm256_permute4x64_epi64(loadu256(twp + h + b), 0xD8);
+        __m256i lo = addmodx4(u, v, q);
+        __m256i hi = mulshoupx4(submodx4(u, v, q), s, sp, q);
+        storeu256(p, _mm256_unpacklo_epi64(lo, hi));
+        storeu256(p + 4, _mm256_unpackhi_epi64(lo, hi));
+    }
+    for (; b < bHi; ++b) {
+        invButterflyScalar(mod, a, h, 1, tw, twp, b);
+    }
+}
+
+/** Inverse stage range with t == 2. */
+inline void
+invStageRangeT2Ymm(const Modulus &mod, u64 *a, size_t h, const u64 *tw,
+                   const u64 *twp, __m256i q, size_t bLo, size_t bHi)
+{
+    size_t b = bLo;
+    for (; b < bHi && b % 2 != 0; ++b) {
+        invButterflyScalar(mod, a, h, 2, tw, twp, b);
+    }
+    for (; b + 4 <= bHi; b += 4) {
+        size_t i = b / 2;
+        u64 *p = a + 4 * i;
+        __m256i x = loadu256(p);
+        __m256i y = loadu256(p + 4);
+        __m256i u = _mm256_permute2x128_si256(x, y, 0x20);
+        __m256i v = _mm256_permute2x128_si256(x, y, 0x31);
+        __m128i t2 = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(tw + h + i));
+        __m128i tp2 = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(twp + h + i));
+        __m256i s = _mm256_permute4x64_epi64(
+            _mm256_castsi128_si256(t2), 0x50);
+        __m256i sp = _mm256_permute4x64_epi64(
+            _mm256_castsi128_si256(tp2), 0x50);
+        __m256i lo = addmodx4(u, v, q);
+        __m256i hi = mulshoupx4(submodx4(u, v, q), s, sp, q);
+        storeu256(p, _mm256_permute2x128_si256(lo, hi, 0x20));
+        storeu256(p + 4, _mm256_permute2x128_si256(lo, hi, 0x31));
+    }
+    for (; b < bHi; ++b) {
+        invButterflyScalar(mod, a, h, 2, tw, twp, b);
+    }
+}
+
+/** Final inverse stage with N^{-1} folded into both outputs (one
+ *  block: h == 1, t == n/2, butterfly b == offset j). */
+inline void
+invStageRangeFusedYmm(const Modulus &mod, u64 *a, size_t t, u64 nInv,
+                      u64 nInvP, u64 sL, u64 sLp, __m256i q, size_t bLo,
+                      size_t bHi)
+{
+    __m256i ni = bcast256(nInv);
+    __m256i nip = bcast256(nInvP);
+    __m256i s = bcast256(sL);
+    __m256i sp = bcast256(sLp);
+    size_t j = bLo;
+    for (; j + 4 <= bHi; j += 4) {
+        __m256i u = loadu256(a + j);
+        __m256i v = loadu256(a + j + t);
+        storeu256(a + j, mulshoupx4(addmodx4(u, v, q), ni, nip, q));
+        storeu256(a + j + t,
+                  mulshoupx4(submodx4(u, v, q), s, sp, q));
+    }
+    for (; j < bHi; ++j) {
+        u64 u = a[j];
+        u64 v = a[j + t];
+        a[j] = mod.mulShoup(mod.add(u, v), nInv, nInvP);
+        a[j + t] = mod.mulShoup(mod.sub(u, v), sL, sLp);
+    }
+}
+
 } // namespace
 } // namespace simd
 } // namespace trinity

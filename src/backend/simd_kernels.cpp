@@ -29,6 +29,21 @@ nttInverseScalar(const NttTable &table, u64 *a)
 }
 
 void
+nttForwardStagesScalar(const NttTable &table, u64 *a, size_t stage_lo,
+                       size_t stage_hi, size_t b_lo, size_t b_hi)
+{
+    table.forwardStages(a, stage_lo, stage_hi, b_lo, b_hi);
+}
+
+void
+nttInverseStagesScalar(const NttTable &table, u64 *a, size_t stage_lo,
+                       size_t stage_hi, size_t b_lo, size_t b_hi,
+                       bool scale_n)
+{
+    table.inverseStages(a, stage_lo, stage_hi, b_lo, b_hi, scale_n);
+}
+
+void
 addScalar(u64 *dst, const u64 *a, const u64 *b, const Modulus &mod,
           size_t n)
 {
@@ -127,6 +142,24 @@ bconvPass2Scalar(u64 *y, const u64 *v, size_t v_stride, size_t k,
     }
 }
 
+void
+nttForwardMulAddScalar(const NttTable &table, u64 *a, const u64 *b0,
+                       u64 *acc0, const u64 *b1, u64 *acc1)
+{
+    table.forward(a);
+    mulAddScalar(acc0, a, b0, table.modulus(), table.n());
+    if (acc1 != nullptr) {
+        mulAddScalar(acc1, a, b1, table.modulus(), table.n());
+    }
+}
+
+void
+nttInverseAddScalar(const NttTable &table, u64 *a, u64 *acc)
+{
+    table.inverse(a);
+    addScalar(acc, acc, a, table.modulus(), table.n());
+}
+
 const char *const kLevelNames[] = {"scalar", "avx2", "avx512"};
 
 const KernelSet *
@@ -149,12 +182,14 @@ const KernelSet &
 scalarKernels()
 {
     static const KernelSet set = {
-        Level::Scalar,     1,
-        nttForwardScalar,  nttInverseScalar,
-        addScalar,         subScalar,
-        negScalar,         mulScalar,
-        mulAddScalar,      scalarMulScalar,
-        automorphismScalar, bconvPass1Scalar,
+        Level::Scalar,          1,
+        nttForwardScalar,       nttInverseScalar,
+        nttForwardStagesScalar, nttInverseStagesScalar,
+        nttForwardMulAddScalar, nttInverseAddScalar,
+        addScalar,              subScalar,
+        negScalar,              mulScalar,
+        mulAddScalar,           scalarMulScalar,
+        automorphismScalar,     bconvPass1Scalar,
         bconvPass2Scalar,
     };
     return set;

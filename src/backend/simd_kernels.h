@@ -61,6 +61,38 @@ struct KernelSet
     void (*nttForward)(const NttTable &table, u64 *a);
     void (*nttInverse)(const NttTable &table, u64 *a);
 
+    /**
+     * Stage-range NTT entry points (NttTable::forwardStages /
+     * inverseStages semantics): run stages [stageLo, stageHi) over the
+     * butterfly range [bLo, bHi) only, with vector butterflies inside
+     * the range. These are what lets the coefficient-tiled thread-pool
+     * executor keep wide lanes busy inside every tile — threads across
+     * coefficient chunks, lanes within a chunk — while remaining
+     * bit-identical to the monolithic kernels above.
+     */
+    void (*nttForwardStages)(const NttTable &table, u64 *a,
+                             size_t stageLo, size_t stageHi, size_t bLo,
+                             size_t bHi);
+    /** Inverse stage range; scaleN folds N^{-1} into the final stage. */
+    void (*nttInverseStages)(const NttTable &table, u64 *a,
+                             size_t stageLo, size_t stageHi, size_t bLo,
+                             size_t bHi, bool scaleN);
+
+    /**
+     * Fused epilogue: forward NTT of `a` in place, then immediately
+     * acc0[i] += a[i]*b0[i] and (when acc1 != nullptr)
+     * acc1[i] += a[i]*b1[i] (mod q) while the transformed limb is hot
+     * in cache. Exactly nttForward followed by mulAdd — keyswitch and
+     * lockstep PBS hit this pairing on every digit.
+     */
+    void (*nttForwardMulAdd)(const NttTable &table, u64 *a,
+                             const u64 *b0, u64 *acc0, const u64 *b1,
+                             u64 *acc1);
+
+    /** Fused epilogue: inverse NTT of `a` (scaling folded into the
+     *  final stage), then acc[i] = acc[i] + a[i] (mod q). */
+    void (*nttInverseAdd)(const NttTable &table, u64 *a, u64 *acc);
+
     /** dst[i] = a[i] op b[i] (mod q); dst may alias a or b exactly. */
     void (*add)(u64 *dst, const u64 *a, const u64 *b, const Modulus &mod,
                 size_t n);

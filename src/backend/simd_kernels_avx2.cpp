@@ -61,7 +61,7 @@ nttInverseAvx2(const NttTable &table, u64 *a)
     const u64 *twp = table.ipsiBrPrecon().data();
     const __m256i q = bcast256(table.modulus().value());
     size_t t = 1;
-    for (size_t m = n; m > 1; m >>= 1) {
+    for (size_t m = n; m > 2; m >>= 1) {
         size_t h = m >> 1;
         if (t >= 4) {
             invStageVecYmm(a, h, t, tw, twp, q);
@@ -72,11 +72,96 @@ nttInverseAvx2(const NttTable &table, u64 *a)
         }
         t <<= 1;
     }
-    const __m256i s = bcast256(table.nInv());
-    const __m256i sp = bcast256(table.nInvPrecon());
-    for (size_t j = 0; j < n; j += 4) {
-        storeu256(a + j, mulshoupx4(loadu256(a + j), s, sp, q));
+    // Final stage with N^{-1} folded into both outputs — replaces the
+    // separate whole-vector scaling pass (exact, so bit-identical).
+    invStageRangeFusedYmm(table.modulus(), a, n / 2, table.nInv(),
+                          table.nInvPrecon(), table.ipsiLastScaled(),
+                          table.ipsiLastScaledPrecon(), q, 0, n / 2);
+}
+
+void
+nttForwardStagesAvx2(const NttTable &table, u64 *a, size_t stage_lo,
+                     size_t stage_hi, size_t b_lo, size_t b_hi)
+{
+    const size_t n = table.n();
+    if (n < 8) {
+        table.forwardStages(a, stage_lo, stage_hi, b_lo, b_hi);
+        return;
     }
+    const Modulus &mod = table.modulus();
+    const u64 *tw = table.psiBr().data();
+    const u64 *twp = table.psiBrPrecon().data();
+    const __m256i q = bcast256(mod.value());
+    for (size_t s = stage_lo; s < stage_hi; ++s) {
+        size_t m = size_t{1} << s;
+        size_t t = n >> (s + 1);
+        if (t >= 4) {
+            fwdStageRangeVecYmm(mod, a, m, t, tw, twp, q, b_lo, b_hi);
+        } else if (t == 2) {
+            fwdStageRangeT2Ymm(mod, a, m, tw, twp, q, b_lo, b_hi);
+        } else {
+            fwdStageRangeT1Ymm(mod, a, m, tw, twp, q, b_lo, b_hi);
+        }
+    }
+}
+
+void
+nttInverseStagesAvx2(const NttTable &table, u64 *a, size_t stage_lo,
+                     size_t stage_hi, size_t b_lo, size_t b_hi,
+                     bool scale_n)
+{
+    const size_t n = table.n();
+    if (n < 8) {
+        table.inverseStages(a, stage_lo, stage_hi, b_lo, b_hi, scale_n);
+        return;
+    }
+    const Modulus &mod = table.modulus();
+    const u64 *tw = table.ipsiBr().data();
+    const u64 *twp = table.ipsiBrPrecon().data();
+    const __m256i q = bcast256(mod.value());
+    const size_t logn = table.logn();
+    for (size_t s = stage_lo; s < stage_hi; ++s) {
+        size_t h = n >> (s + 1);
+        size_t t = size_t{1} << s;
+        if (scale_n && s + 1 == logn) {
+            // Final stage: one block (h == 1, t == n/2) with N^{-1}
+            // folded into both butterfly outputs.
+            invStageRangeFusedYmm(mod, a, t, table.nInv(),
+                                  table.nInvPrecon(),
+                                  table.ipsiLastScaled(),
+                                  table.ipsiLastScaledPrecon(), q, b_lo,
+                                  b_hi);
+        } else if (t >= 4) {
+            invStageRangeVecYmm(mod, a, h, t, tw, twp, q, b_lo, b_hi);
+        } else if (t == 2) {
+            invStageRangeT2Ymm(mod, a, h, tw, twp, q, b_lo, b_hi);
+        } else {
+            invStageRangeT1Ymm(mod, a, h, tw, twp, q, b_lo, b_hi);
+        }
+    }
+}
+
+void mulAddAvx2(u64 *dst, const u64 *a, const u64 *b,
+                const Modulus &mod, size_t n);
+void addAvx2(u64 *dst, const u64 *a, const u64 *b, const Modulus &mod,
+             size_t n);
+
+void
+nttForwardMulAddAvx2(const NttTable &table, u64 *a, const u64 *b0,
+                     u64 *acc0, const u64 *b1, u64 *acc1)
+{
+    nttForwardAvx2(table, a);
+    mulAddAvx2(acc0, a, b0, table.modulus(), table.n());
+    if (acc1 != nullptr) {
+        mulAddAvx2(acc1, a, b1, table.modulus(), table.n());
+    }
+}
+
+void
+nttInverseAddAvx2(const NttTable &table, u64 *a, u64 *acc)
+{
+    nttInverseAvx2(table, a);
+    addAvx2(acc, acc, a, table.modulus(), table.n());
 }
 
 void
@@ -279,12 +364,14 @@ const KernelSet *
 avx2KernelsOrNull()
 {
     static const KernelSet set = {
-        Level::Avx2,      4,
-        nttForwardAvx2,   nttInverseAvx2,
-        addAvx2,          subAvx2,
-        negAvx2,          mulAvx2,
-        mulAddAvx2,       scalarMulAvx2,
-        automorphismAvx2, bconvPass1Avx2,
+        Level::Avx2,          4,
+        nttForwardAvx2,       nttInverseAvx2,
+        nttForwardStagesAvx2, nttInverseStagesAvx2,
+        nttForwardMulAddAvx2, nttInverseAddAvx2,
+        addAvx2,              subAvx2,
+        negAvx2,              mulAvx2,
+        mulAddAvx2,           scalarMulAvx2,
+        automorphismAvx2,     bconvPass1Avx2,
         bconvPass2Avx2,
     };
     return &set;

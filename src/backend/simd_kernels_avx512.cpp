@@ -135,6 +135,96 @@ barrett128x8(__m512i z_lo, __m512i z_hi, __m512i q, __m512i b_lo,
     return _mm512_mask_sub_epi64(r, ge, r, q);
 }
 
+/** Forward stage range with t >= 8: zmm lanes, per-block j-subranges
+ *  (vector body + scalar tail; unaligned loads allow any start). */
+inline void
+fwdStageRangeVecZmm(const Modulus &mod, u64 *a, size_t m, size_t t,
+                    const u64 *tw, const u64 *twp, __m512i q,
+                    size_t bLo, size_t bHi)
+{
+    size_t iLo = bLo / t;
+    size_t iHi = (bHi + t - 1) / t;
+    for (size_t i = iLo; i < iHi; ++i) {
+        __m512i s = bcast512(tw[m + i]);
+        __m512i sp = bcast512(twp[m + i]);
+        size_t lo = bLo > i * t ? bLo - i * t : 0;
+        size_t hi = bHi < (i + 1) * t ? bHi - i * t : t;
+        u64 *p = a + 2 * i * t;
+        size_t j = lo;
+        for (; j + 8 <= hi; j += 8) {
+            __m512i u = loadu512(p + j);
+            __m512i v = mulshoupx8(loadu512(p + j + t), s, sp, q);
+            storeu512(p + j, addmodx8(u, v, q));
+            storeu512(p + j + t, submodx8(u, v, q));
+        }
+        for (; j < hi; ++j) {
+            u64 u = p[j];
+            u64 v = mod.mulShoup(p[j + t], tw[m + i], twp[m + i]);
+            p[j] = mod.add(u, v);
+            p[j + t] = mod.sub(u, v);
+        }
+    }
+}
+
+/** Inverse stage range with t >= 8. */
+inline void
+invStageRangeVecZmm(const Modulus &mod, u64 *a, size_t h, size_t t,
+                    const u64 *tw, const u64 *twp, __m512i q,
+                    size_t bLo, size_t bHi)
+{
+    size_t iLo = bLo / t;
+    size_t iHi = (bHi + t - 1) / t;
+    for (size_t i = iLo; i < iHi; ++i) {
+        __m512i s = bcast512(tw[h + i]);
+        __m512i sp = bcast512(twp[h + i]);
+        size_t lo = bLo > i * t ? bLo - i * t : 0;
+        size_t hi = bHi < (i + 1) * t ? bHi - i * t : t;
+        u64 *p = a + 2 * i * t;
+        size_t j = lo;
+        for (; j + 8 <= hi; j += 8) {
+            __m512i u = loadu512(p + j);
+            __m512i v = loadu512(p + j + t);
+            storeu512(p + j, addmodx8(u, v, q));
+            storeu512(p + j + t,
+                      mulshoupx8(submodx8(u, v, q), s, sp, q));
+        }
+        for (; j < hi; ++j) {
+            u64 u = p[j];
+            u64 v = p[j + t];
+            p[j] = mod.add(u, v);
+            p[j + t] =
+                mod.mulShoup(mod.sub(u, v), tw[h + i], twp[h + i]);
+        }
+    }
+}
+
+/** Final inverse stage (one block, t == n/2 >= 8) with N^{-1} folded
+ *  into both butterfly outputs. */
+inline void
+invStageRangeFusedZmm(const Modulus &mod, u64 *a, size_t t, u64 nInv,
+                      u64 nInvP, u64 sL, u64 sLp, __m512i q, size_t bLo,
+                      size_t bHi)
+{
+    __m512i ni = bcast512(nInv);
+    __m512i nip = bcast512(nInvP);
+    __m512i s = bcast512(sL);
+    __m512i sp = bcast512(sLp);
+    size_t j = bLo;
+    for (; j + 8 <= bHi; j += 8) {
+        __m512i u = loadu512(a + j);
+        __m512i v = loadu512(a + j + t);
+        storeu512(a + j, mulshoupx8(addmodx8(u, v, q), ni, nip, q));
+        storeu512(a + j + t,
+                  mulshoupx8(submodx8(u, v, q), s, sp, q));
+    }
+    for (; j < bHi; ++j) {
+        u64 u = a[j];
+        u64 v = a[j + t];
+        a[j] = mod.mulShoup(mod.add(u, v), nInv, nInvP);
+        a[j + t] = mod.mulShoup(mod.sub(u, v), sL, sLp);
+    }
+}
+
 void
 nttForwardAvx512(const NttTable &table, u64 *a)
 {
@@ -209,12 +299,122 @@ nttInverseAvx512(const NttTable &table, u64 *a)
             invStageT1Ymm(a, h, tw, twp, q4);
         }
         t <<= 1;
+        if (m == 4) {
+            break; // final stage handled fused below
+        }
     }
-    const __m512i s = bcast512(table.nInv());
-    const __m512i sp = bcast512(table.nInvPrecon());
-    for (size_t j = 0; j < n; j += 8) {
-        storeu512(a + j, mulshoupx8(loadu512(a + j), s, sp, q));
+    // Final stage with N^{-1} folded into both outputs — replaces the
+    // separate whole-vector scaling pass (exact, so bit-identical).
+    if (n / 2 >= 8) {
+        invStageRangeFusedZmm(table.modulus(), a, n / 2, table.nInv(),
+                              table.nInvPrecon(),
+                              table.ipsiLastScaled(),
+                              table.ipsiLastScaledPrecon(), q, 0,
+                              n / 2);
+    } else {
+        invStageRangeFusedYmm(table.modulus(), a, n / 2, table.nInv(),
+                              table.nInvPrecon(),
+                              table.ipsiLastScaled(),
+                              table.ipsiLastScaledPrecon(), q4, 0,
+                              n / 2);
     }
+}
+
+void
+nttForwardStagesAvx512(const NttTable &table, u64 *a, size_t stage_lo,
+                       size_t stage_hi, size_t b_lo, size_t b_hi)
+{
+    const size_t n = table.n();
+    if (n < 8) {
+        table.forwardStages(a, stage_lo, stage_hi, b_lo, b_hi);
+        return;
+    }
+    const Modulus &mod = table.modulus();
+    const u64 *tw = table.psiBr().data();
+    const u64 *twp = table.psiBrPrecon().data();
+    const __m512i q = bcast512(mod.value());
+    const __m256i q4 = bcast256(mod.value());
+    for (size_t s = stage_lo; s < stage_hi; ++s) {
+        size_t m = size_t{1} << s;
+        size_t t = n >> (s + 1);
+        if (t >= 8) {
+            fwdStageRangeVecZmm(mod, a, m, t, tw, twp, q, b_lo, b_hi);
+        } else if (t == 4) {
+            fwdStageRangeVecYmm(mod, a, m, t, tw, twp, q4, b_lo, b_hi);
+        } else if (t == 2) {
+            fwdStageRangeT2Ymm(mod, a, m, tw, twp, q4, b_lo, b_hi);
+        } else {
+            fwdStageRangeT1Ymm(mod, a, m, tw, twp, q4, b_lo, b_hi);
+        }
+    }
+}
+
+void
+nttInverseStagesAvx512(const NttTable &table, u64 *a, size_t stage_lo,
+                       size_t stage_hi, size_t b_lo, size_t b_hi,
+                       bool scale_n)
+{
+    const size_t n = table.n();
+    if (n < 8) {
+        table.inverseStages(a, stage_lo, stage_hi, b_lo, b_hi, scale_n);
+        return;
+    }
+    const Modulus &mod = table.modulus();
+    const u64 *tw = table.ipsiBr().data();
+    const u64 *twp = table.ipsiBrPrecon().data();
+    const __m512i q = bcast512(mod.value());
+    const __m256i q4 = bcast256(mod.value());
+    const size_t logn = table.logn();
+    for (size_t s = stage_lo; s < stage_hi; ++s) {
+        size_t h = n >> (s + 1);
+        size_t t = size_t{1} << s;
+        if (scale_n && s + 1 == logn) {
+            if (t >= 8) {
+                invStageRangeFusedZmm(mod, a, t, table.nInv(),
+                                      table.nInvPrecon(),
+                                      table.ipsiLastScaled(),
+                                      table.ipsiLastScaledPrecon(), q,
+                                      b_lo, b_hi);
+            } else {
+                invStageRangeFusedYmm(mod, a, t, table.nInv(),
+                                      table.nInvPrecon(),
+                                      table.ipsiLastScaled(),
+                                      table.ipsiLastScaledPrecon(), q4,
+                                      b_lo, b_hi);
+            }
+        } else if (t >= 8) {
+            invStageRangeVecZmm(mod, a, h, t, tw, twp, q, b_lo, b_hi);
+        } else if (t == 4) {
+            invStageRangeVecYmm(mod, a, h, t, tw, twp, q4, b_lo, b_hi);
+        } else if (t == 2) {
+            invStageRangeT2Ymm(mod, a, h, tw, twp, q4, b_lo, b_hi);
+        } else {
+            invStageRangeT1Ymm(mod, a, h, tw, twp, q4, b_lo, b_hi);
+        }
+    }
+}
+
+void mulAddAvx512(u64 *dst, const u64 *a, const u64 *b,
+                  const Modulus &mod, size_t n);
+void addAvx512(u64 *dst, const u64 *a, const u64 *b, const Modulus &mod,
+               size_t n);
+
+void
+nttForwardMulAddAvx512(const NttTable &table, u64 *a, const u64 *b0,
+                       u64 *acc0, const u64 *b1, u64 *acc1)
+{
+    nttForwardAvx512(table, a);
+    mulAddAvx512(acc0, a, b0, table.modulus(), table.n());
+    if (acc1 != nullptr) {
+        mulAddAvx512(acc1, a, b1, table.modulus(), table.n());
+    }
+}
+
+void
+nttInverseAddAvx512(const NttTable &table, u64 *a, u64 *acc)
+{
+    nttInverseAvx512(table, a);
+    addAvx512(acc, acc, a, table.modulus(), table.n());
 }
 
 void
@@ -422,12 +622,14 @@ const KernelSet *
 avx512KernelsOrNull()
 {
     static const KernelSet set = {
-        Level::Avx512,      8,
-        nttForwardAvx512,   nttInverseAvx512,
-        addAvx512,          subAvx512,
-        negAvx512,          mulAvx512,
-        mulAddAvx512,       scalarMulAvx512,
-        automorphismAvx512, bconvPass1Avx512,
+        Level::Avx512,          8,
+        nttForwardAvx512,       nttInverseAvx512,
+        nttForwardStagesAvx512, nttInverseStagesAvx512,
+        nttForwardMulAddAvx512, nttInverseAddAvx512,
+        addAvx512,              subAvx512,
+        negAvx512,              mulAvx512,
+        mulAddAvx512,           scalarMulAvx512,
+        automorphismAvx512,     bconvPass1Avx512,
         bconvPass2Avx512,
     };
     return &set;

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "backend/command_stream.h"
+#include "common/bitops.h"
 #include "common/env.h"
 #include "common/logging.h"
 
@@ -45,125 +46,6 @@ resolveThreadCount(size_t threads)
         }
     }
     return threads == 0 ? hw : threads;
-}
-
-// ------------------------------------------------------------------
-// Coefficient-tiled NTT: split one transform across workers. Every
-// stage's butterflies touch disjoint (j, j+t) pairs, so a stage can be
-// chunked freely with a barrier between stages; and once the CT
-// network's block count reaches `tiles` the remaining stages decompose
-// into `tiles` independent contiguous regions (mirrored for the GS
-// inverse network, whose early stages are the local ones). All
-// arithmetic is the exact canonical butterfly of NttTable::forward/
-// inverse, so tiling never changes a single bit of the result.
-
-/** Butterflies [b0, b1) of forward stage m (t = n / 2m). */
-void
-forwardStageChunk(const NttTable &tb, u64 *a, size_t m, size_t b0,
-                  size_t b1)
-{
-    const Modulus &mod = tb.modulus();
-    const auto &tw = tb.psiBr();
-    const auto &twp = tb.psiBrPrecon();
-    size_t t = tb.n() / (2 * m);
-    for (size_t b = b0; b < b1; ++b) {
-        size_t i = b / t;
-        size_t j = 2 * i * t + (b % t);
-        u64 s = tw[m + i];
-        u64 sp = twp[m + i];
-        u64 u = a[j];
-        u64 v = mod.mulShoup(a[j + t], s, sp);
-        a[j] = mod.add(u, v);
-        a[j + t] = mod.sub(u, v);
-    }
-}
-
-/** Forward stages m = mFirst..n/2, blocks of region r of `tiles`. */
-void
-forwardRegion(const NttTable &tb, u64 *a, size_t m_first, size_t tiles,
-              size_t r)
-{
-    size_t n = tb.n();
-    const Modulus &mod = tb.modulus();
-    const auto &tw = tb.psiBr();
-    const auto &twp = tb.psiBrPrecon();
-    size_t t = n / (2 * m_first);
-    for (size_t m = m_first; m < n; m <<= 1) {
-        size_t bpr = m / tiles; // blocks per region at this stage
-        for (size_t i = r * bpr; i < (r + 1) * bpr; ++i) {
-            u64 s = tw[m + i];
-            u64 sp = twp[m + i];
-            size_t j0 = 2 * i * t;
-            for (size_t j = j0; j < j0 + t; ++j) {
-                u64 u = a[j];
-                u64 v = mod.mulShoup(a[j + t], s, sp);
-                a[j] = mod.add(u, v);
-                a[j + t] = mod.sub(u, v);
-            }
-        }
-        t >>= 1;
-    }
-}
-
-/** Inverse stages m = n..2*tiles (h >= tiles), region r of `tiles`. */
-void
-inverseRegion(const NttTable &tb, u64 *a, size_t tiles, size_t r)
-{
-    size_t n = tb.n();
-    const Modulus &mod = tb.modulus();
-    const auto &tw = tb.ipsiBr();
-    const auto &twp = tb.ipsiBrPrecon();
-    size_t t = 1;
-    for (size_t m = n; m >= 2 * tiles; m >>= 1) {
-        size_t h = m >> 1;
-        size_t bpr = h / tiles;
-        for (size_t i = r * bpr; i < (r + 1) * bpr; ++i) {
-            u64 s = tw[h + i];
-            u64 sp = twp[h + i];
-            size_t j0 = 2 * i * t;
-            for (size_t j = j0; j < j0 + t; ++j) {
-                u64 u = a[j];
-                u64 v = a[j + t];
-                a[j] = mod.add(u, v);
-                a[j + t] = mod.mulShoup(mod.sub(u, v), s, sp);
-            }
-        }
-        t <<= 1;
-    }
-}
-
-/** Butterflies [b0, b1) of inverse stage m (h = m/2 < tiles). */
-void
-inverseStageChunk(const NttTable &tb, u64 *a, size_t m, size_t b0,
-                  size_t b1)
-{
-    const Modulus &mod = tb.modulus();
-    const auto &tw = tb.ipsiBr();
-    const auto &twp = tb.ipsiBrPrecon();
-    size_t h = m >> 1;
-    size_t t = tb.n() / m;
-    for (size_t b = b0; b < b1; ++b) {
-        size_t i = b / t;
-        size_t j = 2 * i * t + (b % t);
-        u64 s = tw[h + i];
-        u64 sp = twp[h + i];
-        u64 u = a[j];
-        u64 v = a[j + t];
-        a[j] = mod.add(u, v);
-        a[j + t] = mod.mulShoup(mod.sub(u, v), s, sp);
-    }
-}
-
-/** N^{-1} scaling of coefficients [c0, c1) (inverse epilogue). */
-void
-inverseScaleChunk(const NttTable &tb, u64 *a, size_t c0, size_t c1)
-{
-    const Modulus &mod = tb.modulus();
-    u64 s = tb.nInv();
-    u64 sp = tb.nInvPrecon();
-    for (size_t j = c0; j < c1; ++j) {
-        a[j] = mod.mulShoup(a[j], s, sp);
-    }
 }
 
 } // namespace
@@ -448,14 +330,25 @@ bool
 ThreadPoolBackend::nttBatchTiled(const NttJob *jobs, size_t count,
                                  bool forward)
 {
+    // Coefficient-tiled NTT: split one transform across workers
+    // through the KernelSet's stage-level entry points, so the tiles
+    // run AVX2/AVX-512 butterflies inside each chunk (threads across
+    // coefficients, vector lanes within a tile). Every stage's
+    // butterflies touch disjoint (j, j+t) pairs, so a stage can be
+    // chunked freely with a barrier between stages; and once the CT
+    // network's block count reaches `tiles`, the remaining stages
+    // decompose into `tiles` independent contiguous regions — one
+    // multi-stage kernel call per tile, no barriers (mirrored for the
+    // GS inverse network, whose early stages are the local ones). All
+    // paths compute the exact canonical butterflies, so tiling never
+    // changes a single bit of the result.
+    //
     // Tiling pays stage-barrier overhead to recruit idle workers, so
     // engage it only when limb fan-out alone cannot feed the pool:
-    // few jobs relative to workers, a transform long enough to
-    // amortize the barriers, and scalar kernels (wider lanes already
-    // sweep a limb's span without any synchronization).
+    // few jobs relative to workers and a transform long enough to
+    // amortize the barriers.
     size_t workers = threadCount();
-    if (count == 0 || tls_in_worker || kernels().lanes != 1 ||
-        count * 2 > workers) {
+    if (count == 0 || tls_in_worker || count * 2 > workers) {
         return false;
     }
     size_t n = jobs[0].table->n();
@@ -477,45 +370,49 @@ ThreadPoolBackend::nttBatchTiled(const NttJob *jobs, size_t count,
     if (tiles < 2) {
         return false;
     }
+    const simd::KernelSet &ks = kernels();
+    size_t logn = log2Exact(n);
+    size_t log_tiles = log2Exact(tiles);
     size_t units = count * tiles;
     size_t bchunk = (n / 2) / tiles; // butterflies per chunk per stage
-    size_t cchunk = n / tiles;       // coefficients per region
     if (forward) {
-        // Global stages (few large-span blocks), then independent
-        // contiguous regions for the bulk of the network.
-        for (size_t m = 1; m < tiles; m <<= 1) {
+        // Global stages (few large-span blocks) with a barrier after
+        // each, then independent contiguous regions for the bulk of
+        // the network.
+        for (size_t s = 0; s < log_tiles; ++s) {
             parallelFor(units, [&](size_t u) {
                 const NttJob &j = jobs[u / tiles];
                 size_t c = u % tiles;
-                forwardStageChunk(*j.table, j.data, m, c * bchunk,
-                                  (c + 1) * bchunk);
-            });
-        }
-        parallelFor(units, [&](size_t u) {
-            const NttJob &j = jobs[u / tiles];
-            forwardRegion(*j.table, j.data, tiles, tiles, u % tiles);
-        });
-    } else {
-        // Mirror image: independent regions first, then the global
-        // stages, then the N^{-1} scaling epilogue.
-        parallelFor(units, [&](size_t u) {
-            const NttJob &j = jobs[u / tiles];
-            inverseRegion(*j.table, j.data, tiles, u % tiles);
-        });
-        for (size_t m = tiles; m > 1; m >>= 1) {
-            parallelFor(units, [&](size_t u) {
-                const NttJob &j = jobs[u / tiles];
-                size_t c = u % tiles;
-                inverseStageChunk(*j.table, j.data, m, c * bchunk,
-                                  (c + 1) * bchunk);
+                ks.nttForwardStages(*j.table, j.data, s, s + 1,
+                                    c * bchunk, (c + 1) * bchunk);
             });
         }
         parallelFor(units, [&](size_t u) {
             const NttJob &j = jobs[u / tiles];
             size_t c = u % tiles;
-            inverseScaleChunk(*j.table, j.data, c * cchunk,
-                              (c + 1) * cchunk);
+            ks.nttForwardStages(*j.table, j.data, log_tiles, logn,
+                                c * bchunk, (c + 1) * bchunk);
         });
+    } else {
+        // Mirror image: independent regions first, then the global
+        // stages. scaleN folds the N^{-1} epilogue into the final
+        // stage's butterflies — no separate scaling pass.
+        parallelFor(units, [&](size_t u) {
+            const NttJob &j = jobs[u / tiles];
+            size_t c = u % tiles;
+            ks.nttInverseStages(*j.table, j.data, 0, logn - log_tiles,
+                                c * bchunk, (c + 1) * bchunk,
+                                /*scaleN=*/false);
+        });
+        for (size_t s = logn - log_tiles; s < logn; ++s) {
+            parallelFor(units, [&](size_t u) {
+                const NttJob &j = jobs[u / tiles];
+                size_t c = u % tiles;
+                ks.nttInverseStages(*j.table, j.data, s, s + 1,
+                                    c * bchunk, (c + 1) * bchunk,
+                                    /*scaleN=*/true);
+            });
+        }
     }
     return true;
 }

@@ -6,6 +6,7 @@
 #include "backend/command_stream.h"
 #include "backend/observer.h"
 #include "backend/registry.h"
+#include "backend/scratch_arena.h"
 #include "common/logging.h"
 
 namespace trinity {
@@ -121,34 +122,37 @@ CkksEvaluator::keySwitch(const RnsPoly &d, const CkksEvalKey &evk,
     acc1.setDomain(Domain::Eval);
 
     // The beta digit pipelines are recorded as one command stream:
-    // each digit's copy/BConv -> NTT -> inner product chain only
-    // depends on the previous digit through the shared accumulators,
-    // so a pipelined engine runs digit j+1's BConv and NTTs under
-    // digit j's MACs instead of synchronizing per batch. The digit
-    // buffers live in `fulls` (reserved up front — recorded pointers
-    // must stay stable) until wait() returns; engines that execute at
-    // record time consume each digit before the next records, so one
-    // buffer is reused for all digits there.
+    // each digit's copy/BConv -> fused NTT+MAC chain only depends on
+    // the previous digit through the shared accumulators, so a
+    // pipelined engine runs digit j+1's BConv under digit j's MACs
+    // instead of synchronizing per batch. The digit slabs come from
+    // the thread's ScratchArena (zero heap allocation after the first
+    // call at a given shape) and live in `fulls` until wait() returns
+    // on deferred engines; engines that execute at record time consume
+    // each digit before the next records, so one slab serves them all.
     auto stream = activeBackend().newStream();
     size_t nbuf = stream->deferredExecution() ? beta : 1;
-    std::vector<RnsPoly> fulls;
+    std::vector<ScratchBuffer> fulls;
     fulls.reserve(nbuf);
-    Job prev_mac{};
+    // One read-modify-write chain PER accumulator limb: limb t of
+    // digit j+1 waits only on limb t of digit j, not on the whole
+    // digit's inner product.
+    std::vector<Job> prev(next);
     for (size_t j = 0; j < beta; ++j) {
         auto [begin, end] = ctx_->digitRange(level, j);
-        // Assemble the extended-basis polynomial in one flat buffer:
-        // digit limbs are copied straight in (line 1 of Algorithm 1),
-        // the rest is produced by BConv (line 4) writing directly into
-        // the target limbs — conv outputs are ordered (q limbs
-        // excluding digit, then special primes).
+        // Assemble the extended-basis polynomial in one flat limb-major
+        // slab: digit limbs are copied straight in (line 1 of
+        // Algorithm 1), the rest is produced by BConv (line 4) writing
+        // directly into the target rows — conv outputs are ordered
+        // (q limbs excluding digit, then special primes).
         if (fulls.size() < nbuf) {
-            fulls.emplace_back(n, ext_basis);
+            fulls.push_back(ScratchArena::local().acquire(next * n));
         }
-        RnsPoly &full = fulls[j < nbuf ? j : 0];
+        u64 *full = fulls[j < nbuf ? j : 0].data();
         Job copy = stream->task(
             end - begin,
-            [&full, &d_coeff, begin, n](size_t i) {
-                std::memcpy(full.limbData(begin + i),
+            [full, &d_coeff, begin, n](size_t i) {
+                std::memcpy(full + (begin + i) * n,
                             d_coeff.limbData(begin + i),
                             n * sizeof(u64));
             });
@@ -161,62 +165,37 @@ CkksEvaluator::keySwitch(const RnsPoly &d, const CkksEvalKey &evk,
         outs.reserve(next - (end - begin));
         for (size_t i = 0; i < nq; ++i) {
             if (i < begin || i >= end) {
-                outs.push_back(full.limbData(i));
+                outs.push_back(full + i * n);
             }
         }
         for (size_t t = 0; t < alpha; ++t) {
-            outs.push_back(full.limbData(nq + t));
+            outs.push_back(full + (nq + t) * n);
         }
         std::vector<Job> conv = stream->baseConvertPhased(
             ctx_->modUpConverter(level, j).plan(), std::move(ins),
             std::move(outs), n);
-        // Per-limb NTT recording (line 5): the digit limbs hang off
-        // the copy, and each conversion output limb depends only on
-        // the pass-2 command that produced it, so its transform
-        // starts the moment that limb converts instead of after the
-        // whole BConv — the NTT of an early output limb overlaps the
-        // tail of the matrix product. Then the inner product with
-        // both evk components (line 9) as one fused multiply-
-        // accumulate batch chained on the previous digit (the
-        // accumulators are read-modify-write).
-        full.setDomain(Domain::Eval);
-        std::vector<Job> ntts;
-        ntts.reserve(next);
-        {
-            std::vector<NttJob> digit_jobs;
-            digit_jobs.reserve(end - begin);
-            for (size_t t = begin; t < end; ++t) {
-                digit_jobs.push_back(
-                    {full.limbData(t), &full.nttTableAt(t)});
-            }
-            ntts.push_back(
-                stream->nttForward(std::move(digit_jobs), {copy}));
-        }
+        // Fused per-limb NTT + inner product (lines 5 and 9 in one
+        // command): each limb transforms the moment its producer (the
+        // copy, or the pass-2 command that converts it) finishes, and
+        // the freshly transformed limb feeds both evk components while
+        // it is hot in cache. Eager engines coalesce the per-limb
+        // commands of a digit back into one wide batch.
         size_t m = 0; // conv outputs are ordered like the t loop
         for (size_t t = 0; t < next; ++t) {
-            if (t >= begin && t < end) {
-                continue; // digit limbs transformed above
+            bool is_digit = t >= begin && t < end;
+            Job producer = is_digit ? copy : conv[m];
+            if (!is_digit) {
+                ++m;
             }
-            ntts.push_back(stream->nttForward(
-                {{full.limbData(t), &full.nttTableAt(t)}},
-                {conv[m]}));
-            ++m;
-        }
-        std::vector<MulAddJob> jobs;
-        jobs.reserve(2 * next);
-        for (size_t t = 0; t < next; ++t) {
             // evk limbs are ordered q_0..q_L, p_0..p_{alpha-1}.
             size_t evk_limb = t < nq ? t : (big_l + 1) + (t - nq);
-            jobs.push_back({acc0.limbData(t), full.limbData(t),
-                            evk.digits[j].b.limbData(evk_limb),
-                            &full.modulusAt(t), n});
-            jobs.push_back({acc1.limbData(t), full.limbData(t),
-                            evk.digits[j].a.limbData(evk_limb),
-                            &full.modulusAt(t), n});
+            prev[t] = stream->nttForwardMulAdd(
+                {{full + t * n, &acc0.nttTableAt(t),
+                  evk.digits[j].b.limbData(evk_limb), acc0.limbData(t),
+                  evk.digits[j].a.limbData(evk_limb),
+                  acc1.limbData(t)}},
+                {producer, prev[t]});
         }
-        std::vector<Job> mac_deps = std::move(ntts);
-        mac_deps.push_back(prev_mac);
-        prev_mac = stream->mulAdd(std::move(jobs), std::move(mac_deps));
     }
     stream->submit();
     stream->wait();

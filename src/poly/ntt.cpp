@@ -2,6 +2,7 @@
 
 #include <map>
 #include <mutex>
+#include <shared_mutex>
 
 #include "common/bitops.h"
 #include "common/logging.h"
@@ -48,6 +49,10 @@ NttTable::NttTable(size_t n, const Modulus &mod)
         psiBrPrecon_[i] = mod_.shoupPrecompute(psiBr_[i]);
         ipsiBrPrecon_[i] = mod_.shoupPrecompute(ipsiBr_[i]);
     }
+    // n == 1 has no stages; the degenerate "last stage twiddle" is
+    // just N^{-1} = 1 so the fused path stays an identity there.
+    ipsiLastScaled_ = n >= 2 ? mod_.mul(ipsiBr_[1], nInv_) : nInv_;
+    ipsiLastScaledPrecon_ = mod_.shoupPrecompute(ipsiLastScaled_);
 }
 
 void
@@ -75,8 +80,13 @@ void
 NttTable::inverseCore(u64 *a, const std::vector<u64> &tw,
                       const std::vector<u64> &tw_pre) const
 {
+    // All stages but the last, then the final stage with N^{-1}
+    // folded into both butterfly outputs (see ipsiLastScaled()):
+    // mulShoup is exact, so mulShoup(mulShoup(x, s), nInv) ==
+    // mulShoup(x, s * nInv mod q) and the separate scaling pass the
+    // textbook network ends with is unnecessary.
     size_t t = 1;
-    for (size_t m = n_; m > 1; m >>= 1) {
+    for (size_t m = n_; m > 2; m >>= 1) {
         size_t h = m >> 1;
         for (size_t i = 0; i < h; ++i) {
             u64 s = tw[h + i];
@@ -91,8 +101,69 @@ NttTable::inverseCore(u64 *a, const std::vector<u64> &tw,
         }
         t <<= 1;
     }
-    for (size_t j = 0; j < n_; ++j) {
-        a[j] = mod_.mulShoup(a[j], nInv_, nInvPrecon_);
+    if (n_ >= 2) {
+        size_t half = n_ / 2;
+        for (size_t j = 0; j < half; ++j) {
+            u64 u = a[j];
+            u64 v = a[j + half];
+            a[j] = mod_.mulShoup(mod_.add(u, v), nInv_, nInvPrecon_);
+            a[j + half] = mod_.mulShoup(mod_.sub(u, v), ipsiLastScaled_,
+                                        ipsiLastScaledPrecon_);
+        }
+    }
+}
+
+void
+NttTable::forwardStages(u64 *a, size_t stageLo, size_t stageHi,
+                        size_t bLo, size_t bHi) const
+{
+    for (size_t s = stageLo; s < stageHi; ++s) {
+        size_t m = size_t{1} << s;
+        size_t t = n_ >> (s + 1);
+        size_t iLo = bLo / t;
+        size_t iHi = (bHi + t - 1) / t;
+        for (size_t i = iLo; i < iHi; ++i) {
+            u64 tw = psiBr_[m + i];
+            u64 twp = psiBrPrecon_[m + i];
+            size_t lo = bLo > i * t ? bLo - i * t : 0;
+            size_t hi = bHi < (i + 1) * t ? bHi - i * t : t;
+            u64 *p = a + 2 * i * t;
+            for (size_t j = lo; j < hi; ++j) {
+                u64 u = p[j];
+                u64 v = mod_.mulShoup(p[j + t], tw, twp);
+                p[j] = mod_.add(u, v);
+                p[j + t] = mod_.sub(u, v);
+            }
+        }
+    }
+}
+
+void
+NttTable::inverseStages(u64 *a, size_t stageLo, size_t stageHi,
+                        size_t bLo, size_t bHi, bool scaleN) const
+{
+    for (size_t s = stageLo; s < stageHi; ++s) {
+        size_t h = n_ >> (s + 1);
+        size_t t = size_t{1} << s;
+        bool fused = scaleN && s + 1 == logn_;
+        size_t iLo = bLo / t;
+        size_t iHi = (bHi + t - 1) / t;
+        for (size_t i = iLo; i < iHi; ++i) {
+            u64 tw = fused ? ipsiLastScaled_ : ipsiBr_[h + i];
+            u64 twp =
+                fused ? ipsiLastScaledPrecon_ : ipsiBrPrecon_[h + i];
+            size_t lo = bLo > i * t ? bLo - i * t : 0;
+            size_t hi = bHi < (i + 1) * t ? bHi - i * t : t;
+            u64 *p = a + 2 * i * t;
+            for (size_t j = lo; j < hi; ++j) {
+                u64 u = p[j];
+                u64 v = p[j + t];
+                p[j] = fused ? mod_.mulShoup(mod_.add(u, v), nInv_,
+                                             nInvPrecon_)
+                             : mod_.add(u, v);
+                p[j + t] = mod_.mulShoup(mod_.sub(u, v), tw, twp);
+            }
+        }
     }
 }
 
@@ -144,25 +215,26 @@ NttTable::bitrevPermute(u64 *a, size_t n)
 std::shared_ptr<const NttTable>
 NttTableCache::get(size_t n, u64 q)
 {
-    // Thread-safe for concurrent backend workers: the map is only
-    // touched under the mutex, and the O(n log n) table construction
-    // happens outside it so a cold lookup does not serialize every
+    // Thread-safe for concurrent backend workers: lookups take a
+    // shared (reader) lock so the steady-state hit path never
+    // serializes the pool, and the O(n log n) table construction
+    // happens outside any lock so a cold lookup does not stall every
     // other thread. Two threads racing on the same cold key build the
     // table twice; the first emplace wins and the loser's copy is
     // dropped — correctness is unaffected since tables are immutable.
     static std::map<std::pair<size_t, u64>,
                     std::shared_ptr<const NttTable>> cache;
-    static std::mutex mtx;
+    static std::shared_mutex mtx;
     auto key = std::make_pair(n, q);
     {
-        std::lock_guard<std::mutex> lock(mtx);
+        std::shared_lock<std::shared_mutex> lock(mtx);
         auto it = cache.find(key);
         if (it != cache.end()) {
             return it->second;
         }
     }
     auto table = std::make_shared<const NttTable>(n, Modulus(q));
-    std::lock_guard<std::mutex> lock(mtx);
+    std::unique_lock<std::shared_mutex> lock(mtx);
     auto [it, inserted] = cache.emplace(key, table);
     return it->second;
 }

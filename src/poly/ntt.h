@@ -36,6 +36,7 @@ class NttTable
     NttTable(size_t n, const Modulus &mod);
 
     size_t n() const { return n_; }
+    u32 logn() const { return logn_; }
     const Modulus &modulus() const { return mod_; }
     /** The primitive 2N-th root of unity psi used by this table. */
     u64 psi() const { return psi_; }
@@ -52,6 +53,13 @@ class NttTable
     /** N^{-1} mod q and its Shoup preconditioner (inverse scaling). */
     u64 nInv() const { return nInv_; }
     u64 nInvPrecon() const { return nInvPrecon_; }
+    /** The last GS stage's twiddle pre-folded with N^{-1}:
+     *  psi^{-bitrev(1)} * nInv mod q. mulShoup is exact (canonical
+     *  residue in, canonical out), so applying this in the final
+     *  butterfly instead of twiddle-then-scale is bit-identical to the
+     *  separate scaling pass it replaces. */
+    u64 ipsiLastScaled() const { return ipsiLastScaled_; }
+    u64 ipsiLastScaledPrecon() const { return ipsiLastScaledPrecon_; }
 
     /** In-place forward negacyclic NTT: natural -> bit-reversed order. */
     void forward(u64 *a) const;
@@ -60,6 +68,28 @@ class NttTable
     /** In-place inverse negacyclic NTT: bit-reversed -> natural order. */
     void inverse(u64 *a) const;
     void inverse(std::vector<u64> &a) const { inverse(a.data()); }
+
+    /**
+     * Run forward stages [stageLo, stageHi) over the butterfly range
+     * [bLo, bHi) only. Stage s has m = 1<<s blocks of t = n>>(s+1)
+     * butterflies; butterfly b lives at block i = b/t, offset j = b%t,
+     * touching a[2*i*t + j] and a[2*i*t + j + t]. Running every stage
+     * over [0, n/2) reproduces forward() exactly; tiled executors
+     * split [0, n/2) into chunks and synchronize between stages (or
+     * stage groups whose data stays chunk-local).
+     */
+    void forwardStages(u64 *a, size_t stageLo, size_t stageHi,
+                       size_t bLo, size_t bHi) const;
+
+    /**
+     * Inverse (GS) stage-range analog. Stage s has h = n>>(s+1) blocks
+     * of t = 1<<s butterflies. With scaleN set, the final stage
+     * (s == logn-1) folds the N^{-1} scaling into its butterfly via
+     * ipsiLastScaled(); running stages [0, logn) with scaleN
+     * reproduces inverse() exactly, with no separate scaling pass.
+     */
+    void inverseStages(u64 *a, size_t stageLo, size_t stageHi,
+                       size_t bLo, size_t bHi, bool scaleN) const;
 
     /**
      * Forward cyclic (non-negacyclic) NTT, natural -> natural order.
@@ -82,6 +112,8 @@ class NttTable
     u64 psiInv_;
     u64 nInv_;
     u64 nInvPrecon_;
+    u64 ipsiLastScaled_;
+    u64 ipsiLastScaledPrecon_;
     /** psi^{bitrev(i)} table + Shoup preconditioners. */
     std::vector<u64> psiBr_;
     std::vector<u64> psiBrPrecon_;

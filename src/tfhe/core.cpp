@@ -486,29 +486,20 @@ TfheContext::recordCmuxRotateBatch(CommandStream &stream,
               static_cast<u64>(rows) * comps * n, n,
               16 * static_cast<u64>(rows) * comps * n}});
 
-        // (5) Inverse NTTs of the slot's (k+1) product limbs.
-        std::vector<NttJob> inv;
+        // (5+6) Fused inverse NTT + CMux accumulate: each product limb
+        // leaves its final GS stage (with the N^{-1} scaling folded
+        // in) and is added onto the accumulator while still hot in
+        // cache — one command instead of an iNTT batch plus an
+        // accumulate task.
+        std::vector<NttInvAddJob> inv;
         inv.reserve(comps);
         for (size_t c = 0; c < comps; ++c) {
             Poly &p = glweComp(sc.prod[j], c);
             p.setDomain(Domain::Coeff);
-            inv.push_back({p.coeffs().data(), &p.nttTable()});
+            inv.push_back({p.coeffs().data(), &p.nttTable(),
+                           glweComp(accs[j], c).coeffs().data()});
         }
-        Job intt = stream.nttInverse(std::move(inv), {mac});
-
-        // (6) CMux accumulate: acc_j += prod_j.
-        sc.lastJob[j] = stream.task(
-            comps,
-            [this, accs, j, &sc](size_t c) {
-                Poly &dst = glweComp(accs[j], c);
-                const Poly &src = glweComp(sc.prod[j], c);
-                size_t len = dst.n();
-                for (size_t i = 0; i < len; ++i) {
-                    dst[i] = mod_.add(dst[i], src[i]);
-                }
-            },
-            {intt},
-            {{sim::KernelType::ModAdd, comps * n, n, 16 * comps * n}});
+        sc.lastJob[j] = stream.nttInverseAdd(std::move(inv), {mac});
     }
 }
 

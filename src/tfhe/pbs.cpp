@@ -1,5 +1,7 @@
 #include "tfhe/pbs.h"
 
+#include <cstring>
+
 #include "backend/observer.h"
 #include "backend/registry.h"
 #include "common/logging.h"
@@ -229,8 +231,18 @@ TfheBootstrapper::blindRotateBatch(const LweCiphertext *const *cts,
     // runs the NTTs of step i+1 under the MACs of step i (and the
     // timing backend prices exactly that overlap). Rotation amounts
     // are captured at record time, so the rot buffer is reusable
-    // per step. The scratch outlives the stream (declared first).
-    CmuxBatchScratch scratch;
+    // per step. The scratch outlives the stream (declared first) and
+    // is pooled per thread across calls — its decomposition/product
+    // polynomials are sized once for a given GLWE shape, so the PBS
+    // hot loop stops allocating after the first batch. A shape change
+    // (different params or a wider batch) rebuilds it.
+    static thread_local CmuxBatchScratch scratch;
+    static thread_local u64 scratch_shape[4] = {0, 0, 0, 0};
+    u64 shape[4] = {p.bigN, p.q, p.k, p.extRows()};
+    if (std::memcmp(shape, scratch_shape, sizeof shape) != 0) {
+        scratch = CmuxBatchScratch{};
+        std::memcpy(scratch_shape, shape, sizeof shape);
+    }
     auto stream = activeBackend().newStream();
     std::vector<u64> rot(count);
     for (size_t i = 0; i < bsk.bsk.size(); ++i) {
