@@ -22,7 +22,9 @@
 #include "backend/sim_backend.h"
 #include "backend/thread_pool_backend.h"
 #include "bench/bench_util.h"
+#include "obs/metrics.h"
 #include "runtime/batched_pbs.h"
+#include "runtime/pbs_server.h"
 #include "sim/machine.h"
 #include "workload/tfhe_ops.h"
 
@@ -150,6 +152,48 @@ measureThreadsSyncVsStream(TfheGateBootstrapper &gb, size_t B,
     reg.select(prev);
 }
 
+/** Serving-latency tail: drive a live PbsServer with @p total
+ *  concurrent submissions and report the request-latency and
+ *  queue-wait histograms the server feeds (obs registry,
+ *  "pbs_server.*") as p50/p99/p999 rows in milliseconds. Unlike the
+ *  throughput rows above, these include queueing and batching delay —
+ *  the number a serving deployment actually promises. */
+void
+measureServerLatency(TfheGateBootstrapper &gb, const std::string &set,
+                     size_t total)
+{
+    obs::MetricsRegistry &reg = obs::MetricsRegistry::instance();
+    obs::Histogram &lat = reg.histogram("pbs_server.request_latency_ns");
+    obs::Histogram &qw = reg.histogram("pbs_server.queue_wait_ns");
+    lat.reset();
+    qw.reset();
+    {
+        runtime::PbsServer server(gb);
+        std::vector<std::future<LweCiphertext>> futures;
+        futures.reserve(total);
+        for (size_t i = 0; i < total; ++i) {
+            futures.push_back(server.submit(gb.encryptBit(i % 2 == 0)));
+        }
+        for (auto &f : futures) {
+            f.get();
+        }
+    }
+    const double to_ms = 1e-6;
+    std::string metric = set + " request latency";
+    row("PbsServer p50", metric,
+        static_cast<double>(lat.percentile(0.50)) * to_ms, "ms",
+        "measured");
+    row("PbsServer p99", metric,
+        static_cast<double>(lat.percentile(0.99)) * to_ms, "ms",
+        "measured");
+    row("PbsServer p999", metric,
+        static_cast<double>(lat.percentile(0.999)) * to_ms, "ms",
+        "measured");
+    row("PbsServer queue-wait p99", set + " queue wait",
+        static_cast<double>(qw.percentile(0.99)) * to_ms, "ms",
+        "measured");
+}
+
 } // namespace
 
 int
@@ -233,6 +277,9 @@ main(int argc, char **argv)
                       "blocking execution on threads = %.2fx",
                       p.name.c_str(), stream_ops / sync_ops);
         note(speedup);
+        // Tail latency through the serving front end (queueing +
+        // batching + execution), from the runtime's histograms.
+        measureServerLatency(gb, p.name, args.smoke ? 32 : 256);
     }
     for (const auto &p : sets) {
         row("Morphling (this model)", p.name,

@@ -7,7 +7,11 @@
  * the throughput against a sequential per-call run of the same work.
  *
  * Knobs: TRINITY_BACKEND (engine), TRINITY_RUNTIME_BATCH,
- * TRINITY_RUNTIME_MAX_WAIT_US (queue policy).
+ * TRINITY_RUNTIME_MAX_WAIT_US (queue policy). Set
+ * TRINITY_TRACE=<path> to capture a Chrome trace of the run (per-op
+ * spans, per-worker job timelines on threads, the priced virtual-time
+ * schedule on sim); the run ends with an obs::MetricsRegistry dump of
+ * the serving latency histograms and kernel dispatch counters.
  */
 
 #include <chrono>
@@ -17,6 +21,7 @@
 #include <vector>
 
 #include "backend/registry.h"
+#include "obs/metrics.h"
 #include "runtime/pbs_server.h"
 
 using namespace trinity;
@@ -104,5 +109,7 @@ main()
                 served_ms, 1000.0 * total / served_ms,
                 seq_ms / served_ms);
     std::printf("wrong results: %zu of %zu\n", wrong, total);
+    std::printf("\n-- metrics (obs::MetricsRegistry) --\n");
+    obs::MetricsRegistry::instance().dump(stdout);
     return wrong == 0 ? 0 : 1;
 }

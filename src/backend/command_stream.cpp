@@ -5,6 +5,7 @@
 #include "backend/kernel_events.h"
 #include "common/env.h"
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace trinity {
 
@@ -101,6 +102,46 @@ CommandStream::Command::jobCount() const
         return 0;
     }
     return 0;
+}
+
+const char *
+CommandStream::opName(Op op)
+{
+    switch (op) {
+    case Op::NttFwd:
+        return "nttFwd";
+    case Op::NttInv:
+        return "nttInv";
+    case Op::Mul:
+        return "mul";
+    case Op::Add:
+        return "add";
+    case Op::Sub:
+        return "sub";
+    case Op::Neg:
+        return "neg";
+    case Op::MulAdd:
+        return "mulAdd";
+    case Op::NttMulAdd:
+        return "nttMulAdd";
+    case Op::NttInvAdd:
+        return "nttInvAdd";
+    case Op::ScalarMul:
+        return "scalarMul";
+    case Op::Auto:
+        return "auto";
+    case Op::BConv:
+        return "bconv";
+    case Op::BConvP1:
+        return "bconvP1";
+    case Op::BConvP2:
+        return "bconvP2";
+    case Op::Task:
+        return "task";
+    case Op::Fence:
+        return "fence";
+    }
+    return "?";
 }
 
 Job
@@ -629,6 +670,10 @@ CoalescingEagerStream::flush()
     // concatenating their job vectors in record order and issuing one
     // wide batch call is exactly the dispatch a single wide recording
     // would have made.
+    static obs::Counter &windows =
+        obs::MetricsRegistry::instance().counter(
+            "stream.coalesced_windows");
+    windows.add();
     switch (windowOp_) {
     case Op::NttFwd:
     case Op::NttInv: {

@@ -253,6 +253,10 @@ class CommandStream
     /** Called by wait(); deferred executors block here. */
     virtual void onWait() {}
 
+    /** Stable display name of @p op ("nttFwd", "bconvP2", ...) for
+     *  trace spans and diagnostics. */
+    static const char *opName(Op op);
+
     /** Run a whole command through @p b's blocking entry points. Task
      *  commands run via b.run(); no kernel events are emitted — the
      *  caller owns emission policy. */

@@ -6,6 +6,8 @@
 #include "backend/command_stream.h"
 #include "backend/scratch_arena.h"
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace trinity {
 
@@ -14,6 +16,23 @@ PolyBackend::newStream()
 {
     return std::make_unique<EagerStream>(*this);
 }
+
+// Observability: every batch entry point opens a wall-clock TraceSpan
+// on the calling thread (track = engine name, so each engine gets its
+// own pid row in the Chrome trace) and bumps a dispatch counter. Both
+// are one relaxed atomic load when tracing/metrics are off; the
+// counter references are resolved once per call site via function-
+// local statics so the registry map is never touched on the hot path.
+
+namespace {
+
+obs::Counter &
+dispatchCounter(const char *name)
+{
+    return obs::MetricsRegistry::instance().counter(name);
+}
+
+} // namespace
 
 // Every named limb kernel — including the automorphism gather and the
 // two BConv passes — runs through the installed simd::KernelSet
@@ -26,6 +45,11 @@ PolyBackend::newStream()
 void
 PolyBackend::nttForwardBatch(const NttJob *jobs, size_t count)
 {
+    static obs::Counter &batches = dispatchCounter("kernel.ntt.batches");
+    static obs::Counter &njobs = dispatchCounter("kernel.ntt.jobs");
+    batches.add();
+    njobs.add(count);
+    obs::TraceSpan span("nttForwardBatch", "op", name(), "jobs", count);
     parallelFor(count, [&](size_t i) {
         kernels().nttForward(*jobs[i].table, jobs[i].data);
     });
@@ -34,6 +58,11 @@ PolyBackend::nttForwardBatch(const NttJob *jobs, size_t count)
 void
 PolyBackend::nttInverseBatch(const NttJob *jobs, size_t count)
 {
+    static obs::Counter &batches = dispatchCounter("kernel.ntt.batches");
+    static obs::Counter &njobs = dispatchCounter("kernel.ntt.jobs");
+    batches.add();
+    njobs.add(count);
+    obs::TraceSpan span("nttInverseBatch", "op", name(), "jobs", count);
     parallelFor(count, [&](size_t i) {
         kernels().nttInverse(*jobs[i].table, jobs[i].data);
     });
@@ -42,6 +71,7 @@ PolyBackend::nttInverseBatch(const NttJob *jobs, size_t count)
 void
 PolyBackend::pointwiseMulBatch(const EltwiseJob *jobs, size_t count)
 {
+    obs::TraceSpan span("pointwiseMulBatch", "op", name(), "jobs", count);
     parallelFor(count, [&](size_t i) {
         const EltwiseJob &j = jobs[i];
         kernels().mul(j.dst, j.a, j.b, *j.mod, j.n);
@@ -51,6 +81,7 @@ PolyBackend::pointwiseMulBatch(const EltwiseJob *jobs, size_t count)
 void
 PolyBackend::addBatch(const EltwiseJob *jobs, size_t count)
 {
+    obs::TraceSpan span("addBatch", "op", name(), "jobs", count);
     parallelFor(count, [&](size_t i) {
         const EltwiseJob &j = jobs[i];
         kernels().add(j.dst, j.a, j.b, *j.mod, j.n);
@@ -60,6 +91,7 @@ PolyBackend::addBatch(const EltwiseJob *jobs, size_t count)
 void
 PolyBackend::subBatch(const EltwiseJob *jobs, size_t count)
 {
+    obs::TraceSpan span("subBatch", "op", name(), "jobs", count);
     parallelFor(count, [&](size_t i) {
         const EltwiseJob &j = jobs[i];
         kernels().sub(j.dst, j.a, j.b, *j.mod, j.n);
@@ -69,6 +101,7 @@ PolyBackend::subBatch(const EltwiseJob *jobs, size_t count)
 void
 PolyBackend::negBatch(const EltwiseJob *jobs, size_t count)
 {
+    obs::TraceSpan span("negBatch", "op", name(), "jobs", count);
     parallelFor(count, [&](size_t i) {
         const EltwiseJob &j = jobs[i];
         kernels().neg(j.dst, j.a, *j.mod, j.n);
@@ -78,6 +111,7 @@ PolyBackend::negBatch(const EltwiseJob *jobs, size_t count)
 void
 PolyBackend::mulAddBatch(const MulAddJob *jobs, size_t count)
 {
+    obs::TraceSpan span("mulAddBatch", "op", name(), "jobs", count);
     parallelFor(count, [&](size_t i) {
         const MulAddJob &j = jobs[i];
         kernels().mulAdd(j.dst, j.a, j.b, *j.mod, j.n);
@@ -88,6 +122,12 @@ void
 PolyBackend::nttForwardMulAddBatch(const NttMulAddJob *jobs,
                                    size_t count)
 {
+    static obs::Counter &batches = dispatchCounter("kernel.ntt.batches");
+    static obs::Counter &njobs = dispatchCounter("kernel.ntt.jobs");
+    batches.add();
+    njobs.add(count);
+    obs::TraceSpan span("nttForwardMulAddBatch", "op", name(), "jobs",
+                        count);
     parallelFor(count, [&](size_t i) {
         const NttMulAddJob &j = jobs[i];
         kernels().nttForwardMulAdd(*j.table, j.data, j.b0, j.acc0, j.b1,
@@ -98,6 +138,12 @@ PolyBackend::nttForwardMulAddBatch(const NttMulAddJob *jobs,
 void
 PolyBackend::nttInverseAddBatch(const NttInvAddJob *jobs, size_t count)
 {
+    static obs::Counter &batches = dispatchCounter("kernel.ntt.batches");
+    static obs::Counter &njobs = dispatchCounter("kernel.ntt.jobs");
+    batches.add();
+    njobs.add(count);
+    obs::TraceSpan span("nttInverseAddBatch", "op", name(), "jobs",
+                        count);
     parallelFor(count, [&](size_t i) {
         const NttInvAddJob &j = jobs[i];
         kernels().nttInverseAdd(*j.table, j.data, j.acc);
@@ -107,6 +153,7 @@ PolyBackend::nttInverseAddBatch(const NttInvAddJob *jobs, size_t count)
 void
 PolyBackend::scalarMulBatch(const ScalarMulJob *jobs, size_t count)
 {
+    obs::TraceSpan span("scalarMulBatch", "op", name(), "jobs", count);
     parallelFor(count, [&](size_t i) {
         const ScalarMulJob &j = jobs[i];
         kernels().scalarMul(j.dst, j.src, j.scalar, *j.mod, j.n);
@@ -119,6 +166,10 @@ PolyBackend::automorphismBatch(const AutoJob *jobs, size_t count)
     if (count == 0) {
         return;
     }
+    static obs::Counter &njobs = dispatchCounter("kernel.auto.jobs");
+    njobs.add(count);
+    obs::TraceSpan span("automorphismBatch", "op", name(), "jobs",
+                        count);
     // RnsPoly batches share one (n, g) across all limbs — resolve the
     // table once outside the parallel region so workers never contend
     // on the cache mutex for the common case.
@@ -139,6 +190,11 @@ PolyBackend::baseConvert(const BConvPlan &plan, const u64 *const *in,
 {
     size_t k = plan.numFrom;
     size_t l = plan.numTo;
+    static obs::Counter &calls = dispatchCounter("kernel.bconv.calls");
+    static obs::Counter &njobs = dispatchCounter("kernel.bconv.jobs");
+    calls.add();
+    njobs.add(k + l);
+    obs::TraceSpan span("baseConvert", "op", name(), "jobs", k + l);
     // Pass 1 (element-wise): v_i = [x_i * (Q/q_i)^{-1}]_{q_i}.
     // Pooled scratch: after the first conversion of a given (k, n)
     // shape on a thread, the slab comes from the arena — no per-call
@@ -161,6 +217,10 @@ void
 PolyBackend::baseConvertPass1Batch(const BConvPass1Job *jobs,
                                    size_t count)
 {
+    static obs::Counter &njobs = dispatchCounter("kernel.bconv.jobs");
+    njobs.add(count);
+    obs::TraceSpan span("baseConvertPass1Batch", "op", name(), "jobs",
+                        count);
     parallelFor(count, [&](size_t i) {
         const BConvPass1Job &j = jobs[i];
         kernels().bconvPass1(j.v, j.x, j.w, j.wPrecon, *j.mod, j.n);
@@ -171,6 +231,10 @@ void
 PolyBackend::baseConvertPass2Batch(const BConvPass2Job *jobs,
                                    size_t count)
 {
+    static obs::Counter &njobs = dispatchCounter("kernel.bconv.jobs");
+    njobs.add(count);
+    obs::TraceSpan span("baseConvertPass2Batch", "op", name(), "jobs",
+                        count);
     parallelFor(count, [&](size_t i) {
         const BConvPass2Job &j = jobs[i];
         kernels().bconvPass2(j.y, j.v, j.vStride, j.k, j.w, j.wStride,

@@ -1,13 +1,31 @@
 #include "backend/scratch_arena.h"
 
-#include <atomic>
+#include "obs/metrics.h"
 
 namespace trinity {
 
+// The hit/miss tallies live in the metrics registry
+// ("scratch_arena.hits"/"scratch_arena.misses") so stats dumps and
+// bench reports see them alongside everything else; stats() and
+// resetStats() below are thin views over the same counters.
+
 namespace {
 
-std::atomic<u64> g_hits{0};
-std::atomic<u64> g_misses{0};
+obs::Counter &
+hitCounter()
+{
+    static obs::Counter &c =
+        obs::MetricsRegistry::instance().counter("scratch_arena.hits");
+    return c;
+}
+
+obs::Counter &
+missCounter()
+{
+    static obs::Counter &c =
+        obs::MetricsRegistry::instance().counter("scratch_arena.misses");
+    return c;
+}
 
 } // namespace
 
@@ -49,10 +67,10 @@ ScratchArena::acquire(size_t elems)
     if (it != pool_.end() && !it->second.empty()) {
         std::unique_ptr<u64[]> slab = std::move(it->second.back());
         it->second.pop_back();
-        g_hits.fetch_add(1, std::memory_order_relaxed);
+        hitCounter().add();
         return ScratchBuffer(std::move(slab), elems);
     }
-    g_misses.fetch_add(1, std::memory_order_relaxed);
+    missCounter().add();
     return ScratchBuffer(std::unique_ptr<u64[]>(new u64[elems]), elems);
 }
 
@@ -66,16 +84,16 @@ ScratchArena::Stats
 ScratchArena::stats()
 {
     Stats s;
-    s.hits = g_hits.load(std::memory_order_relaxed);
-    s.misses = g_misses.load(std::memory_order_relaxed);
+    s.hits = hitCounter().value();
+    s.misses = missCounter().value();
     return s;
 }
 
 void
 ScratchArena::resetStats()
 {
-    g_hits.store(0, std::memory_order_relaxed);
-    g_misses.store(0, std::memory_order_relaxed);
+    hitCounter().reset();
+    missCounter().reset();
 }
 
 } // namespace trinity

@@ -13,8 +13,10 @@
  * simply migrate — the pool is per-thread only to make the common
  * path lock-free, not for correctness.
  *
- * Global hit/miss counters (relaxed atomics) feed the bench
- * allocations-per-op rows and the zero-alloc-after-warmup test.
+ * Global hit/miss counters live in the obs::MetricsRegistry
+ * ("scratch_arena.hits"/"scratch_arena.misses"); they feed the bench
+ * allocations-per-op rows and the zero-alloc-after-warmup test, with
+ * stats()/resetStats() kept as thin views over the registry entries.
  */
 
 #ifndef TRINITY_BACKEND_SCRATCH_ARENA_H

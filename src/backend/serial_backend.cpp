@@ -11,11 +11,19 @@
 
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace trinity {
 
 void
 SerialBackend::automorphismBatch(const AutoJob *jobs, size_t count)
 {
+    static obs::Counter &njobs =
+        obs::MetricsRegistry::instance().counter("kernel.auto.jobs");
+    njobs.add(count);
+    obs::TraceSpan span("automorphismBatch", "op", name(), "jobs",
+                        count);
     for (size_t i = 0; i < count; ++i) {
         const AutoJob &j = jobs[i];
         size_t two_n = 2 * j.n;
@@ -36,6 +44,13 @@ SerialBackend::baseConvert(const BConvPlan &plan, const u64 *const *in,
 {
     size_t k = plan.numFrom;
     size_t l = plan.numTo;
+    static obs::Counter &calls =
+        obs::MetricsRegistry::instance().counter("kernel.bconv.calls");
+    static obs::Counter &njobs =
+        obs::MetricsRegistry::instance().counter("kernel.bconv.jobs");
+    calls.add();
+    njobs.add(k + l);
+    obs::TraceSpan span("baseConvert", "op", name(), "jobs", k + l);
     // Pass 1 (element-wise): v_i = [x_i * (Q/q_i)^{-1}]_{q_i}.
     std::vector<u64> v(k * n);
     for (size_t i = 0; i < k; ++i) {

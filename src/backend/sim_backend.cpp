@@ -5,6 +5,7 @@
 
 #include "backend/command_stream.h"
 #include "backend/registry.h"
+#include "obs/trace.h"
 
 namespace trinity {
 
@@ -109,6 +110,7 @@ class SimStream final : public CommandStream
         // chains stay intact.
         std::map<std::string, size_t> pool_ids;
         std::vector<sim::SchedNode> nodes;
+        std::vector<const char *> labels; // kernel name per node
         std::vector<size_t> tail(cmds_.size()); // last node per cmd
         for (size_t i = 0; i < cmds_.size(); ++i) {
             const Command &c = cmds_[i];
@@ -132,15 +134,48 @@ class SimStream final : public CommandStream
                                 ? deps
                                 : std::vector<size_t>{nodes.size() - 1};
                 nodes.push_back(std::move(node));
+                labels.push_back(sim::kernelTypeName(ev.type));
             }
             if (nodes.size() == first) { // fence or unpriced command
                 sim::SchedNode node;
                 node.deps = std::move(deps);
                 nodes.push_back(std::move(node));
+                labels.push_back("fence");
             }
             tail[i] = nodes.size() - 1;
         }
-        ledger.recordSpan(sim::scheduleNodes(nodes, pool_ids.size()));
+        if (!obs::traceActive()) {
+            ledger.recordSpan(
+                sim::scheduleNodes(nodes, pool_ids.size()));
+            return;
+        }
+        // Virtual-time trace: render the list schedule's per-node
+        // issue times under a sim-owned pid, one tid per unit pool,
+        // offset by the ledger's running makespan so back-to-back
+        // submits concatenate on one timeline.
+        std::vector<double> starts;
+        double makespan =
+            sim::scheduleNodes(nodes, pool_ids.size(), &starts);
+        double base_us =
+            machine.seconds(ledger.overlappedCycles()) * 1e6;
+        const char *track = obs::internTraceStr(
+            "sim:" + machine.name + " (virtual)");
+        std::vector<const char *> pool_names(pool_ids.size());
+        for (const auto &[pname, pid] : pool_ids) {
+            pool_names[pid] = obs::internTraceStr(pname);
+        }
+        for (size_t i = 0; i < nodes.size(); ++i) {
+            const sim::SchedNode &node = nodes[i];
+            if (node.pool == sim::SchedNode::kNoPool) {
+                continue;
+            }
+            obs::traceVirtualSpan(
+                labels[i], "sim", track, static_cast<u32>(node.pool),
+                pool_names[node.pool],
+                base_us + machine.seconds(starts[i]) * 1e6,
+                machine.seconds(node.busy + node.latency) * 1e6);
+        }
+        ledger.recordSpan(makespan);
     }
 
   private:
@@ -161,8 +196,41 @@ MachineTimingObserver::onKernel(const KernelEvent &ev)
     // No overlap information exists for an eagerly charged batch: the
     // live-makespan estimate advances by its full compute charge.
     if (p.cycles > 0) {
+        if (obs::traceActive() && p.pool != nullptr) {
+            // Span before the advance, so it starts at the current
+            // virtual makespan and ends where the estimate moves to.
+            emitVirtualSpan(ev, *p.pool, p.cycles);
+        }
         ledger_.recordSpan(p.cycles);
     }
+}
+
+void
+MachineTimingObserver::emitVirtualSpan(const KernelEvent &ev,
+                                       const std::string &pool,
+                                       double cycles)
+{
+    const char *track;
+    PoolRow row;
+    {
+        std::lock_guard<std::mutex> lock(trace_mtx_);
+        if (trace_track_ == nullptr) {
+            trace_track_ = obs::internTraceStr(
+                "sim:" + machine_.name + " (virtual)");
+        }
+        track = trace_track_;
+        auto [it, inserted] = trace_pools_.emplace(pool, PoolRow{});
+        if (inserted) {
+            it->second.tid =
+                static_cast<u32>(trace_pools_.size() - 1);
+            it->second.name = obs::internTraceStr(pool);
+        }
+        row = it->second;
+    }
+    double base_us = machine_.seconds(ledger_.overlappedCycles()) * 1e6;
+    obs::traceVirtualSpan(sim::kernelTypeName(ev.type), "sim", track,
+                          row.tid, row.name, base_us,
+                          machine_.seconds(cycles) * 1e6);
 }
 
 SimBackend::SimBackend(std::unique_ptr<PolyBackend> inner,

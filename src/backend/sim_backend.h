@@ -21,6 +21,9 @@
 #ifndef TRINITY_BACKEND_SIM_BACKEND_H
 #define TRINITY_BACKEND_SIM_BACKEND_H
 
+#include <map>
+#include <mutex>
+
 #include "backend/observed_backend.h"
 #include "sim/machine.h"
 #include "sim/timing_ledger.h"
@@ -45,8 +48,22 @@ class MachineTimingObserver final : public BackendObserver
     const sim::Machine &machine() const { return machine_; }
 
   private:
+    struct PoolRow
+    {
+        u32 tid = 0;
+        const char *name = nullptr; ///< interned for the trace writer
+    };
+
+    /** Virtual-time trace row for one eagerly charged kernel. */
+    void emitVirtualSpan(const KernelEvent &ev, const std::string &pool,
+                         double cycles);
+
     sim::Machine machine_;
     sim::TimingLedger ledger_;
+
+    std::mutex trace_mtx_; ///< guards the two members below
+    const char *trace_track_ = nullptr;
+    std::map<std::string, PoolRow> trace_pools_;
 };
 
 class SimBackend final : public ObservedBackend

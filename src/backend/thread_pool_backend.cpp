@@ -9,6 +9,8 @@
 #include "common/bitops.h"
 #include "common/env.h"
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace trinity {
 
@@ -209,7 +211,22 @@ class PipelinedStream final : public CommandStream
             }
         }
 
+        // Per-worker observability: each executed job gets a wall-clock
+        // span named after its command's op (cat "job"), steals leave an
+        // instant marker, and park waits show as "idle" spans — the
+        // per-worker timeline rows of the Chrome trace. Counters
+        // accumulate in locals and fold into the registry once per
+        // worker, so the job loop never touches a shared cacheline for
+        // stats.
+        static obs::Counter &ctr_jobs =
+            obs::MetricsRegistry::instance().counter(
+                "stream.jobs_executed");
+        static obs::Counter &ctr_steals =
+            obs::MetricsRegistry::instance().counter("stream.steals");
+        const char *track = b.name();
         b.run(nslots, [&](size_t slot) {
+            u64 local_jobs = 0;
+            u64 local_steals = 0;
             u64 rng =
                 (static_cast<u64>(slot) + 1) * 0x9e3779b97f4a7c15ULL;
             auto nextRand = [&rng] {
@@ -236,7 +253,12 @@ class PipelinedStream final : public CommandStream
             };
             auto runJob = [&](const std::pair<u32, u32> &job) {
                 const Command &c = cmds_[job.first];
-                executeJob(b, c, job.second);
+                ++local_jobs;
+                {
+                    obs::TraceSpan span(opName(c.op), "job", track,
+                                        "cmd", job.first);
+                    executeJob(b, c, job.second);
+                }
                 if (done_jobs[job.first].fetch_add(1) + 1 ==
                     c.jobCount()) {
                     complete(job.first, slot);
@@ -257,6 +279,8 @@ class PipelinedStream final : public CommandStream
                     found = tryPop(victim, /*own=*/false, job);
                 }
                 if (found) {
+                    ++local_steals;
+                    obs::traceInstant("steal", "steal", track);
                     runJob(job);
                     continue;
                 }
@@ -276,11 +300,18 @@ class PipelinedStream final : public CommandStream
                     runJob(job);
                     continue;
                 }
+                obs::TraceSpan idle_span("idle", "idle", track);
                 std::unique_lock<std::mutex> lk(idle_mtx);
                 idle_cv.wait(lk, [&] {
                     return epoch != seen ||
                            remaining.load() == 0;
                 });
+            }
+            if (local_jobs != 0) {
+                ctr_jobs.add(local_jobs);
+            }
+            if (local_steals != 0) {
+                ctr_steals.add(local_steals);
             }
         });
     }
@@ -370,6 +401,15 @@ ThreadPoolBackend::nttBatchTiled(const NttJob *jobs, size_t count,
     if (tiles < 2) {
         return false;
     }
+    static obs::Counter &batches =
+        obs::MetricsRegistry::instance().counter("kernel.ntt.batches");
+    static obs::Counter &njobs =
+        obs::MetricsRegistry::instance().counter("kernel.ntt.jobs");
+    batches.add();
+    njobs.add(count);
+    obs::TraceSpan span(forward ? "nttBatchTiled.fwd"
+                                : "nttBatchTiled.inv",
+                        "op", name(), "tiles", tiles);
     const simd::KernelSet &ks = kernels();
     size_t logn = log2Exact(n);
     size_t log_tiles = log2Exact(tiles);

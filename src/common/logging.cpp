@@ -1,9 +1,42 @@
 #include "common/logging.h"
 
+#include <atomic>
 #include <cstdarg>
+#include <mutex>
 #include <vector>
 
 namespace trinity {
+
+namespace {
+
+/** One writer mutex for every log line: worker-pool spans report from
+ *  many threads, and interleaved fprintf halves are worse than the
+ *  microseconds of serialization (each message is formatted before the
+ *  lock, so the critical section is one write). */
+std::mutex &
+writerMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+std::atomic<int> g_logLevel{static_cast<int>(LogLevel::Info)};
+
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    g_logLevel.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel
+logLevel()
+{
+    return static_cast<LogLevel>(
+        g_logLevel.load(std::memory_order_relaxed));
+}
+
 namespace detail {
 
 std::string
@@ -28,26 +61,44 @@ formatStr(const char *fmt, ...)
 void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    // Never filtered: fatal/panic terminate the process, so the level
+    // gate and the writer lock protect only the message ordering.
+    {
+        std::lock_guard<std::mutex> lock(writerMutex());
+        std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file,
+                     line);
+    }
     std::exit(1);
 }
 
 void
 panicImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    {
+        std::lock_guard<std::mutex> lock(writerMutex());
+        std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file,
+                     line);
+    }
     std::abort();
 }
 
 void
 warnImpl(const std::string &msg)
 {
+    if (logLevel() < LogLevel::Warn) {
+        return;
+    }
+    std::lock_guard<std::mutex> lock(writerMutex());
     std::fprintf(stderr, "warn: %s\n", msg.c_str());
 }
 
 void
 informImpl(const std::string &msg)
 {
+    if (logLevel() < LogLevel::Info) {
+        return;
+    }
+    std::lock_guard<std::mutex> lock(writerMutex());
     std::fprintf(stdout, "info: %s\n", msg.c_str());
 }
 

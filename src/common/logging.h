@@ -18,6 +18,22 @@
 
 namespace trinity {
 
+/**
+ * Runtime verbosity for warn()/inform(). fatal() and panic() are
+ * never filtered — they terminate the process. The level is an atomic
+ * and every emitted line goes through one writer mutex, so logging
+ * from worker-pool threads neither tears lines nor races the filter.
+ */
+enum class LogLevel : int
+{
+    Silent = 0, ///< drop warn() and inform()
+    Warn = 1,   ///< warn() only
+    Info = 2,   ///< warn() and inform() (the default)
+};
+
+void setLogLevel(LogLevel level);
+LogLevel logLevel();
+
 namespace detail {
 
 [[noreturn]] void fatalImpl(const char *file, int line,

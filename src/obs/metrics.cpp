@@ -1,0 +1,253 @@
+#include "obs/metrics.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "common/env.h"
+
+namespace trinity {
+namespace obs {
+
+namespace detail {
+
+std::atomic<int> g_metricsMode{-1};
+
+bool
+metricsEnabledSlow()
+{
+    // Resolve TRINITY_METRICS once; default on. The cached value is
+    // published through g_metricsMode so subsequent calls take the
+    // single-relaxed-load path in metricsEnabled().
+    static const bool env_on = [] {
+        static const char *const kChoices[] = {"on", "off"};
+        size_t idx = 0;
+        if (envChoice("TRINITY_METRICS", kChoices, 2, idx)) {
+            return idx == 0;
+        }
+        return true; // default on
+    }();
+    int expected = -1;
+    g_metricsMode.compare_exchange_strong(expected, env_on ? 1 : 0,
+                                          std::memory_order_relaxed);
+    return env_on;
+}
+
+} // namespace detail
+
+void
+overrideMetrics(int mode)
+{
+    detail::g_metricsMode.store(mode < 0 ? -1 : (mode != 0 ? 1 : 0),
+                                std::memory_order_relaxed);
+}
+
+u64
+Histogram::percentile(double p) const
+{
+    u64 total = count();
+    if (total == 0) {
+        return 0;
+    }
+    u64 rank = static_cast<u64>(std::ceil(p * static_cast<double>(total)));
+    if (rank < 1) {
+        rank = 1;
+    }
+    if (rank > total) {
+        rank = total;
+    }
+    u64 seen = 0;
+    for (u32 i = 0; i < kBuckets; ++i) {
+        seen += buckets_[i].load(std::memory_order_relaxed);
+        if (seen >= rank) {
+            return bucketMid(i);
+        }
+    }
+    return bucketMid(kBuckets - 1);
+}
+
+void
+Histogram::reset()
+{
+    for (auto &b : buckets_) {
+        b.store(0, std::memory_order_relaxed);
+    }
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+}
+
+struct MetricsRegistry::Impl
+{
+    mutable std::mutex mtx;
+    // node-based maps: pointers stay stable across later insertions,
+    // which is what lets call sites cache `static Counter &`.
+    std::map<std::string, std::unique_ptr<Counter>> counters;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms;
+};
+
+MetricsRegistry &
+MetricsRegistry::instance()
+{
+    static MetricsRegistry reg;
+    return reg;
+}
+
+MetricsRegistry::Impl &
+MetricsRegistry::impl() const
+{
+    static Impl impl;
+    return impl;
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    Impl &im = impl();
+    std::lock_guard<std::mutex> lock(im.mtx);
+    auto &slot = im.counters[name];
+    if (!slot) {
+        slot = std::make_unique<Counter>();
+    }
+    return *slot;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name)
+{
+    Impl &im = impl();
+    std::lock_guard<std::mutex> lock(im.mtx);
+    auto &slot = im.gauges[name];
+    if (!slot) {
+        slot = std::make_unique<Gauge>();
+    }
+    return *slot;
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &name)
+{
+    Impl &im = impl();
+    std::lock_guard<std::mutex> lock(im.mtx);
+    auto &slot = im.histograms[name];
+    if (!slot) {
+        slot = std::make_unique<Histogram>();
+    }
+    return *slot;
+}
+
+void
+MetricsRegistry::reset()
+{
+    Impl &im = impl();
+    std::lock_guard<std::mutex> lock(im.mtx);
+    for (auto &[name, c] : im.counters) {
+        (void)name;
+        c->reset();
+    }
+    for (auto &[name, g] : im.gauges) {
+        (void)name;
+        g->reset();
+    }
+    for (auto &[name, h] : im.histograms) {
+        (void)name;
+        h->reset();
+    }
+}
+
+std::vector<MetricRow>
+MetricsRegistry::snapshot() const
+{
+    Impl &im = impl();
+    std::lock_guard<std::mutex> lock(im.mtx);
+    std::vector<MetricRow> rows;
+    rows.reserve(im.counters.size() + im.gauges.size() +
+                 im.histograms.size());
+    for (auto &[name, c] : im.counters) {
+        MetricRow r;
+        r.name = name;
+        r.kind = "counter";
+        r.count = c->value();
+        rows.push_back(std::move(r));
+    }
+    for (auto &[name, g] : im.gauges) {
+        MetricRow r;
+        r.name = name;
+        r.kind = "gauge";
+        r.gauge = g->value();
+        rows.push_back(std::move(r));
+    }
+    for (auto &[name, h] : im.histograms) {
+        MetricRow r;
+        r.name = name;
+        r.kind = "histogram";
+        r.count = h->count();
+        r.sum = h->sum();
+        r.p50 = h->percentile(0.50);
+        r.p99 = h->percentile(0.99);
+        r.p999 = h->percentile(0.999);
+        rows.push_back(std::move(r));
+    }
+    return rows;
+}
+
+void
+MetricsRegistry::dump(std::FILE *out) const
+{
+    std::vector<MetricRow> rows = snapshot();
+    if (rows.empty()) {
+        fprintf(out, "metrics: (none registered)\n");
+        return;
+    }
+    fprintf(out, "%-44s %-10s %s\n", "metric", "kind", "value");
+    for (const MetricRow &r : rows) {
+        if (r.kind == "counter") {
+            fprintf(out, "%-44s %-10s %" PRIu64 "\n", r.name.c_str(),
+                    "counter", r.count);
+        } else if (r.kind == "gauge") {
+            fprintf(out, "%-44s %-10s %" PRId64 "\n", r.name.c_str(),
+                    "gauge", r.gauge);
+        } else {
+            fprintf(out,
+                    "%-44s %-10s count=%" PRIu64 " sum=%" PRIu64
+                    " p50=%" PRIu64 " p99=%" PRIu64 " p999=%" PRIu64 "\n",
+                    r.name.c_str(), "histogram", r.count, r.sum, r.p50,
+                    r.p99, r.p999);
+        }
+    }
+}
+
+std::string
+MetricsRegistry::json() const
+{
+    std::vector<MetricRow> rows = snapshot();
+    std::string out = "{";
+    bool first = true;
+    for (const MetricRow &r : rows) {
+        if (!first) {
+            out += ",";
+        }
+        first = false;
+        out += "\"" + r.name + "\":";
+        char buf[192];
+        if (r.kind == "counter") {
+            snprintf(buf, sizeof buf, "%" PRIu64, r.count);
+        } else if (r.kind == "gauge") {
+            snprintf(buf, sizeof buf, "%" PRId64, r.gauge);
+        } else {
+            snprintf(buf, sizeof buf,
+                     "{\"count\":%" PRIu64 ",\"sum\":%" PRIu64
+                     ",\"p50\":%" PRIu64 ",\"p99\":%" PRIu64
+                     ",\"p999\":%" PRIu64 "}",
+                     r.count, r.sum, r.p50, r.p99, r.p999);
+        }
+        out += buf;
+    }
+    out += "}";
+    return out;
+}
+
+} // namespace obs
+} // namespace trinity

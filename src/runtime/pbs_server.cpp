@@ -5,9 +5,47 @@
 #include "backend/registry.h"
 #include "common/env.h"
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace trinity {
 namespace runtime {
+
+// Serving metrics (registry names): the queue-depth gauge tracks the
+// waiting-request count at every queue transition, batch sizes and
+// the two latencies (queue wait to batch start, submit to result set)
+// go to histograms, so serving benches report p50/p99/p999 without a
+// per-request sample store.
+namespace {
+
+struct ServerMetrics
+{
+    obs::Gauge &queue_depth;
+    obs::Histogram &batch_size;
+    obs::Histogram &queue_wait_ns;
+    obs::Histogram &request_latency_ns;
+    obs::Counter &requests;
+    obs::Counter &batches;
+
+    static ServerMetrics &
+    get()
+    {
+        static ServerMetrics m = [] {
+            obs::MetricsRegistry &reg = obs::MetricsRegistry::instance();
+            return ServerMetrics{
+                reg.gauge("pbs_server.queue_depth"),
+                reg.histogram("pbs_server.batch_size"),
+                reg.histogram("pbs_server.queue_wait_ns"),
+                reg.histogram("pbs_server.request_latency_ns"),
+                reg.counter("pbs_server.requests"),
+                reg.counter("pbs_server.batches"),
+            };
+        }();
+        return m;
+    }
+};
+
+} // namespace
 
 ServerOptions
 ServerOptions::fromEnv()
@@ -64,11 +102,14 @@ PbsServer::submit(LweCiphertext ct, const Poly &tv)
     Pending p;
     p.ct = std::move(ct);
     p.tv = &tv;
+    p.enqueuedNs = obs::detail::nowNs();
     std::future<LweCiphertext> result = p.result.get_future();
     {
         std::lock_guard<std::mutex> lk(mtx_);
         trinity_assert(!stop_, "submit() on a stopped PbsServer");
         queue_.push_back(std::move(p));
+        ServerMetrics::get().queue_depth.set(
+            static_cast<i64>(queue_.size()));
     }
     arrived_.notify_all();
     return result;
@@ -110,13 +151,29 @@ PbsServer::workerLoop()
         if (take > stats_.largestBatch) {
             stats_.largestBatch = take;
         }
+        ServerMetrics &m = ServerMetrics::get();
+        m.queue_depth.set(static_cast<i64>(queue_.size()));
         lk.unlock();
+        m.requests.add(take);
+        m.batches.add();
+        m.batch_size.observe(take);
+        u64 batch_start = obs::detail::nowNs();
+        for (const Pending &p : work) {
+            m.queue_wait_ns.observe(batch_start - p.enqueuedNs);
+        }
         PbsBatch batch;
         for (const Pending &p : work) {
             batch.add(p.ct, *p.tv);
         }
-        std::vector<LweCiphertext> out = boot_.run(batch);
+        std::vector<LweCiphertext> out;
+        {
+            obs::TraceSpan span("pbsBatch", "runtime", "pbs_server",
+                                "requests", take);
+            out = boot_.run(batch);
+        }
         for (size_t i = 0; i < work.size(); ++i) {
+            m.request_latency_ns.observe(obs::detail::nowNs() -
+                                         work[i].enqueuedNs);
             work[i].result.set_value(std::move(out[i]));
         }
         lk.lock();

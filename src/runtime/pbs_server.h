@@ -112,6 +112,9 @@ class PbsServer
         LweCiphertext ct;
         const Poly *tv = nullptr;
         std::promise<LweCiphertext> result;
+        /** Submission timestamp (obs::detail::nowNs) feeding the
+         *  queue-wait and end-to-end latency histograms. */
+        u64 enqueuedNs = 0;
     };
 
     void workerLoop();

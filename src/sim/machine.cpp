@@ -51,9 +51,13 @@ Machine::charge(KernelType t, u64 elems, u64 poly_len) const
 }
 
 double
-scheduleNodes(const std::vector<SchedNode> &nodes, size_t pool_count)
+scheduleNodes(const std::vector<SchedNode> &nodes, size_t pool_count,
+              std::vector<double> *startsOut)
 {
     size_t n = nodes.size();
+    if (startsOut != nullptr) {
+        startsOut->assign(n, 0.0);
+    }
     std::vector<double> finish(n, 0);
     std::vector<double> ready(n, 0);
     std::vector<size_t> deps_left(n, 0);
@@ -106,6 +110,9 @@ scheduleNodes(const std::vector<SchedNode> &nodes, size_t pool_count)
         size_t i = best_node;
         queues[slotOf(i)].pop();
         const SchedNode &node = nodes[i];
+        if (startsOut != nullptr) {
+            (*startsOut)[i] = best_start;
+        }
         finish[i] = best_start + node.busy + node.latency;
         if (node.pool != SchedNode::kNoPool) {
             // The pipeline fill delays dependents but does not occupy

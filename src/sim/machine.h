@@ -121,10 +121,13 @@ struct SchedNode
  * start earliest issues first (index order breaks ties), so a
  * late-ready kernel never blocks an earlier-ready one from an idle
  * pool. Nodes sharing a pool serialize on its busy time; the latency
- * delays dependents only. Returns the makespan.
+ * delays dependents only. Returns the makespan. When @p startsOut is
+ * non-null it receives each node's issue time (cycles) — the virtual
+ * timeline the trace exporter renders.
  */
 double scheduleNodes(const std::vector<SchedNode> &nodes,
-                     size_t pool_count);
+                     size_t pool_count,
+                     std::vector<double> *startsOut = nullptr);
 
 /**
  * Event-driven list scheduler: serializes kernels that share a pool,
