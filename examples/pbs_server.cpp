@@ -6,6 +6,11 @@
  * Prints the queue policy in effect, the achieved batch shapes, and
  * the throughput against a sequential per-call run of the same work.
  *
+ * A second act runs the multi-tenant fleet on the tiny parameter set:
+ * four tenants' keys behind a budgeted KeyStore, two key-affine
+ * shards, and interleaved tenant traffic — the docs/SERVING.md
+ * example, live.
+ *
  * Knobs: TRINITY_BACKEND (engine), TRINITY_RUNTIME_BATCH,
  * TRINITY_RUNTIME_MAX_WAIT_US (queue policy). Set
  * TRINITY_TRACE=<path> to capture a Chrome trace of the run (per-op
@@ -21,10 +26,84 @@
 #include <vector>
 
 #include "backend/registry.h"
+#include "common/modarith.h"
 #include "obs/metrics.h"
-#include "runtime/pbs_server.h"
+#include "runtime/sharded_server.h"
 
 using namespace trinity;
+
+namespace {
+
+/** Act two: a sharded multi-tenant fleet under keystore pressure. */
+size_t
+multiTenantDemo()
+{
+    std::printf("\n== Multi-tenant sharded serving (test-tiny) ==\n");
+    auto ctx =
+        std::make_shared<TfheContext>(TfheParams::testTiny(), 777);
+    TfheBootstrapper boot(ctx);
+    const size_t tenants = 4;
+    std::vector<runtime::TenantKeyMaterial> keys;
+    for (size_t i = 0; i < tenants; ++i) {
+        keys.push_back(runtime::TenantKeyMaterial::generate(*ctx, boot));
+    }
+    runtime::ShardedOptions opts;
+    opts.shards = 2;
+    // Budget for two resident tenants fleet-wide: the other two
+    // evict/refault as traffic alternates.
+    opts.keystoreBudgetBytes =
+        2 * runtime::KeyStore::residentBytesFor(ctx->params());
+    opts.server.maxWaitUs = 200;
+    runtime::ShardedPbsServer server(
+        ctx,
+        [&keys](runtime::TenantId t)
+            -> const runtime::TenantKeyMaterial & {
+            return keys[static_cast<size_t>(t)];
+        },
+        opts);
+    std::printf("tenants=%zu shards=%zu budget=%.1f MB "
+                "(%.1f MB per tenant)\n",
+                tenants, server.shards(),
+                static_cast<double>(opts.keystoreBudgetBytes) / 1e6,
+                static_cast<double>(runtime::KeyStore::residentBytesFor(
+                    ctx->params())) /
+                    1e6);
+
+    size_t wrong = 0;
+    const size_t rounds = 3;
+    u64 mu = ctx->params().q / 8;
+    for (size_t r = 0; r < rounds; ++r) {
+        std::vector<std::future<LweCiphertext>> futures;
+        std::vector<bool> sent;
+        for (size_t t = 0; t < tenants; ++t) {
+            bool b = ((r + t) % 3) != 1;
+            sent.push_back(b);
+            u64 m = b ? mu : ctx->modulus().neg(mu);
+            futures.push_back(server.submit(
+                t, ctx->lweEncrypt(m, keys[t].lweKey)));
+        }
+        for (size_t t = 0; t < tenants; ++t) {
+            u64 phase =
+                ctx->lwePhase(futures[t].get(), keys[t].lweKey);
+            if ((centeredRep(phase, ctx->q()) > 0) != sent[t]) {
+                ++wrong;
+            }
+        }
+    }
+    runtime::ShardedStats stats = server.stats();
+    std::printf("served %llu requests; keystore: %.0f%% hits, "
+                "%llu materializations, %llu evictions\n",
+                static_cast<unsigned long long>(stats.serving.requests),
+                100.0 * stats.keystore.hitRate(),
+                static_cast<unsigned long long>(
+                    stats.keystore.materializations),
+                static_cast<unsigned long long>(
+                    stats.keystore.evictions));
+    std::printf("wrong results: %zu of %zu\n", wrong, rounds * tenants);
+    return wrong;
+}
+
+} // namespace
 
 int
 main()
@@ -109,6 +188,9 @@ main()
                 served_ms, 1000.0 * total / served_ms,
                 seq_ms / served_ms);
     std::printf("wrong results: %zu of %zu\n", wrong, total);
+
+    wrong += multiTenantDemo();
+
     std::printf("\n-- metrics (obs::MetricsRegistry) --\n");
     obs::MetricsRegistry::instance().dump(stdout);
     return wrong == 0 ? 0 : 1;

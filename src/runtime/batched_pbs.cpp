@@ -21,19 +21,18 @@ BatchedBootstrapper::run(const PbsBatch &batch) const
 }
 
 std::vector<LweCiphertext>
-BatchedBootstrapper::runChunked(const PbsBatch &batch,
-                                size_t maxChunk) const
+runPbsBatchChunked(const TfheBootstrapper &boot, const PbsBatch &batch,
+                   const TfheBootstrapKey &bsk,
+                   const TfheKeySwitchKey &ksk, size_t maxChunk)
 {
     trinity_assert(batch.inputs.size() == batch.testVectors.size(),
                    "PbsBatch inputs/testVectors size mismatch (%zu vs "
                    "%zu)",
                    batch.inputs.size(), batch.testVectors.size());
     size_t total = batch.size();
-    const TfheBootstrapper &boot = gb_.bootstrapper();
     if (maxChunk == 0 || total <= maxChunk) {
         return boot.pbsBatch(batch.inputs.data(),
-                             batch.testVectors.data(), total,
-                             gb_.bootstrapKey(), gb_.keySwitchKey());
+                             batch.testVectors.data(), total, bsk, ksk);
     }
     std::vector<LweCiphertext> out;
     out.reserve(total);
@@ -41,12 +40,21 @@ BatchedBootstrapper::runChunked(const PbsBatch &batch,
         size_t width = std::min(maxChunk, total - off);
         std::vector<LweCiphertext> part = boot.pbsBatch(
             batch.inputs.data() + off, batch.testVectors.data() + off,
-            width, gb_.bootstrapKey(), gb_.keySwitchKey());
+            width, bsk, ksk);
         for (auto &ct : part) {
             out.push_back(std::move(ct));
         }
     }
     return out;
+}
+
+std::vector<LweCiphertext>
+BatchedBootstrapper::runChunked(const PbsBatch &batch,
+                                size_t maxChunk) const
+{
+    return runPbsBatchChunked(gb_.bootstrapper(), batch,
+                              gb_.bootstrapKey(), gb_.keySwitchKey(),
+                              maxChunk);
 }
 
 std::vector<LweCiphertext>

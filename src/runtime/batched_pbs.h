@@ -42,6 +42,20 @@ struct PbsBatch
 };
 
 /**
+ * Execute one aggregated batch against explicit key material,
+ * splitting aggregations wider than @p maxChunk into consecutive
+ * lockstep chunks (0 = unsplit). This is the execution primitive the
+ * multi-tenant server uses with per-tenant keys from the KeyStore;
+ * BatchedBootstrapper wraps it with a gate bootstrapper's own keys.
+ * Chunking only re-groups independent requests — results are
+ * bit-identical at any chunk width, on every engine.
+ */
+std::vector<LweCiphertext>
+runPbsBatchChunked(const TfheBootstrapper &boot, const PbsBatch &batch,
+                   const TfheBootstrapKey &bsk,
+                   const TfheKeySwitchKey &ksk, size_t maxChunk);
+
+/**
  * Runs PbsBatches over a gate bootstrapper's key material. The
  * bootstrapper is borrowed and must outlive this object.
  */

@@ -1,6 +1,8 @@
 #include "runtime/pbs_server.h"
 
+#include <algorithm>
 #include <chrono>
+#include <map>
 
 #include "backend/registry.h"
 #include "common/env.h"
@@ -11,14 +13,14 @@
 namespace trinity {
 namespace runtime {
 
-// Serving metrics (registry names): the queue-depth gauge tracks the
+// Serving metrics (registry names, prefixed by the server's label so
+// shards report separately): the queue-depth gauge tracks the
 // waiting-request count at every queue transition, batch sizes and
 // the two latencies (queue wait to batch start, submit to result set)
 // go to histograms, so serving benches report p50/p99/p999 without a
-// per-request sample store.
-namespace {
-
-struct ServerMetrics
+// per-request sample store. rejected/shed count the admission and
+// deadline policies firing.
+struct PbsServer::Metrics
 {
     obs::Gauge &queue_depth;
     obs::Histogram &batch_size;
@@ -26,26 +28,35 @@ struct ServerMetrics
     obs::Histogram &request_latency_ns;
     obs::Counter &requests;
     obs::Counter &batches;
+    obs::Counter &rejected;
+    obs::Counter &shed;
 
-    static ServerMetrics &
-    get()
+    static Metrics &
+    forLabel(const std::string &label)
     {
-        static ServerMetrics m = [] {
+        static std::mutex mtx;
+        static std::map<std::string, std::unique_ptr<Metrics>> all;
+        std::lock_guard<std::mutex> lk(mtx);
+        auto it = all.find(label);
+        if (it == all.end()) {
             obs::MetricsRegistry &reg = obs::MetricsRegistry::instance();
-            return ServerMetrics{
-                reg.gauge("pbs_server.queue_depth"),
-                reg.histogram("pbs_server.batch_size"),
-                reg.histogram("pbs_server.queue_wait_ns"),
-                reg.histogram("pbs_server.request_latency_ns"),
-                reg.counter("pbs_server.requests"),
-                reg.counter("pbs_server.batches"),
-            };
-        }();
-        return m;
+            it = all.emplace(
+                         label,
+                         std::unique_ptr<Metrics>(new Metrics{
+                             reg.gauge(label + ".queue_depth"),
+                             reg.histogram(label + ".batch_size"),
+                             reg.histogram(label + ".queue_wait_ns"),
+                             reg.histogram(label + ".request_latency_ns"),
+                             reg.counter(label + ".requests"),
+                             reg.counter(label + ".batches"),
+                             reg.counter(label + ".rejected"),
+                             reg.counter(label + ".shed"),
+                         }))
+                     .first;
+        }
+        return *it->second;
     }
 };
-
-} // namespace
 
 ServerOptions
 ServerOptions::fromEnv()
@@ -62,6 +73,12 @@ ServerOptions::fromEnv()
     if (envU64("TRINITY_RUNTIME_MAX_WAIT_US", v)) {
         opts.maxWaitUs = v;
     }
+    if (envU64("TRINITY_RUNTIME_MAX_QUEUE", v)) {
+        opts.maxQueue = static_cast<size_t>(v);
+    }
+    if (envU64("TRINITY_RUNTIME_DEADLINE_US", v)) {
+        opts.deadlineUs = v;
+    }
     return opts;
 }
 
@@ -75,7 +92,19 @@ ServerOptions::resolvedMaxBatch() const
 }
 
 PbsServer::PbsServer(const TfheGateBootstrapper &gb, ServerOptions opts)
-    : boot_(gb), opts_(opts), max_batch_(opts.resolvedMaxBatch()),
+    : gb_(&gb), opts_(std::move(opts)),
+      max_batch_(opts_.resolvedMaxBatch()),
+      metrics_(Metrics::forLabel(opts_.label)),
+      worker_([this] { workerLoop(); })
+{
+}
+
+PbsServer::PbsServer(std::shared_ptr<TfheContext> ctx, KeyStore &store,
+                     ServerOptions opts)
+    : store_(&store), ctx_(std::move(ctx)),
+      boot_(std::make_unique<TfheBootstrapper>(ctx_)),
+      opts_(std::move(opts)), max_batch_(opts_.resolvedMaxBatch()),
+      metrics_(Metrics::forLabel(opts_.label)),
       worker_([this] { workerLoop(); })
 {
 }
@@ -93,23 +122,69 @@ PbsServer::~PbsServer()
 std::future<LweCiphertext>
 PbsServer::submit(LweCiphertext ct)
 {
-    return submit(std::move(ct), boot_.signTestVector());
+    trinity_assert(gb_ != nullptr,
+                   "tenant-less submit() on a multi-tenant PbsServer");
+    return submit(std::move(ct), gb_->signVector());
 }
 
 std::future<LweCiphertext>
 PbsServer::submit(LweCiphertext ct, const Poly &tv)
 {
+    trinity_assert(gb_ != nullptr,
+                   "tenant-less submit() on a multi-tenant PbsServer");
     Pending p;
     p.ct = std::move(ct);
     p.tv = &tv;
+    return enqueue(std::move(p));
+}
+
+std::future<LweCiphertext>
+PbsServer::submit(TenantId t, LweCiphertext ct)
+{
+    trinity_assert(store_ != nullptr,
+                   "tenant submit() on a single-tenant PbsServer");
+    Pending p;
+    p.tenant = t;
+    p.ct = std::move(ct);
+    p.tv = nullptr; // resolved to the tenant's sign LUT at batch time
+    return enqueue(std::move(p));
+}
+
+std::future<LweCiphertext>
+PbsServer::submit(TenantId t, LweCiphertext ct, const Poly &tv)
+{
+    trinity_assert(store_ != nullptr,
+                   "tenant submit() on a single-tenant PbsServer");
+    Pending p;
+    p.tenant = t;
+    p.ct = std::move(ct);
+    p.tv = &tv;
+    return enqueue(std::move(p));
+}
+
+std::future<LweCiphertext>
+PbsServer::enqueue(Pending p)
+{
     p.enqueuedNs = obs::detail::nowNs();
     std::future<LweCiphertext> result = p.result.get_future();
+    bool rejected = false;
     {
         std::lock_guard<std::mutex> lk(mtx_);
         trinity_assert(!stop_, "submit() on a stopped PbsServer");
-        queue_.push_back(std::move(p));
-        ServerMetrics::get().queue_depth.set(
-            static_cast<i64>(queue_.size()));
+        if (opts_.maxQueue > 0 && queue_.size() >= opts_.maxQueue) {
+            rejected = true;
+            ++stats_.rejected;
+        } else {
+            queue_.push_back(std::move(p));
+            metrics_.queue_depth.set(static_cast<i64>(queue_.size()));
+        }
+    }
+    if (rejected) {
+        metrics_.rejected.add();
+        p.result.set_exception(std::make_exception_ptr(AdmissionRejected(
+            "request rejected: serving queue at maxQueue=" +
+            std::to_string(opts_.maxQueue))));
+        return result;
     }
     arrived_.notify_all();
     return result;
@@ -120,6 +195,80 @@ PbsServer::stats() const
 {
     std::lock_guard<std::mutex> lk(mtx_);
     return stats_;
+}
+
+void
+PbsServer::executeGroup(std::vector<Pending> &work, size_t begin,
+                        size_t end)
+{
+    size_t count = end - begin;
+    Metrics &m = metrics_;
+    m.requests.add(count);
+    m.batches.add();
+    m.batch_size.observe(count);
+    u64 batch_start = obs::detail::nowNs();
+    for (size_t i = begin; i < end; ++i) {
+        m.queue_wait_ns.observe(batch_start - work[i].enqueuedNs);
+    }
+
+    // Resolve the group's key material. In multi-tenant mode this is
+    // the keystore fault-in path: the returned shared_ptr pins the
+    // keys for the duration of the batch, so a concurrent eviction
+    // (another tenant faulting in past the budget) can never pull
+    // them out from under the lockstep blind rotation.
+    const TfheBootstrapper *boot = nullptr;
+    const TfheBootstrapKey *bsk = nullptr;
+    const TfheKeySwitchKey *ksk = nullptr;
+    const Poly *defaultTv = nullptr;
+    std::shared_ptr<const ResidentKeys> pinned;
+    if (store_ != nullptr) {
+        try {
+            pinned = store_->acquire(work[begin].tenant);
+        } catch (...) {
+            std::exception_ptr err = std::current_exception();
+            for (size_t i = begin; i < end; ++i) {
+                work[i].result.set_exception(err);
+            }
+            return;
+        }
+        boot = boot_.get();
+        bsk = &pinned->bsk;
+        ksk = &pinned->ksk;
+        defaultTv = &pinned->signTv;
+    } else {
+        boot = &gb_->bootstrapper();
+        bsk = &gb_->bootstrapKey();
+        ksk = &gb_->keySwitchKey();
+        defaultTv = &gb_->signVector();
+    }
+
+    PbsBatch batch;
+    for (size_t i = begin; i < end; ++i) {
+        batch.add(work[i].ct,
+                  work[i].tv != nullptr ? *work[i].tv : *defaultTv);
+    }
+    std::vector<LweCiphertext> out;
+    {
+        obs::TraceSpan span("pbsBatch", "runtime", opts_.label.c_str(),
+                            "requests", count);
+        out = runPbsBatchChunked(*boot, batch, *bsk, *ksk,
+                                 activeBackend().preferredBatch());
+    }
+    // Account before resolving: a client that has seen its future
+    // resolve must also see these requests in stats().
+    {
+        std::lock_guard<std::mutex> slk(mtx_);
+        stats_.requests += count;
+        stats_.batches += 1;
+        if (count > stats_.largestBatch) {
+            stats_.largestBatch = count;
+        }
+    }
+    for (size_t i = begin; i < end; ++i) {
+        m.request_latency_ns.observe(obs::detail::nowNs() -
+                                     work[i].enqueuedNs);
+        work[i].result.set_value(std::move(out[i - begin]));
+    }
 }
 
 void
@@ -146,36 +295,60 @@ PbsServer::workerLoop()
             work.push_back(std::move(queue_.front()));
             queue_.pop_front();
         }
-        stats_.requests += take;
-        stats_.batches += 1;
-        if (take > stats_.largestBatch) {
-            stats_.largestBatch = take;
-        }
-        ServerMetrics &m = ServerMetrics::get();
-        m.queue_depth.set(static_cast<i64>(queue_.size()));
+        metrics_.queue_depth.set(static_cast<i64>(queue_.size()));
         lk.unlock();
-        m.requests.add(take);
-        m.batches.add();
-        m.batch_size.observe(take);
-        u64 batch_start = obs::detail::nowNs();
-        for (const Pending &p : work) {
-            m.queue_wait_ns.observe(batch_start - p.enqueuedNs);
+
+        // Deadline policy: shed anything that already waited past the
+        // budget — executing it would only make the batch it joins
+        // later too. The client gets DeadlineExceeded immediately.
+        if (opts_.deadlineUs > 0) {
+            u64 now = obs::detail::nowNs();
+            u64 budgetNs = opts_.deadlineUs * 1000;
+            std::vector<Pending> kept;
+            kept.reserve(work.size());
+            for (Pending &p : work) {
+                if (now - p.enqueuedNs > budgetNs) {
+                    metrics_.shed.add();
+                    {
+                        std::lock_guard<std::mutex> slk(mtx_);
+                        ++stats_.shed;
+                    }
+                    p.result.set_exception(
+                        std::make_exception_ptr(DeadlineExceeded(
+                            "request shed: queue wait exceeded "
+                            "deadlineUs=" +
+                            std::to_string(opts_.deadlineUs))));
+                } else {
+                    kept.push_back(std::move(p));
+                }
+            }
+            work = std::move(kept);
         }
-        PbsBatch batch;
-        for (const Pending &p : work) {
-            batch.add(p.ct, *p.tv);
+
+        // One fused batch per key set: in multi-tenant mode the
+        // drained window is grouped by tenant (stable, so each
+        // tenant's requests keep arrival order); single-tenant mode
+        // is one group. Key affinity lives a level up — the sharded
+        // server routes a tenant to one shard, so a shard's window
+        // is dominated by few tenants and groups stay wide.
+        if (!work.empty()) {
+            if (store_ != nullptr) {
+                std::stable_sort(work.begin(), work.end(),
+                                 [](const Pending &a, const Pending &b) {
+                                     return a.tenant < b.tenant;
+                                 });
+            }
+            size_t begin = 0;
+            for (size_t i = 1; i <= work.size(); ++i) {
+                if (i == work.size() ||
+                    (store_ != nullptr &&
+                     work[i].tenant != work[begin].tenant)) {
+                    executeGroup(work, begin, i);
+                    begin = i;
+                }
+            }
         }
-        std::vector<LweCiphertext> out;
-        {
-            obs::TraceSpan span("pbsBatch", "runtime", "pbs_server",
-                                "requests", take);
-            out = boot_.run(batch);
-        }
-        for (size_t i = 0; i < work.size(); ++i) {
-            m.request_latency_ns.observe(obs::detail::nowNs() -
-                                         work[i].enqueuedNs);
-            work[i].result.set_value(std::move(out[i]));
-        }
+
         lk.lock();
     }
 }

@@ -1,0 +1,98 @@
+#include "runtime/sharded_server.h"
+
+#include <algorithm>
+
+#include "common/env.h"
+#include "common/logging.h"
+
+namespace trinity {
+namespace runtime {
+
+ShardedOptions
+ShardedOptions::fromEnv()
+{
+    ShardedOptions opts;
+    u64 v = 0;
+    if (envU64("TRINITY_RUNTIME_SHARDS", v)) {
+        if (v == 0) {
+            trinity_fatal("invalid TRINITY_RUNTIME_SHARDS value '0': "
+                          "the fleet needs at least one shard");
+        }
+        opts.shards = static_cast<size_t>(v);
+    }
+    return opts;
+}
+
+ShardedPbsServer::ShardedPbsServer(std::shared_ptr<TfheContext> ctx,
+                                   KeyStore::Provider provider,
+                                   ShardedOptions opts)
+    : ctx_(std::move(ctx))
+{
+    trinity_assert(opts.shards > 0, "ShardedPbsServer needs >= 1 shard");
+    size_t total = opts.keystoreBudgetBytes != 0
+                       ? opts.keystoreBudgetBytes
+                       : KeyStore::budgetFromEnv(0);
+    size_t perShard = total == 0 ? 0 : std::max<size_t>(
+                                           1, total / opts.shards);
+    stores_.reserve(opts.shards);
+    servers_.reserve(opts.shards);
+    for (size_t i = 0; i < opts.shards; ++i) {
+        std::string suffix = ".shard" + std::to_string(i);
+        stores_.push_back(std::make_unique<KeyStore>(
+            *ctx_, provider, perShard, "keystore" + suffix));
+        ServerOptions so = opts.server;
+        so.label += suffix;
+        servers_.push_back(
+            std::make_unique<PbsServer>(ctx_, *stores_[i], so));
+    }
+}
+
+size_t
+ShardedPbsServer::shardOf(TenantId t) const
+{
+    // splitmix64 finalizer: a fixed, well-mixing hash so the mapping
+    // is consistent for a tenant's whole lifetime (key affinity) and
+    // uniform across shards even for sequential tenant ids.
+    u64 x = t + 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return static_cast<size_t>(x % servers_.size());
+}
+
+std::future<LweCiphertext>
+ShardedPbsServer::submit(TenantId t, LweCiphertext ct)
+{
+    return servers_[shardOf(t)]->submit(t, std::move(ct));
+}
+
+std::future<LweCiphertext>
+ShardedPbsServer::submit(TenantId t, LweCiphertext ct, const Poly &tv)
+{
+    return servers_[shardOf(t)]->submit(t, std::move(ct), tv);
+}
+
+ShardedStats
+ShardedPbsServer::stats() const
+{
+    ShardedStats out;
+    for (size_t i = 0; i < servers_.size(); ++i) {
+        ServerStats s = servers_[i]->stats();
+        out.serving.requests += s.requests;
+        out.serving.batches += s.batches;
+        out.serving.rejected += s.rejected;
+        out.serving.shed += s.shed;
+        out.serving.largestBatch =
+            std::max(out.serving.largestBatch, s.largestBatch);
+        KeyStore::Stats k = stores_[i]->stats();
+        out.keystore.hits += k.hits;
+        out.keystore.misses += k.misses;
+        out.keystore.evictions += k.evictions;
+        out.keystore.materializations += k.materializations;
+        out.keystore.residentBytes += k.residentBytes;
+    }
+    return out;
+}
+
+} // namespace runtime
+} // namespace trinity

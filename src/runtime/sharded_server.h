@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Sharded multi-tenant PBS serving.
+ *
+ * One PbsServer saturates one engine's lockstep pipeline but owns a
+ * single request queue and keystore; at production tenant counts the
+ * key working set — not compute — is the bottleneck (tens of MB per
+ * tenant). ShardedPbsServer splits the fleet:
+ *
+ *  - N shards, each a multi-tenant PbsServer with its own KeyStore
+ *    (the total key budget divides evenly across shards) and its own
+ *    worker thread.
+ *  - Requests route by **key affinity**: tenant → shard through a
+ *    fixed hash (splitmix64 of the TenantId mod N), so every request
+ *    of a tenant lands on the same shard and the tenant's materialized
+ *    keys stay resident in exactly one shard's store instead of being
+ *    faulted into all of them.
+ *  - Each shard enforces the admission (maxQueue) and deadline
+ *    (deadlineUs) policy independently — an overloaded shard sheds
+ *    its own load without stalling the others.
+ *
+ * Shard metrics are labeled "pbs_server.shard<i>" / "keystore.shard<i>"
+ * in the obs::MetricsRegistry, so tail latency and hit rates report
+ * per shard (bench_table_multitenant turns them into BENCH_ci rows).
+ */
+
+#ifndef TRINITY_RUNTIME_SHARDED_SERVER_H
+#define TRINITY_RUNTIME_SHARDED_SERVER_H
+
+#include <vector>
+
+#include "runtime/pbs_server.h"
+
+namespace trinity {
+namespace runtime {
+
+/** Fleet shape and per-shard policy. */
+struct ShardedOptions
+{
+    /** Shard count; each shard owns one worker + one keystore. */
+    size_t shards = 2;
+    /** TOTAL keystore budget in bytes, divided across shards; 0
+     *  resolves TRINITY_KEYSTORE_BYTES, and if that is unset the
+     *  stores are unbounded. */
+    size_t keystoreBudgetBytes = 0;
+    /** Per-shard queue/batch/deadline policy; the label is suffixed
+     *  ".shard<i>" per shard automatically. */
+    ServerOptions server = ServerOptions::fromEnv();
+
+    /** Defaults with TRINITY_RUNTIME_SHARDS applied on top of
+     *  ServerOptions::fromEnv(). */
+    static ShardedOptions fromEnv();
+};
+
+/** Aggregated fleet counters. */
+struct ShardedStats
+{
+    ServerStats serving;      ///< summed over shards
+    KeyStore::Stats keystore; ///< summed over shards
+};
+
+/**
+ * N PbsServer shards behind consistent tenant→shard routing. All
+ * shards share one TfheContext (same parameter set) and one durable
+ * key-material provider; resident working sets are per shard.
+ */
+class ShardedPbsServer
+{
+  public:
+    ShardedPbsServer(std::shared_ptr<TfheContext> ctx,
+                     KeyStore::Provider provider,
+                     ShardedOptions opts = ShardedOptions::fromEnv());
+
+    ShardedPbsServer(const ShardedPbsServer &) = delete;
+    ShardedPbsServer &operator=(const ShardedPbsServer &) = delete;
+
+    /** The shard tenant @p t always routes to. */
+    size_t shardOf(TenantId t) const;
+
+    /** Tenant @p t's sign bootstrap on its home shard. */
+    std::future<LweCiphertext> submit(TenantId t, LweCiphertext ct);
+
+    /** Tenant @p t's programmable bootstrap with caller-owned LUT. */
+    std::future<LweCiphertext> submit(TenantId t, LweCiphertext ct,
+                                      const Poly &tv);
+
+    size_t shards() const { return servers_.size(); }
+    const PbsServer &shard(size_t i) const { return *servers_[i]; }
+    const KeyStore &store(size_t i) const { return *stores_[i]; }
+
+    /** Fleet-wide sums of the per-shard serving/keystore counters. */
+    ShardedStats stats() const;
+
+  private:
+    std::shared_ptr<TfheContext> ctx_;
+    std::vector<std::unique_ptr<KeyStore>> stores_;
+    std::vector<std::unique_ptr<PbsServer>> servers_;
+};
+
+} // namespace runtime
+} // namespace trinity
+
+#endif // TRINITY_RUNTIME_SHARDED_SERVER_H

@@ -15,13 +15,16 @@ TfheBootstrapper::TfheBootstrapper(std::shared_ptr<TfheContext> ctx)
 
 TfheBootstrapKey
 TfheBootstrapper::makeBootstrapKey(const LweSecretKey &lwe_sk,
-                                   const GlweSecretKey &glwe_sk)
+                                   const GlweSecretKey &glwe_sk,
+                                   bool toEval)
 {
     TfheBootstrapKey out;
     out.bsk.reserve(lwe_sk.s.size());
     for (i64 bit : lwe_sk.s) {
         GgswCiphertext g = ctx_->ggswEncrypt(bit, glwe_sk);
-        ctx_->ggswToEval(g);
+        if (toEval) {
+            ctx_->ggswToEval(g);
+        }
         out.bsk.push_back(std::move(g));
     }
     return out;

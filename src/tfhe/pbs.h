@@ -34,9 +34,15 @@ class TfheBootstrapper
   public:
     explicit TfheBootstrapper(std::shared_ptr<TfheContext> ctx);
 
-    /** bsk: GGSW encryptions of each LWE key bit under the GLWE key. */
+    /** bsk: GGSW encryptions of each LWE key bit under the GLWE key.
+     *  With @p toEval (the default) every GGSW is moved to the NTT
+     *  domain at keygen — the single-tenant fast path. Pass false to
+     *  keep the key in coefficient ("at rest" / wire) form, the shape
+     *  a multi-tenant keystore holds durably and materializes into
+     *  NTT form lazily on first use (runtime::KeyStore). */
     TfheBootstrapKey makeBootstrapKey(const LweSecretKey &lwe_sk,
-                                      const GlweSecretKey &glwe_sk);
+                                      const GlweSecretKey &glwe_sk,
+                                      bool toEval = true);
 
     /** ksk: extracted-key to LWE-key switching material. */
     TfheKeySwitchKey makeKeySwitchKey(const GlweSecretKey &from,

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Fail on dead relative links in the repo's markdown docs.
+#
+# Extracts every inline markdown link target from README.md and
+# docs/*.md, skips external schemes (http/https/mailto) and pure
+# in-page anchors, strips anchors from relative targets, resolves
+# them against the containing file's directory, and requires the
+# result to exist. Usage: tools/check_links.sh [repo-root]
+
+set -u
+root="${1:-.}"
+cd "$root" || exit 1
+
+fail=0
+checked=0
+for f in README.md docs/*.md; do
+    [ -e "$f" ] || continue
+    dir=$(dirname "$f")
+    # Inline links only: [text](target). Reference-style links are
+    # not used in this repo. Fenced code blocks are skipped — lambda
+    # captures like [&](T x) would otherwise parse as links.
+    targets=$(awk '/^```/ { fence = !fence; next } !fence' "$f" |
+        grep -o ']([^)]*)' | sed 's/^](//; s/)$//')
+    while IFS= read -r t; do
+        [ -n "$t" ] || continue
+        case "$t" in
+            http://*|https://*|mailto:*) continue ;;
+            '#'*) continue ;;
+        esac
+        path="${t%%#*}"
+        [ -n "$path" ] || continue
+        checked=$((checked + 1))
+        if [ ! -e "$dir/$path" ]; then
+            echo "DEAD LINK: $f -> $t" >&2
+            fail=1
+        fi
+    done <<EOF
+$targets
+EOF
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "link check failed" >&2
+    exit 1
+fi
+echo "link check: $checked relative links OK"
