@@ -1,0 +1,321 @@
+#include "pir/database.h"
+
+#include "backend/registry.h"
+#include "common/env.h"
+#include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace trinity {
+namespace pir {
+
+// ------------------------------------------------------------ PirDatabase
+
+PirDatabase::PirDatabase(const PirParams &params) : params_(params)
+{
+    params_.validate();
+    store_.assign(params_.records() * params_.tfhe.bigN, 0);
+}
+
+PirDatabase
+PirDatabase::random(const PirParams &params, u64 seed)
+{
+    PirDatabase db(params);
+    Rng rng(seed);
+    u64 p = 1ULL << params.logP;
+    for (auto &c : db.store_) {
+        c = static_cast<u8>(rng.uniform(p));
+    }
+    return db;
+}
+
+void
+PirDatabase::setCoeff(size_t rec, size_t i, u64 v)
+{
+    trinity_assert(v < (1ULL << params_.logP),
+                   "record coefficient out of range");
+    store_[rec * params_.tfhe.bigN + i] = static_cast<u8>(v);
+}
+
+std::vector<u64>
+PirDatabase::record(size_t rec) const
+{
+    size_t n = params_.tfhe.bigN;
+    std::vector<u64> out(n);
+    for (size_t i = 0; i < n; ++i) {
+        out[i] = store_[rec * n + i];
+    }
+    return out;
+}
+
+// --------------------------------------------------------- materialization
+
+ResidentPirDb
+materializePirDb(const TfheContext &ctx, const PirDatabase &db)
+{
+    const PirParams &pp = db.params();
+    const TfheParams &p = ctx.params();
+    trinity_assert(p.q == pp.tfhe.q && p.bigN == pp.tfhe.bigN &&
+                       p.lb == pp.tfhe.lb,
+                   "context/database parameter mismatch");
+    size_t n = p.bigN;
+    size_t records = db.records();
+    u32 lb = p.lb;
+    obs::TraceSpan span("pirMaterialize", "pir", "materializePirDb",
+                        "records", records);
+
+    ResidentPirDb out;
+    out.lb = lb;
+    out.polys.reserve(records * lb);
+    for (size_t rec = 0; rec < records; ++rec) {
+        for (u32 l = 0; l < lb; ++l) {
+            if (l == 0) {
+                Poly pt(n, p.q);
+                for (size_t i = 0; i < n; ++i) {
+                    pt[i] = db.coeff(rec, i);
+                }
+                out.polys.push_back(std::move(pt));
+            } else {
+                out.polys.emplace_back(n, p.q);
+            }
+        }
+    }
+    // One forward NTT per record (slot l=0 holds the plaintext) ...
+    std::vector<NttJob> ntts;
+    ntts.reserve(records);
+    for (size_t rec = 0; rec < records; ++rec) {
+        Poly &base = out.polys[rec * lb];
+        ntts.push_back({base.coeffs().data(), &base.nttTable()});
+    }
+    activeBackend().nttForwardBatch(ntts.data(), ntts.size());
+    // ... then the gadget scaling in the transform domain: slots
+    // 1..lb-1 read slot 0, which is rescaled in place last.
+    const Modulus &mod = ctx.modulus();
+    std::vector<ScalarMulJob> scale;
+    scale.reserve(records * (lb - 1));
+    for (size_t rec = 0; rec < records; ++rec) {
+        const u64 *base = out.polys[rec * lb].coeffs().data();
+        for (u32 l = 1; l < lb; ++l) {
+            scale.push_back({out.polys[rec * lb + l].coeffs().data(),
+                             base, ctx.gadget(l), &mod, n});
+        }
+    }
+    activeBackend().scalarMulBatch(scale.data(), scale.size());
+    std::vector<ScalarMulJob> scale0;
+    scale0.reserve(records);
+    for (size_t rec = 0; rec < records; ++rec) {
+        u64 *base = out.polys[rec * lb].coeffs().data();
+        scale0.push_back({base, base, ctx.gadget(0), &mod, n});
+    }
+    activeBackend().scalarMulBatch(scale0.data(), scale0.size());
+    for (auto &poly : out.polys) {
+        poly.setDomain(Domain::Eval);
+    }
+    out.bytes = out.polys.size() * n * sizeof(u64);
+    return out;
+}
+
+// ------------------------------------------------------------- PirDbStore
+
+struct PirDbStore::Metrics
+{
+    obs::Counter &hits;
+    obs::Counter &misses;
+    obs::Counter &evictions;
+    obs::Counter &materializations;
+    obs::Gauge &resident_bytes;
+    obs::Histogram &materialize_ns;
+
+    static Metrics &
+    forLabel(const std::string &label)
+    {
+        static std::mutex mtx;
+        static std::map<std::string, std::unique_ptr<Metrics>> all;
+        std::lock_guard<std::mutex> lk(mtx);
+        auto it = all.find(label);
+        if (it == all.end()) {
+            obs::MetricsRegistry &reg = obs::MetricsRegistry::instance();
+            it = all.emplace(label,
+                             std::unique_ptr<Metrics>(new Metrics{
+                                 reg.counter(label + ".hits"),
+                                 reg.counter(label + ".misses"),
+                                 reg.counter(label + ".evictions"),
+                                 reg.counter(label + ".materializations"),
+                                 reg.gauge(label + ".resident_bytes"),
+                                 reg.histogram(label + ".materialize_ns"),
+                             }))
+                     .first;
+        }
+        return *it->second;
+    }
+};
+
+size_t
+PirDbStore::budgetFromEnv(size_t fallback)
+{
+    u64 v = 0;
+    if (envU64("TRINITY_PIR_DB_BYTES", v)) {
+        return static_cast<size_t>(v);
+    }
+    return fallback;
+}
+
+PirDbStore::PirDbStore(const TfheContext &ctx, Provider provider,
+                       size_t budget, std::string label)
+    : ctx_(ctx), provider_(std::move(provider)), budget_(budget),
+      label_(std::move(label)), metrics_(Metrics::forLabel(label_))
+{
+    trinity_assert(provider_ != nullptr,
+                   "PirDbStore needs a database provider");
+}
+
+std::shared_ptr<const ResidentPirDb>
+PirDbStore::acquire(PirTenantId tenant)
+{
+    std::promise<std::shared_ptr<const ResidentPirDb>> prom;
+    std::shared_future<std::shared_ptr<const ResidentPirDb>> fut;
+    bool thisThreadMaterializes = false;
+    {
+        std::lock_guard<std::mutex> lk(mtx_);
+        auto it = entries_.find(tenant);
+        if (it != entries_.end()) {
+            lru_.splice(lru_.begin(), lru_, it->second.lruIt);
+            ++stats_.hits;
+            metrics_.hits.add();
+            fut = it->second.db;
+        } else {
+            ++stats_.misses;
+            metrics_.misses.add();
+            thisThreadMaterializes = true;
+            Entry e;
+            fut = e.db = prom.get_future().share();
+            lru_.push_front(tenant);
+            e.lruIt = lru_.begin();
+            entries_.emplace(tenant, std::move(e));
+        }
+    }
+    // Only the thread that inserted the entry materializes — exactly
+    // once per residency; concurrent acquires wait on the shared
+    // future.
+    if (!thisThreadMaterializes) {
+        return fut.get();
+    }
+    std::shared_ptr<const ResidentPirDb> db;
+    try {
+        db = materialize(tenant);
+    } catch (...) {
+        {
+            std::lock_guard<std::mutex> lk(mtx_);
+            auto it = entries_.find(tenant);
+            if (it != entries_.end() && it->second.bytes == 0) {
+                dropEntryLocked(it);
+            }
+        }
+        prom.set_exception(std::current_exception());
+        throw;
+    }
+    {
+        std::lock_guard<std::mutex> lk(mtx_);
+        auto it = entries_.find(tenant);
+        trinity_assert(it != entries_.end(),
+                       "in-flight dbstore entry vanished");
+        it->second.bytes = db->bytes;
+        residentBytes_ += db->bytes;
+        stats_.residentBytes = residentBytes_;
+        ++stats_.materializations;
+        evictToBudget(tenant);
+        metrics_.resident_bytes.set(static_cast<i64>(residentBytes_));
+    }
+    metrics_.materializations.add();
+    prom.set_value(db);
+    return db;
+}
+
+std::shared_ptr<const ResidentPirDb>
+PirDbStore::materialize(PirTenantId tenant)
+{
+    u64 t0 = obs::detail::nowNs();
+    const PirDatabase &raw = provider_(tenant);
+    auto db = std::make_shared<ResidentPirDb>(
+        materializePirDb(ctx_, raw));
+    metrics_.materialize_ns.observe(obs::detail::nowNs() - t0);
+    return db;
+}
+
+void
+PirDbStore::evictToBudget(PirTenantId keep)
+{
+    if (budget_ == 0) {
+        return;
+    }
+    while (residentBytes_ > budget_) {
+        bool evicted = false;
+        for (auto rit = lru_.rbegin(); rit != lru_.rend(); ++rit) {
+            if (*rit == keep) {
+                continue;
+            }
+            auto it = entries_.find(*rit);
+            if (it->second.bytes == 0) {
+                continue; // materialization in flight — not evictable
+            }
+            dropEntryLocked(it);
+            evicted = true;
+            break;
+        }
+        if (!evicted) {
+            // Only @p keep and in-flight entries remain: one tenant
+            // may legitimately exceed the whole budget.
+            break;
+        }
+    }
+}
+
+void
+PirDbStore::dropEntryLocked(std::map<PirTenantId, Entry>::iterator it)
+{
+    residentBytes_ -= it->second.bytes;
+    stats_.residentBytes = residentBytes_;
+    if (it->second.bytes != 0) {
+        ++stats_.evictions;
+        metrics_.evictions.add();
+    }
+    metrics_.resident_bytes.set(static_cast<i64>(residentBytes_));
+    lru_.erase(it->second.lruIt);
+    entries_.erase(it);
+}
+
+bool
+PirDbStore::resident(PirTenantId tenant) const
+{
+    std::lock_guard<std::mutex> lk(mtx_);
+    return entries_.find(tenant) != entries_.end();
+}
+
+bool
+PirDbStore::evict(PirTenantId tenant)
+{
+    std::lock_guard<std::mutex> lk(mtx_);
+    auto it = entries_.find(tenant);
+    if (it == entries_.end() || it->second.bytes == 0) {
+        return false;
+    }
+    dropEntryLocked(it);
+    return true;
+}
+
+size_t
+PirDbStore::residentBytes() const
+{
+    std::lock_guard<std::mutex> lk(mtx_);
+    return residentBytes_;
+}
+
+PirDbStore::Stats
+PirDbStore::stats() const
+{
+    std::lock_guard<std::mutex> lk(mtx_);
+    return stats_;
+}
+
+} // namespace pir
+} // namespace trinity

@@ -1,0 +1,48 @@
+#include "pir/expand.h"
+
+#include "common/logging.h"
+#include "obs/trace.h"
+
+namespace trinity {
+namespace pir {
+
+std::vector<GlweCiphertext>
+expandQuery(const TfheContext &ctx, const std::vector<GaloisKey> &keys,
+            const GlweCiphertext &query, u32 m)
+{
+    const TfheParams &p = ctx.params();
+    trinity_assert((size_t(1) << m) <= p.bigN,
+                   "expansion deeper than the ring (m=%u, N=%zu)", m,
+                   p.bigN);
+    trinity_assert(keys.size() >= m,
+                   "expansion needs %u Galois keys, got %zu", m,
+                   keys.size());
+    obs::TraceSpan span("pirExpand", "pir", "expandQuery", "m", m);
+
+    std::vector<GlweCiphertext> cur;
+    cur.push_back(query);
+    std::vector<GlweCiphertext> sigma;
+    u64 two_n = 2 * p.bigN;
+    for (u32 j = 0; j < m; ++j) {
+        size_t half = size_t(1) << j;
+        u64 g = expansionGaloisElement(p.bigN, j);
+        trinity_assert(keys[j].g == g,
+                       "Galois key order mismatch at level %u "
+                       "(key for %llu, need %llu)",
+                       j, (unsigned long long)keys[j].g,
+                       (unsigned long long)g);
+        sigma.resize(half);
+        applyGaloisBatch(ctx, keys[j], cur.data(), sigma.data(), half);
+        std::vector<GlweCiphertext> next(2 * half);
+        for (size_t b = 0; b < half; ++b) {
+            next[b] = ctx.glweAdd(cur[b], sigma[b]);
+            next[b + half] = ctx.glweMulMonomial(
+                ctx.glweSub(cur[b], sigma[b]), two_n - half);
+        }
+        cur = std::move(next);
+    }
+    return cur;
+}
+
+} // namespace pir
+} // namespace trinity

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Oblivious query expansion (SealPIR/OnionPIR Algorithm 3) — the
+ * inverse of the conv packer's Algorithm-4 packing walk.
+ *
+ * One uploaded RLWE ciphertext of f(X) = sum f_u X^u expands into 2^m
+ * ciphertexts, out[u] encrypting the constant 2^m * f_u. Level j
+ * doubles the working set with the automorphism g_j = N/2^j + 1:
+ *
+ *   c0 = c + sigma_{g_j}(c)                    (keeps even strides)
+ *   c1 = (c - sigma_{g_j}(c)) * X^{-2^j}       (keeps odd strides)
+ *
+ * The client pre-multiplies query coefficients by inv(2^m) mod q (q
+ * prime), so the expanded entries carry exactly the intended message.
+ * Each level runs its whole generation through one applyGaloisBatch()
+ * call — 2^j independent ciphertexts as wide backend batches.
+ */
+
+#ifndef TRINITY_PIR_EXPAND_H
+#define TRINITY_PIR_EXPAND_H
+
+#include "pir/galois.h"
+
+namespace trinity {
+namespace pir {
+
+/** The automorphism element expansion level @p j applies. */
+inline u64
+expansionGaloisElement(size_t big_n, u32 j)
+{
+    return (big_n >> j) + 1;
+}
+
+/**
+ * Expand @p query into 2^m ciphertexts; keys[j] must be the Galois
+ * key for expansionGaloisElement(N, j), j in [0, m).
+ */
+std::vector<GlweCiphertext>
+expandQuery(const TfheContext &ctx, const std::vector<GaloisKey> &keys,
+            const GlweCiphertext &query, u32 m);
+
+} // namespace pir
+} // namespace trinity
+
+#endif // TRINITY_PIR_EXPAND_H

@@ -1,0 +1,48 @@
+#include "pir/gadget.h"
+
+#include "common/logging.h"
+
+namespace trinity {
+namespace pir {
+
+Gadget::Gadget(u64 q, u32 log_b, u32 levels)
+    : q_(q), log_b_(log_b), levels_(levels)
+{
+    trinity_assert(log_b >= 1 && levels >= 1 &&
+                       u64(log_b) * levels <= 64,
+                   "unsupported gadget shape logB=%u levels=%u", log_b,
+                   levels);
+    g_.resize(levels);
+    for (u32 l = 0; l < levels; ++l) {
+        u128 denom = u128(1) << (log_b * (l + 1));
+        g_[l] = static_cast<u64>((u128(q) + denom / 2) / denom);
+    }
+}
+
+void
+Gadget::decompose(u64 x, i64 *digits) const
+{
+    u64 b = 1ULL << log_b_;
+    u64 half_b = b >> 1;
+    // y = round(x * B^levels / q) in [0, B^levels]
+    u128 scale = u128(1) << (log_b_ * levels_);
+    u128 y = (u128(x) * scale + q_ / 2) / q_;
+    // Balanced base-B digits, least significant last in storage
+    // order; the final carry wraps modulo B^levels (equivalent to
+    // subtracting q).
+    u64 carry = 0;
+    for (u32 l = levels_; l-- > 0;) {
+        u64 r = static_cast<u64>(y & (b - 1)) + carry;
+        y >>= log_b_;
+        if (r >= half_b) {
+            digits[l] = static_cast<i64>(r) - static_cast<i64>(b);
+            carry = 1;
+        } else {
+            digits[l] = static_cast<i64>(r);
+            carry = 0;
+        }
+    }
+}
+
+} // namespace pir
+} // namespace trinity

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * OnionPIR-style parameter sets.
+ *
+ * A PIR deployment wraps one TFHE ring (single NTT prime q ~ 2^60,
+ * negacyclic R_q = Z_q[X]/(X^N + 1)) with a database shape: the
+ * records live on a (dim1 x 2^gswDims) grid. The first dimension is
+ * resolved by an expanded selection vector folded over the database
+ * with gadget-decomposed external products; every remaining dimension
+ * costs one GSW-CMux level.
+ *
+ * Gadget choices differ from the PBS sets because the noise path is
+ * deeper: the Galois keyswitch gadget covers the full modulus
+ * (logBks * lk = 60, exact — its rounding term would otherwise ride
+ * the whole expansion walk into the GSW conversion), while the
+ * external-product gadget decomposes only the top 32 bits
+ * (logBg * lb = 32) and leaves a q/Bg^lb ~ 2^28 approximation term
+ * that sits far below Delta/2. docs/PIR.md walks the budget.
+ */
+
+#ifndef TRINITY_PIR_PARAMS_H
+#define TRINITY_PIR_PARAMS_H
+
+#include <cstddef>
+
+#include "tfhe/params.h"
+
+namespace trinity {
+namespace pir {
+
+/** PIR scheme + database-shape parameters. */
+struct PirParams
+{
+    /** Ring and gadget parameters (k = 1; lb/logBg drive the fold and
+     *  CMux external products, lk/logBks the expansion keyswitch). */
+    TfheParams tfhe;
+
+    /** First-dimension width (power of two, <= N / 2). */
+    size_t dim1 = 64;
+    /** CMux-tree depth; the database has 2^gswDims columns. */
+    u32 gswDims = 3;
+    /** Plaintext bits per record coefficient (p = 2^logP). */
+    u32 logP = 2;
+    /** Response modulus bits after the final modulus switch. */
+    u32 logQs = 20;
+
+    // --- derived shape ---------------------------------------------------
+    size_t columns() const { return size_t(1) << gswDims; }
+    size_t records() const { return dim1 << gswDims; }
+    /** Plaintext payload of one record, in (logical, packed) bytes. */
+    size_t recordBytes() const { return tfhe.bigN * logP / 8; }
+    /** Raw at-rest database bytes (packed plaintext). */
+    size_t rawBytes() const { return records() * recordBytes(); }
+    /** Serving working-set bytes per record: the lb gadget-scaled
+     *  NTT-domain copies the fold streams (see database.h). */
+    size_t residentBytesPerRecord() const
+    {
+        return size_t(tfhe.lb) * tfhe.bigN * sizeof(u64);
+    }
+    size_t residentBytes() const
+    {
+        return records() * residentBytesPerRecord();
+    }
+
+    /** Plaintext coefficients one query ciphertext carries: dim1
+     *  selection slots plus lb gadget slots per GSW dimension. */
+    size_t queryCoeffs() const { return dim1 + size_t(gswDims) * tfhe.lb; }
+    /** Expansion depth m: the query expands into 2^m ciphertexts. */
+    u32 expansionLevels() const;
+    /** Message scale Delta = round(q / p). */
+    u64 delta() const;
+    /** Response size (k+1 components, N coefficients of logQs bits). */
+    size_t responseBytes() const
+    {
+        return (tfhe.k + 1) * tfhe.bigN * logQs / 8;
+    }
+
+    /** Serving default: N=2048 ring, byte records (logP=8). */
+    static PirParams standard();
+    /** standard() ring with an explicit database shape. */
+    static PirParams withShape(size_t dim1, u32 gswDims);
+    /** Reduced set for fast unit tests (N=256). */
+    static PirParams testTiny();
+
+    /** Fatal unless the shape is expandable and decodable. */
+    void validate() const;
+};
+
+} // namespace pir
+} // namespace trinity
+
+#endif // TRINITY_PIR_PARAMS_H

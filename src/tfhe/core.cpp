@@ -183,6 +183,55 @@ TfheContext::ggswEncrypt(i64 mu, const GlweSecretKey &sk, double sigma)
     return out;
 }
 
+GgswCiphertext
+TfheContext::ggswEncryptPoly(const Poly &mu, const GlweSecretKey &sk,
+                             double sigma)
+{
+    trinity_assert(mu.n() == params_.bigN && mu.q() == params_.q &&
+                       mu.domain() == Domain::Coeff,
+                   "ggswEncryptPoly: message ring mismatch");
+    GgswCiphertext out;
+    out.rows.reserve(params_.extRows());
+    Poly zero(params_.bigN, params_.q);
+    for (size_t j = 0; j <= params_.k; ++j) {
+        for (u32 l = 0; l < params_.lb; ++l) {
+            GlweCiphertext row = glweEncrypt(zero, sk, sigma);
+            Poly term = mu;
+            term.scalarMulInPlace(gadget_[l]);
+            if (j < params_.k) {
+                row.a[j].addInPlace(term);
+            } else {
+                row.b.addInPlace(term);
+            }
+            out.rows.push_back(std::move(row));
+        }
+    }
+    return out;
+}
+
+GlweCiphertext
+TfheContext::glweAutomorphism(const GlweCiphertext &ct, u64 g) const
+{
+    GlweCiphertext out;
+    out.a.reserve(params_.k);
+    for (size_t j = 0; j < params_.k; ++j) {
+        out.a.emplace_back(params_.bigN, params_.q);
+    }
+    out.b = Poly(params_.bigN, params_.q);
+    std::vector<AutoJob> jobs;
+    jobs.reserve(params_.k + 1);
+    for (size_t j = 0; j <= params_.k; ++j) {
+        const Poly &src = j < params_.k ? ct.a[j] : ct.b;
+        Poly &dst = j < params_.k ? out.a[j] : out.b;
+        trinity_assert(src.domain() == Domain::Coeff,
+                       "glweAutomorphism needs coefficient domain");
+        jobs.push_back({dst.coeffs().data(), src.coeffs().data(),
+                        &mod_, params_.bigN, g});
+    }
+    activeBackend().automorphismBatch(jobs.data(), jobs.size());
+    return out;
+}
+
 void
 TfheContext::ggswToEval(GgswCiphertext &ggsw) const
 {

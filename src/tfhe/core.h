@@ -175,6 +175,24 @@ class TfheContext
                                const u64 *rotations, size_t count,
                                CmuxBatchScratch &scratch) const;
 
+    /**
+     * GGSW encryption of a polynomial message (e.g. -s_j for the
+     * RLWE->GSW conversion keys of the PIR query pipeline). The
+     * scalar ggswEncrypt() is the mu * X^0 special case.
+     */
+    GgswCiphertext ggswEncryptPoly(const Poly &mu,
+                                   const GlweSecretKey &sk,
+                                   double sigma = -1);
+
+    /**
+     * Apply the Galois automorphism X -> X^g to every component, as
+     * one backend batch (coefficient domain). The result decrypts to
+     * sigma_g(m) under the permuted key sigma_g(s) — follow with a
+     * keyswitch (pir::GaloisKey) to return to s.
+     */
+    GlweCiphertext glweAutomorphism(const GlweCiphertext &ct,
+                                    u64 g) const;
+
     /** Multiply every GLWE component by X^t (negacyclic rotate). */
     GlweCiphertext glweMulMonomial(const GlweCiphertext &ct,
                                    u64 t) const;
